@@ -1,0 +1,70 @@
+// B3 — intro feature 4: extended path expressions "flatten any nested
+// structure in one sweep"; earlier proposals decompose the path and
+// apply a collapse per set-valued hop, materializing each intermediate.
+// The gap is expected to grow with path length.
+#include <benchmark/benchmark.h>
+
+#include "baseline/gem_path.h"
+#include "bench_util.h"
+
+namespace xsql {
+namespace bench {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+/// Paths of increasing length through the Figure 1 composition
+/// hierarchy, starting from Company (the bushiest root).
+baseline::SimplePathQuery PathOfLength(int length) {
+  baseline::SimplePathQuery query;
+  query.start_class = A("Company");
+  const Oid chain[] = {A("Divisions"), A("Employees"), A("OwnedVehicles"),
+                       A("Drivetrain"), A("Engine")};
+  for (int i = 0; i < length; ++i) query.attrs.push_back(chain[i]);
+  return query;
+}
+
+void BM_OneSweep(benchmark::State& state) {
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(1)));
+  baseline::SimplePathQuery query =
+      PathOfLength(static_cast<int>(state.range(0)));
+  size_t results = 0;
+  for (auto _ : state) {
+    OidSet out = baseline::EvalOneSweep(*scaled.db, query);
+    results = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["path_len"] = static_cast<double>(state.range(0));
+}
+
+void BM_DecomposedCollapse(benchmark::State& state) {
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(1)));
+  baseline::SimplePathQuery query =
+      PathOfLength(static_cast<int>(state.range(0)));
+  size_t results = 0;
+  size_t tuples = 0;
+  for (auto _ : state) {
+    OidSet out = baseline::EvalDecomposed(*scaled.db, query, &tuples);
+    results = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["materialized_tuples"] = static_cast<double>(tuples);
+  state.counters["path_len"] = static_cast<double>(state.range(0));
+}
+
+void LengthArgs(benchmark::internal::Benchmark* b) {
+  for (long len = 1; len <= 5; ++len) {
+    b->Args({len, 8});
+  }
+}
+
+BENCHMARK(BM_OneSweep)->Apply(LengthArgs)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DecomposedCollapse)
+    ->Apply(LengthArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xsql

@@ -1,0 +1,98 @@
+// B9 — nested-object indexing [BERT89], the access-method substrate the
+// paper cites for path-expression queries. Compares the selection query
+// `X.Residence.City['newyork']` evaluated by forward sweep vs reverse
+// path-index lookup, plus the build cost the index amortizes.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "parser/parser.h"
+#include "store/index.h"
+
+namespace xsql {
+namespace bench {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+constexpr const char* kSelection =
+    "SELECT X FROM Person X WHERE X.Residence.City['newyork']";
+
+PathIndexSet& GetIndexes(Database* db, size_t scale) {
+  static std::map<size_t, PathIndexSet>& cache =
+      *new std::map<size_t, PathIndexSet>();
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    it = cache.emplace(scale, PathIndexSet()).first;
+    (void)it->second.Add(*db, A("Person"), {A("Residence"), A("City")});
+  }
+  (void)it->second.Refresh(*db);
+  return it->second;
+}
+
+void BM_SelectionForwardSweep(benchmark::State& state) {
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(0)));
+  auto stmt = ParseAndResolve(kSelection, *scaled.db);
+  const Query& query = *stmt->query->simple;
+  Evaluator evaluator(scaled.db.get());
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto out = evaluator.Run(query, EvalOptions{});
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+    rows = out->relation.size();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["persons"] = static_cast<double>(scaled.stats.persons);
+}
+
+BENCHMARK(BM_SelectionForwardSweep)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SelectionPathIndex(benchmark::State& state) {
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(0)));
+  PathIndexSet& indexes =
+      GetIndexes(scaled.db.get(), static_cast<size_t>(state.range(0)));
+  auto stmt = ParseAndResolve(kSelection, *scaled.db);
+  const Query& query = *stmt->query->simple;
+  Evaluator evaluator(scaled.db.get());
+  size_t rows = 0;
+  for (auto _ : state) {
+    EvalOptions opts;
+    opts.indexes = &indexes;
+    auto out = evaluator.Run(query, opts);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+    rows = out->relation.size();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["persons"] = static_cast<double>(scaled.stats.persons);
+}
+
+BENCHMARK(BM_SelectionPathIndex)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_IndexBuild(benchmark::State& state) {
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(0)));
+  size_t entries = 0;
+  for (auto _ : state) {
+    PathIndex index(A("Person"), {A("Residence"), A("City")});
+    if (!index.Build(*scaled.db).ok()) {
+      state.SkipWithError("build failed");
+      return;
+    }
+    entries = index.entries();
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["entries"] = static_cast<double>(entries);
+}
+
+BENCHMARK(BM_IndexBuild)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xsql

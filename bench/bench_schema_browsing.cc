@@ -1,0 +1,102 @@
+// B4 — §1: querying the schema in the data language (subclassOf with a
+// class variable) vs the relational route (transitive closure of the
+// ISA catalog table by iterated self-joins). The in-language query is
+// bound by the schema's *relevant* slice; the catalog join scans the
+// ISA table once per closure step, so it degrades as the schema widens.
+#include <benchmark/benchmark.h>
+
+#include "baseline/relational.h"
+#include "bench_util.h"
+
+namespace xsql {
+namespace bench {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+/// Widens the schema with `extra` unrelated classes (each with a couple
+/// of attributes), simulating a large application schema.
+void WidenSchema(Database* db, int extra) {
+  for (int i = 0; i < extra; ++i) {
+    Oid cls = A(("Widget" + std::to_string(i)).c_str());
+    (void)db->DeclareClass(cls);
+    (void)db->DeclareAttribute(cls, A(("w" + std::to_string(i)).c_str()),
+                               A("String"), false);
+  }
+}
+
+struct WideDb {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<Session> session;
+};
+
+WideDb& GetWideDb(int extra) {
+  static std::map<int, WideDb>& cache = *new std::map<int, WideDb>();
+  auto it = cache.find(extra);
+  if (it == cache.end()) {
+    WideDb entry;
+    entry.db = std::make_unique<Database>();
+    (void)workload::BuildFig1Schema(entry.db.get());
+    workload::WorkloadParams params;
+    (void)workload::GenerateFig1Data(entry.db.get(), params);
+    WidenSchema(entry.db.get(), extra);
+    entry.session = std::make_unique<Session>(entry.db.get());
+    it = cache.emplace(extra, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+void BM_SchemaQueryXsql(benchmark::State& state) {
+  WideDb& wide = GetWideDb(static_cast<int>(state.range(0)));
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rel =
+        wide.session->Query("SELECT $X WHERE TurboEngine subclassOf $X");
+    if (!rel.ok()) {
+      state.SkipWithError(rel.status().ToString().c_str());
+      return;
+    }
+    rows = rel->size();
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["classes"] =
+      static_cast<double>(wide.db->graph().classes().size());
+}
+
+BENCHMARK(BM_SchemaQueryXsql)->Arg(0)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SchemaQueryCatalogJoin(benchmark::State& state) {
+  WideDb& wide = GetWideDb(static_cast<int>(state.range(0)));
+  baseline::RelationalDb rdb = baseline::RelationalDb::Flatten(*wide.db);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto supers = rdb.SuperclassesViaCatalog(A("TurboEngine"));
+    rows = supers.size();
+    benchmark::DoNotOptimize(supers);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["classes"] =
+      static_cast<double>(wide.db->graph().classes().size());
+}
+
+BENCHMARK(BM_SchemaQueryCatalogJoin)->Arg(0)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+// Which classes define a given attribute — the conservative approach's
+// prerequisite for the Nobel query (§1).
+void BM_ClassesDefiningAttribute(benchmark::State& state) {
+  WideDb& wide = GetWideDb(static_cast<int>(state.range(0)));
+  baseline::RelationalDb rdb = baseline::RelationalDb::Flatten(*wide.db);
+  for (auto _ : state) {
+    auto classes = rdb.ClassesWithAttributeViaCatalog(A("Salary"));
+    benchmark::DoNotOptimize(classes);
+  }
+}
+
+BENCHMARK(BM_ClassesDefiningAttribute)->Arg(0)->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xsql

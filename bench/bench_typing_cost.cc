@@ -1,0 +1,60 @@
+// B7 — the static cost of the typing spectrum (§6.2): liberal checking
+// (assignment search only) vs strict checking (assignment x plan
+// search). Strict costs more — that is the price of unlocking the
+// Theorem 6.1(2) pruning measured in B1.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "parser/parser.h"
+#include "typing/type_checker.h"
+
+namespace xsql {
+namespace bench {
+namespace {
+
+const char* kQueries[] = {
+    "SELECT X FROM Person X WHERE X.Name",
+    "SELECT X FROM Vehicle X WHERE X.Manufacturer[M] "
+    "and M.President.OwnedVehicles[X]",
+    "SELECT X FROM Numeral Year WHERE X.Manufacturer[M] "
+    "and M.President.OwnedVehicles[X] "
+    "and OO_Forum.(Member @ Year)[M]",
+    "SELECT W FROM Company X WHERE X.Divisions[D] "
+    "and D.Manager.Salary[W] and D.Name['engineering']",
+};
+
+void BM_TypeCheck(benchmark::State& state) {
+  ScaledDb& scaled = GetScaledDb(1);
+  const char* text = kQueries[state.range(0)];
+  const TypingMode mode =
+      state.range(1) == 0 ? TypingMode::kLiberal : TypingMode::kStrict;
+  auto stmt = ParseAndResolve(text, *scaled.db);
+  if (!stmt.ok()) {
+    state.SkipWithError(stmt.status().ToString().c_str());
+    return;
+  }
+  const Query& query = *stmt->query->simple;
+  TypeChecker checker(*scaled.db);
+  bool well_typed = false;
+  for (auto _ : state) {
+    TypingResult res = checker.Check(query, mode);
+    well_typed = res.well_typed;
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetLabel(std::string(mode == TypingMode::kLiberal ? "liberal"
+                                                          : "strict") +
+                 (well_typed ? "/well-typed" : "/ill-typed"));
+}
+
+void TypeCheckArgs(benchmark::internal::Benchmark* b) {
+  for (long q = 0; q < 4; ++q) {
+    b->Args({q, 0});
+    b->Args({q, 1});
+  }
+}
+
+BENCHMARK(BM_TypeCheck)->Apply(TypeCheckArgs)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xsql

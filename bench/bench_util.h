@@ -1,0 +1,43 @@
+#ifndef XSQL_BENCH_BENCH_UTIL_H_
+#define XSQL_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <memory>
+
+#include "eval/session.h"
+#include "store/database.h"
+#include "workload/fig1_schema.h"
+#include "workload/generator.h"
+
+namespace xsql {
+namespace bench {
+
+/// A cached Figure-1 instance at a given scale factor; benchmarks share
+/// instances so iteration time measures query work, not data loading.
+struct ScaledDb {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<Session> session;
+  workload::WorkloadStats stats;
+};
+
+inline ScaledDb& GetScaledDb(size_t scale) {
+  static std::map<size_t, ScaledDb>& cache = *new std::map<size_t, ScaledDb>();
+  auto it = cache.find(scale);
+  if (it == cache.end()) {
+    ScaledDb entry;
+    entry.db = std::make_unique<Database>();
+    (void)workload::BuildFig1Schema(entry.db.get());
+    workload::WorkloadParams params;
+    params = params.Scaled(scale);
+    auto stats = workload::GenerateFig1Data(entry.db.get(), params);
+    entry.stats = stats.ok() ? *stats : workload::WorkloadStats{};
+    entry.session = std::make_unique<Session>(entry.db.get());
+    it = cache.emplace(scale, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+}  // namespace bench
+}  // namespace xsql
+
+#endif  // XSQL_BENCH_BENCH_UTIL_H_

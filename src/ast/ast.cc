@@ -1,0 +1,333 @@
+#include "ast/ast.h"
+
+#include <algorithm>
+
+namespace xsql {
+
+IdTerm IdTerm::Const(Oid oid) {
+  IdTerm t;
+  t.kind = Kind::kConst;
+  t.value = std::move(oid);
+  return t;
+}
+
+IdTerm IdTerm::Var(Variable v) {
+  IdTerm t;
+  t.kind = Kind::kVar;
+  t.var = std::move(v);
+  return t;
+}
+
+IdTerm IdTerm::Apply(std::string fn, std::vector<IdTerm> args) {
+  IdTerm t;
+  t.kind = Kind::kApply;
+  t.fn = std::move(fn);
+  t.args = std::move(args);
+  return t;
+}
+
+IdTerm IdTerm::NameRef(std::string name) {
+  IdTerm t;
+  t.kind = Kind::kNameRef;
+  t.name = std::move(name);
+  return t;
+}
+
+ValueExpr ValueExpr::Path(PathExpr p) {
+  ValueExpr v;
+  v.kind = Kind::kPath;
+  v.path = std::move(p);
+  return v;
+}
+
+ValueExpr ValueExpr::Const(Oid oid) {
+  PathExpr p;
+  p.head = IdTerm::Const(std::move(oid));
+  return Path(std::move(p));
+}
+
+ValueExpr ValueExpr::Agg(AggFn fn, PathExpr p) {
+  ValueExpr v;
+  v.kind = Kind::kAggregate;
+  v.agg_fn = fn;
+  v.path = std::move(p);
+  return v;
+}
+
+ValueExpr ValueExpr::Arith(ArithOp op, ValueExpr l, ValueExpr r) {
+  ValueExpr v;
+  v.kind = Kind::kArith;
+  v.arith_op = op;
+  v.lhs = std::make_shared<ValueExpr>(std::move(l));
+  v.rhs = std::make_shared<ValueExpr>(std::move(r));
+  return v;
+}
+
+ValueExpr ValueExpr::Subquery(std::shared_ptr<QueryExpr> q) {
+  ValueExpr v;
+  v.kind = Kind::kSubquery;
+  v.subquery = std::move(q);
+  return v;
+}
+
+ValueExpr ValueExpr::SetLiteral(std::vector<ValueExpr> elems) {
+  ValueExpr v;
+  v.kind = Kind::kSetLiteral;
+  v.set_elems = std::move(elems);
+  return v;
+}
+
+std::shared_ptr<Condition> Condition::And(
+    std::vector<std::shared_ptr<Condition>> cs) {
+  auto c = std::make_shared<Condition>();
+  c->kind = Kind::kAnd;
+  c->children = std::move(cs);
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::Or(
+    std::vector<std::shared_ptr<Condition>> cs) {
+  auto c = std::make_shared<Condition>();
+  c->kind = Kind::kOr;
+  c->children = std::move(cs);
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::Not(std::shared_ptr<Condition> child) {
+  auto c = std::make_shared<Condition>();
+  c->kind = Kind::kNot;
+  c->children.push_back(std::move(child));
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::Comparison(ValueExpr l, Quant lq,
+                                                 CompOp op, Quant rq,
+                                                 ValueExpr r) {
+  auto c = std::make_shared<Condition>();
+  c->kind = Kind::kComparison;
+  c->lhs = std::move(l);
+  c->rhs = std::move(r);
+  c->lquant = lq;
+  c->rquant = rq;
+  c->comp_op = op;
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::SetComparison(ValueExpr l, SetOp op,
+                                                    ValueExpr r) {
+  auto c = std::make_shared<Condition>();
+  c->kind = Kind::kSetComparison;
+  c->lhs = std::move(l);
+  c->rhs = std::move(r);
+  c->set_op = op;
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::Standalone(PathExpr p) {
+  auto c = std::make_shared<Condition>();
+  c->kind = Kind::kStandalonePath;
+  c->path = std::move(p);
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::SubclassOf(IdTerm sub, IdTerm super) {
+  auto c = std::make_shared<Condition>();
+  c->kind = Kind::kSubclassOf;
+  c->sub = std::move(sub);
+  c->super = std::move(super);
+  return c;
+}
+
+namespace {
+
+void CollectVarsInIdTerm(const IdTerm& term, std::vector<Variable>* out) {
+  auto add = [out](const Variable& v) {
+    if (std::find(out->begin(), out->end(), v) == out->end()) {
+      out->push_back(v);
+    }
+  };
+  switch (term.kind) {
+    case IdTerm::Kind::kVar:
+      add(term.var);
+      break;
+    case IdTerm::Kind::kApply:
+      for (const IdTerm& a : term.args) CollectVarsInIdTerm(a, out);
+      break;
+    default:
+      break;
+  }
+}
+
+void CollectVarsInPath(const PathExpr& path, std::vector<Variable>* out) {
+  auto add = [out](const Variable& v) {
+    if (std::find(out->begin(), out->end(), v) == out->end()) {
+      out->push_back(v);
+    }
+  };
+  CollectVarsInIdTerm(path.head, out);
+  for (const PathStep& step : path.steps) {
+    if (step.kind == PathStep::Kind::kPathVar) {
+      add(step.path_var);
+    } else {
+      if (step.method.name_is_var) add(step.method.name_var);
+      for (const IdTerm& a : step.method.args) CollectVarsInIdTerm(a, out);
+    }
+    if (step.selector.has_value()) CollectVarsInIdTerm(*step.selector, out);
+  }
+}
+
+void CollectVarsInValue(const ValueExpr& expr, std::vector<Variable>* out);
+
+void CollectVarsInCondition(const Condition& cond, std::vector<Variable>* out) {
+  switch (cond.kind) {
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr:
+    case Condition::Kind::kNot:
+      for (const auto& child : cond.children) {
+        CollectVarsInCondition(*child, out);
+      }
+      break;
+    case Condition::Kind::kComparison:
+    case Condition::Kind::kSetComparison:
+      CollectVarsInValue(cond.lhs, out);
+      CollectVarsInValue(cond.rhs, out);
+      break;
+    case Condition::Kind::kStandalonePath:
+      CollectVarsInPath(cond.path, out);
+      break;
+    case Condition::Kind::kSubclassOf:
+    case Condition::Kind::kApplicable:
+      CollectVarsInIdTerm(cond.sub, out);
+      CollectVarsInIdTerm(cond.super, out);
+      break;
+    case Condition::Kind::kUpdate:
+      if (cond.update != nullptr) {
+        for (const auto& assign : cond.update->assignments) {
+          CollectVarsInPath(assign.target, out);
+          CollectVarsInValue(assign.value, out);
+        }
+        if (cond.update->where != nullptr) {
+          CollectVarsInCondition(*cond.update->where, out);
+        }
+      }
+      break;
+  }
+}
+
+void CollectVarsInValue(const ValueExpr& expr, std::vector<Variable>* out) {
+  switch (expr.kind) {
+    case ValueExpr::Kind::kPath:
+    case ValueExpr::Kind::kAggregate:
+      CollectVarsInPath(expr.path, out);
+      break;
+    case ValueExpr::Kind::kArith:
+      if (expr.lhs) CollectVarsInValue(*expr.lhs, out);
+      if (expr.rhs) CollectVarsInValue(*expr.rhs, out);
+      break;
+    case ValueExpr::Kind::kSubquery:
+      // Subquery variables are scoped to the subquery; free (correlated)
+      // occurrences are still collected so callers see the dependency.
+      if (expr.subquery && expr.subquery->simple) {
+        for (const Variable& v : CollectVariables(*expr.subquery->simple)) {
+          if (std::find(out->begin(), out->end(), v) == out->end()) {
+            out->push_back(v);
+          }
+        }
+      }
+      break;
+    case ValueExpr::Kind::kSetLiteral:
+      for (const ValueExpr& e : expr.set_elems) CollectVarsInValue(e, out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<Variable> CollectVariables(const Query& query) {
+  std::vector<Variable> out;
+  auto add = [&out](const Variable& v) {
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  };
+  for (const FromEntry& entry : query.from) {
+    CollectVarsInIdTerm(entry.cls, &out);
+    add(entry.var);
+  }
+  for (const SelectItem& item : query.select) {
+    switch (item.kind) {
+      case SelectItem::Kind::kExpr:
+        CollectVarsInValue(item.expr, &out);
+        break;
+      case SelectItem::Kind::kSetOfVar:
+        add(item.set_var);
+        break;
+      case SelectItem::Kind::kMethodHead:
+        for (const IdTerm& a : item.method_args) CollectVarsInIdTerm(a, &out);
+        CollectVarsInValue(item.expr, &out);
+        break;
+    }
+  }
+  if (query.oid_function_of.has_value()) {
+    for (const Variable& v : *query.oid_function_of) add(v);
+  }
+  if (query.where != nullptr) CollectVarsInCondition(*query.where, &out);
+  return out;
+}
+
+void CollectPathExprs(const ValueExpr& expr,
+                      std::vector<const PathExpr*>* out) {
+  switch (expr.kind) {
+    case ValueExpr::Kind::kPath:
+    case ValueExpr::Kind::kAggregate:
+      out->push_back(&expr.path);
+      break;
+    case ValueExpr::Kind::kArith:
+      if (expr.lhs) CollectPathExprs(*expr.lhs, out);
+      if (expr.rhs) CollectPathExprs(*expr.rhs, out);
+      break;
+    case ValueExpr::Kind::kSubquery:
+      break;  // subquery paths are typed within the subquery
+    case ValueExpr::Kind::kSetLiteral:
+      for (const ValueExpr& e : expr.set_elems) CollectPathExprs(e, out);
+      break;
+  }
+}
+
+void CollectPathExprs(const Condition& cond,
+                      std::vector<const PathExpr*>* out) {
+  switch (cond.kind) {
+    case Condition::Kind::kAnd:
+    case Condition::Kind::kOr:
+    case Condition::Kind::kNot:
+      for (const auto& child : cond.children) CollectPathExprs(*child, out);
+      break;
+    case Condition::Kind::kComparison:
+    case Condition::Kind::kSetComparison:
+      CollectPathExprs(cond.lhs, out);
+      CollectPathExprs(cond.rhs, out);
+      break;
+    case Condition::Kind::kStandalonePath:
+      out->push_back(&cond.path);
+      break;
+    case Condition::Kind::kSubclassOf:
+    case Condition::Kind::kApplicable:
+    case Condition::Kind::kUpdate:
+      break;
+  }
+}
+
+bool IsConjunctive(const Condition& cond) {
+  switch (cond.kind) {
+    case Condition::Kind::kAnd:
+      for (const auto& child : cond.children) {
+        if (!IsConjunctive(*child)) return false;
+      }
+      return true;
+    case Condition::Kind::kOr:
+    case Condition::Kind::kNot:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace xsql

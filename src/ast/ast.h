@@ -1,0 +1,382 @@
+#ifndef XSQL_AST_AST_H_
+#define XSQL_AST_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oid/oid.h"
+
+namespace xsql {
+
+// ---------------------------------------------------------------------
+// Variables
+// ---------------------------------------------------------------------
+
+/// The three sorts of variables in XSQL (§3.1): individual variables
+/// range over ids of individual objects, class variables (`$X`) over
+/// class-objects, method variables (`"Y`) over method/attribute-name
+/// objects. A fourth, path variables (`*Y`), is the paper's sketched
+/// extension — one binds to a *sequence* of attributes (we encode the
+/// binding as the id-term `path(a1,...,an)`).
+enum class VarSort : uint8_t {
+  kIndividual = 0,
+  kClass,
+  kMethod,
+  kPath,
+};
+
+/// A named, sorted variable.
+struct Variable {
+  std::string name;
+  VarSort sort = VarSort::kIndividual;
+
+  bool operator==(const Variable& other) const {
+    return name == other.name && sort == other.sort;
+  }
+  bool operator<(const Variable& other) const {
+    if (name != other.name) return name < other.name;
+    return sort < other.sort;
+  }
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// Id-terms
+// ---------------------------------------------------------------------
+
+/// An id-term (§4.2): an oid constant, a variable, an application of an
+/// id-function `f(t1,...,tn)`, or — before name resolution — a bare
+/// identifier (`kNameRef`) whose reading (constant vs. individual
+/// variable) depends on the schema. `ResolveNames` in the parser turns
+/// every kNameRef into kConst or kVar.
+struct IdTerm {
+  enum class Kind : uint8_t { kConst, kVar, kApply, kNameRef };
+
+  Kind kind = Kind::kConst;
+  Oid value;                 // kConst
+  Variable var;              // kVar
+  std::string fn;            // kApply: id-function symbol
+  std::vector<IdTerm> args;  // kApply
+  std::string name;          // kNameRef: unresolved identifier
+
+  static IdTerm Const(Oid oid);
+  static IdTerm Var(Variable v);
+  static IdTerm Apply(std::string fn, std::vector<IdTerm> args);
+  static IdTerm NameRef(std::string name);
+
+  bool is_const() const { return kind == Kind::kConst; }
+  bool is_var() const { return kind == Kind::kVar; }
+  bool is_apply() const { return kind == Kind::kApply; }
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// Path expressions (§3.1, §5)
+// ---------------------------------------------------------------------
+
+/// A method expression `(Mthd @ Arg1,...,Argk)` (§5); 0-ary method
+/// expressions are attribute expressions and print without parentheses.
+/// The method position holds either a name (oid constant) or a method
+/// variable.
+struct MethodExpr {
+  bool name_is_var = false;
+  Oid name;           // when !name_is_var (an atom)
+  Variable name_var;  // when name_is_var (sort kMethod)
+  std::vector<IdTerm> args;
+
+  std::string ToString() const;
+};
+
+/// One step of a path expression: a method expression plus an optional
+/// selector, or a path variable `*Y` standing for a whole attribute
+/// sequence (the paper's §3.1 extension).
+struct PathStep {
+  enum class Kind : uint8_t { kMethod, kPathVar };
+
+  Kind kind = Kind::kMethod;
+  MethodExpr method;                // kMethod
+  Variable path_var;                // kPathVar (sort kPath)
+  std::optional<IdTerm> selector;   // the bracketed `[sel]`, if present
+
+  std::string ToString() const;
+};
+
+/// Extended path expression (2)/(11):
+/// `selector0.MthdEx1[sel1]. ... .MthdExm[selm]`.
+struct PathExpr {
+  IdTerm head;
+  std::vector<PathStep> steps;
+
+  /// Trivial path: a bare selector (m = 0).
+  bool trivial() const { return steps.empty(); }
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// Value expressions
+// ---------------------------------------------------------------------
+
+struct QueryExpr;  // forward (subqueries)
+
+/// Aggregate functions usable over path expressions (§3.2).
+enum class AggFn : uint8_t { kCount, kSum, kAvg, kMin, kMax };
+
+/// Arithmetic operators (needed by UPDATE SET expressions, §5).
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+/// A value-producing expression. Every value expression evaluates to a
+/// *set* of oids (the value of a path expression is the set of tails of
+/// satisfying database paths, §3.2); scalar contexts require the set to
+/// be a singleton.
+struct ValueExpr {
+  enum class Kind : uint8_t {
+    kPath,        // path expression (includes bare constants/variables)
+    kAggregate,   // count/sum/avg/min/max over a path expression
+    kArith,       // lhs op rhs, scalar arithmetic
+    kSubquery,    // (SELECT ...) used as a set
+    kSetLiteral,  // {'blue', 'red'}
+  };
+
+  Kind kind = Kind::kPath;
+  PathExpr path;                         // kPath, kAggregate argument
+  AggFn agg_fn = AggFn::kCount;          // kAggregate
+  ArithOp arith_op = ArithOp::kAdd;      // kArith
+  std::shared_ptr<ValueExpr> lhs, rhs;   // kArith
+  std::shared_ptr<QueryExpr> subquery;   // kSubquery
+  std::vector<ValueExpr> set_elems;      // kSetLiteral
+
+  static ValueExpr Path(PathExpr p);
+  static ValueExpr Const(Oid oid);
+  static ValueExpr Agg(AggFn fn, PathExpr p);
+  static ValueExpr Arith(ArithOp op, ValueExpr l, ValueExpr r);
+  static ValueExpr Subquery(std::shared_ptr<QueryExpr> q);
+  static ValueExpr SetLiteral(std::vector<ValueExpr> elems);
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// Conditions (§3.2, §3.4)
+// ---------------------------------------------------------------------
+
+/// Comparison operator of an elementary comparison.
+enum class CompOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Quantifier modifying one side of a comparison: `some>`, `=all`,
+/// `all<all` (§3.2). `kNone` on a side requires that side's value to be
+/// a singleton set (the comparison is then on that single element; an
+/// empty or multi-element unquantified side makes the comparison false,
+/// mirroring the satisfaction semantics).
+enum class Quant : uint8_t { kNone, kSome, kAll };
+
+/// Set comparators (§3.2).
+enum class SetOp : uint8_t {
+  kContains,    // strict superset
+  kContainsEq,  // superset-or-equal
+  kSubset,      // strict subset
+  kSubsetEq,
+  kSetEq,
+};
+
+struct UpdateClassStmt;  // forward (nested UPDATE as a condition, §5)
+
+/// A WHERE-clause condition.
+struct Condition {
+  enum class Kind : uint8_t {
+    kAnd,
+    kOr,
+    kNot,
+    kComparison,      // lhs (lq op rq) rhs
+    kSetComparison,   // lhs setop rhs
+    kStandalonePath,  // path expression as a Boolean predicate
+    kSubclassOf,      // lhs subclassOf rhs (strict, §3.1)
+    kApplicable,      // "M applicableTo X: a signature of M covers X's
+                      // class (§3.1's applicable-vs-defined distinction,
+                      // which the paper defers to [KSK92])
+    kUpdate,          // nested UPDATE CLASS ... (§5), true iff successful
+  };
+
+  Kind kind = Kind::kAnd;
+  std::vector<std::shared_ptr<Condition>> children;  // kAnd, kOr, kNot(1)
+  ValueExpr lhs, rhs;                                // comparisons
+  CompOp comp_op = CompOp::kEq;
+  Quant lquant = Quant::kNone, rquant = Quant::kNone;
+  SetOp set_op = SetOp::kContainsEq;
+  PathExpr path;                                     // kStandalonePath
+  IdTerm sub, super;                                 // kSubclassOf;
+                                                     // kApplicable: sub =
+                                                     // method, super = object
+  std::shared_ptr<UpdateClassStmt> update;           // kUpdate
+
+  static std::shared_ptr<Condition> And(
+      std::vector<std::shared_ptr<Condition>> cs);
+  static std::shared_ptr<Condition> Or(
+      std::vector<std::shared_ptr<Condition>> cs);
+  static std::shared_ptr<Condition> Not(std::shared_ptr<Condition> c);
+  static std::shared_ptr<Condition> Comparison(ValueExpr l, Quant lq,
+                                               CompOp op, Quant rq,
+                                               ValueExpr r);
+  static std::shared_ptr<Condition> SetComparison(ValueExpr l, SetOp op,
+                                                  ValueExpr r);
+  static std::shared_ptr<Condition> Standalone(PathExpr p);
+  static std::shared_ptr<Condition> SubclassOf(IdTerm sub, IdTerm super);
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// Queries (§3.3, §4)
+// ---------------------------------------------------------------------
+
+/// One SELECT-clause item. Forms (§3.3, §4.1):
+///   `X` / `X.Name` — a scalar path expression;
+///   `EmpSalary = W.Salary` — named output attribute;
+///   `Beneficiaries = {W}` — grouped set attribute (§4.1 query (8));
+///   `(MngrSalary @ Y) = W` — method-definition head (§5, only inside
+///    ALTER/CREATE method definitions).
+struct SelectItem {
+  enum class Kind : uint8_t { kExpr, kSetOfVar, kMethodHead };
+
+  Kind kind = Kind::kExpr;
+  std::optional<Oid> out_attr;  // explicit output attribute name
+  ValueExpr expr;               // kExpr; kMethodHead: the result expression
+  Variable set_var;             // kSetOfVar: the brace-grouped variable
+  Oid method;                   // kMethodHead: method being defined
+  std::vector<IdTerm> method_args;  // kMethodHead: parameter terms
+
+  std::string ToString() const;
+};
+
+/// One FROM-clause entry `Class X` (the class may be a class variable,
+/// as in the §3.1 template `FROM $X Y`).
+struct FromEntry {
+  IdTerm cls;
+  Variable var;
+
+  std::string ToString() const;
+};
+
+/// A SELECT-FROM-WHERE block, possibly with an OID FUNCTION OF clause
+/// (§4.1) which turns result tuples into objects.
+struct Query {
+  std::vector<SelectItem> select;
+  std::vector<FromEntry> from;
+  std::shared_ptr<Condition> where;  // null = no WHERE clause
+  /// OID FUNCTION OF X,W — variables the id-function depends on.
+  /// `OID X` (method definitions) is sugar for a one-variable list.
+  std::optional<std::vector<Variable>> oid_function_of;
+  /// The id-function symbol for created objects. Set by DDL (view name)
+  /// or generated by the session; empty means "plain relation result".
+  std::string oid_fn_name;
+
+  std::string ToString() const;
+};
+
+/// Query combined with the relational algebra operators the language
+/// inherits from SQL (§3.3): UNION, MINUS, INTERSECT.
+struct QueryExpr {
+  enum class Kind : uint8_t { kSimple, kUnion, kMinus, kIntersect };
+
+  Kind kind = Kind::kSimple;
+  std::shared_ptr<Query> simple;       // kSimple
+  std::shared_ptr<QueryExpr> lhs, rhs; // the set operators
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// DDL / DML statements (§4.2, §5)
+// ---------------------------------------------------------------------
+
+/// `Mthd : A,B => {R1,R2}` signature declaration; multiple results are
+/// the paper's abbreviation for several signatures.
+struct SignatureDecl {
+  Oid method;
+  std::vector<Oid> args;
+  std::vector<Oid> results;
+  bool set_valued = false;
+
+  std::string ToString() const;
+};
+
+/// CREATE VIEW name AS SUBCLASS OF super SIGNATURE ... SELECT ... (§4.2).
+struct CreateViewStmt {
+  Oid name;
+  Oid superclass;
+  std::vector<SignatureDecl> signatures;
+  Query query;
+
+  std::string ToString() const;
+};
+
+/// `UPDATE CLASS cls SET path = value` (§5). When nested inside a method
+/// definition's WHERE clause, variables come from the enclosing scope.
+struct UpdateClassStmt {
+  Oid cls;
+  struct Assignment {
+    PathExpr target;  // last step names the attribute being written
+    ValueExpr value;
+  };
+  std::vector<Assignment> assignments;
+  /// Constraints scoped to the update — the parser's desugaring of path
+  /// arguments inside SET expressions (e.g. `(MngrSalary @ Y.Name)`
+  /// becomes `(MngrSalary @ Z)` with `Y.Name[Z]` here, where Y is bound
+  /// per target enumerated by the assignment's prefix path).
+  std::shared_ptr<Condition> where;
+
+  std::string ToString() const;
+};
+
+/// ALTER CLASS cls ADD SIGNATURE ... SELECT (M @ args) = expr FROM ...
+/// OID X WHERE ... — defines a new method on `cls` via a query (§5).
+struct AlterClassStmt {
+  Oid cls;
+  std::vector<SignatureDecl> add_signatures;
+  /// The defining query; its single SELECT item is a kMethodHead and
+  /// `oid_function_of` holds the receiver variable (the `OID X` clause).
+  std::optional<Query> method_def;
+
+  std::string ToString() const;
+};
+
+/// Any parseable XSQL statement.
+struct Statement {
+  enum class Kind : uint8_t { kQuery, kCreateView, kAlterClass, kUpdateClass };
+
+  Kind kind = Kind::kQuery;
+  std::shared_ptr<QueryExpr> query;
+  std::shared_ptr<CreateViewStmt> create_view;
+  std::shared_ptr<AlterClassStmt> alter_class;
+  std::shared_ptr<UpdateClassStmt> update_class;
+
+  std::string ToString() const;
+};
+
+// ---------------------------------------------------------------------
+// AST utilities
+// ---------------------------------------------------------------------
+
+/// Collects every variable occurring in the query (all sorts), in
+/// first-occurrence order.
+std::vector<Variable> CollectVariables(const Query& query);
+
+/// Collects the path expressions appearing (conjunctively) in a
+/// condition: standalone paths and paths nested in comparisons. Used by
+/// the §6.2 type checker, which is defined for conjunctive WHERE
+/// clauses.
+void CollectPathExprs(const Condition& cond, std::vector<const PathExpr*>* out);
+
+/// Collects path expressions in a value expression.
+void CollectPathExprs(const ValueExpr& expr, std::vector<const PathExpr*>* out);
+
+/// True if the condition is a pure conjunction of elementary conditions
+/// (no OR/NOT), the fragment for which §6.2 defines well-typing.
+bool IsConjunctive(const Condition& cond);
+
+}  // namespace xsql
+
+#endif  // XSQL_AST_AST_H_

@@ -1,0 +1,344 @@
+#include "ast/printer.h"
+
+#include "ast/ast.h"
+
+namespace xsql {
+
+std::string CompOpToString(CompOp op) {
+  switch (op) {
+    case CompOp::kEq:
+      return "=";
+    case CompOp::kNe:
+      return "!=";
+    case CompOp::kLt:
+      return "<";
+    case CompOp::kLe:
+      return "<=";
+    case CompOp::kGt:
+      return ">";
+    case CompOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string QuantToString(Quant q) {
+  switch (q) {
+    case Quant::kNone:
+      return "";
+    case Quant::kSome:
+      return "some";
+    case Quant::kAll:
+      return "all";
+  }
+  return "";
+}
+
+std::string SetOpToString(SetOp op) {
+  switch (op) {
+    case SetOp::kContains:
+      return "contains";
+    case SetOp::kContainsEq:
+      return "containsEq";
+    case SetOp::kSubset:
+      return "subset";
+    case SetOp::kSubsetEq:
+      return "subsetEq";
+    case SetOp::kSetEq:
+      return "setEq";
+  }
+  return "?";
+}
+
+std::string AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kAvg:
+      return "avg";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+std::string Variable::ToString() const {
+  switch (sort) {
+    case VarSort::kIndividual:
+      return name;
+    case VarSort::kClass:
+      return "$" + name;
+    case VarSort::kMethod:
+      return "\"" + name;
+    case VarSort::kPath:
+      return "*" + name;
+  }
+  return name;
+}
+
+std::string IdTerm::ToString() const {
+  switch (kind) {
+    case Kind::kConst:
+      return value.ToString();
+    case Kind::kVar:
+      return var.ToString();
+    case Kind::kApply: {
+      std::string out = fn + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += args[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kNameRef:
+      return "?" + name + "?";  // unresolved marker; should not persist
+  }
+  return "?";
+}
+
+std::string MethodExpr::ToString() const {
+  std::string nm = name_is_var ? name_var.ToString() : name.ToString();
+  if (args.empty()) return nm;
+  std::string out = "(" + nm + " @ ";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string PathStep::ToString() const {
+  std::string out = kind == Kind::kPathVar ? path_var.ToString()
+                                           : method.ToString();
+  if (selector.has_value()) out += "[" + selector->ToString() + "]";
+  return out;
+}
+
+std::string PathExpr::ToString() const {
+  std::string out = head.ToString();
+  for (const PathStep& step : steps) {
+    out += ".";
+    out += step.ToString();
+  }
+  return out;
+}
+
+std::string ValueExpr::ToString() const {
+  switch (kind) {
+    case Kind::kPath:
+      return path.ToString();
+    case Kind::kAggregate:
+      return AggFnToString(agg_fn) + "(" + path.ToString() + ")";
+    case Kind::kArith: {
+      const char* op = arith_op == ArithOp::kAdd   ? " + "
+                       : arith_op == ArithOp::kSub ? " - "
+                       : arith_op == ArithOp::kMul ? " * "
+                                                   : " / ";
+      return "(" + lhs->ToString() + op + rhs->ToString() + ")";
+    }
+    case Kind::kSubquery:
+      return "(" + (subquery ? subquery->ToString() : std::string("?")) + ")";
+    case Kind::kSetLiteral: {
+      std::string out = "{";
+      for (size_t i = 0; i < set_elems.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += set_elems[i].ToString();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string Condition::ToString() const {
+  switch (kind) {
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind == Kind::kAnd ? " and " : " or ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kNot:
+      return "not (" + children[0]->ToString() + ")";
+    case Kind::kComparison: {
+      std::string out = lhs.ToString() + " ";
+      out += QuantToString(lquant);
+      out += CompOpToString(comp_op);
+      out += QuantToString(rquant);
+      out += " " + rhs.ToString();
+      return out;
+    }
+    case Kind::kSetComparison:
+      return lhs.ToString() + " " + SetOpToString(set_op) + " " +
+             rhs.ToString();
+    case Kind::kStandalonePath:
+      return path.ToString();
+    case Kind::kSubclassOf:
+      return sub.ToString() + " subclassOf " + super.ToString();
+    case Kind::kApplicable:
+      return sub.ToString() + " applicableTo " + super.ToString();
+    case Kind::kUpdate:
+      return update ? update->ToString() : "(update?)";
+  }
+  return "?";
+}
+
+std::string SelectItem::ToString() const {
+  switch (kind) {
+    case Kind::kExpr: {
+      std::string out;
+      if (out_attr.has_value()) out = out_attr->ToString() + " = ";
+      return out + expr.ToString();
+    }
+    case Kind::kSetOfVar: {
+      std::string out;
+      if (out_attr.has_value()) out = out_attr->ToString() + " = ";
+      return out + "{" + set_var.ToString() + "}";
+    }
+    case Kind::kMethodHead: {
+      std::string out = "(" + method.ToString();
+      if (!method_args.empty()) {
+        out += " @ ";
+        for (size_t i = 0; i < method_args.size(); ++i) {
+          if (i > 0) out += ",";
+          out += method_args[i].ToString();
+        }
+      }
+      out += ") = " + expr.ToString();
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::string FromEntry::ToString() const {
+  return cls.ToString() + " " + var.ToString();
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += select[i].ToString();
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += from[i].ToString();
+    }
+  }
+  if (oid_function_of.has_value()) {
+    out += " OID FUNCTION OF ";
+    for (size_t i = 0; i < oid_function_of->size(); ++i) {
+      if (i > 0) out += ",";
+      out += (*oid_function_of)[i].ToString();
+    }
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  return out;
+}
+
+std::string QueryExpr::ToString() const {
+  switch (kind) {
+    case Kind::kSimple:
+      return simple ? simple->ToString() : "?";
+    case Kind::kUnion:
+      return lhs->ToString() + " UNION " + rhs->ToString();
+    case Kind::kMinus:
+      return lhs->ToString() + " MINUS " + rhs->ToString();
+    case Kind::kIntersect:
+      return lhs->ToString() + " INTERSECT " + rhs->ToString();
+  }
+  return "?";
+}
+
+std::string SignatureDecl::ToString() const {
+  std::string out = method.ToString();
+  if (!args.empty()) {
+    out += " : ";
+    for (size_t i = 0; i < args.size(); ++i) {
+      if (i > 0) out += ",";
+      out += args[i].ToString();
+    }
+  }
+  out += set_valued ? " =>> " : " => ";
+  if (results.size() == 1) {
+    out += results[0].ToString();
+  } else {
+    out += "{";
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (i > 0) out += ",";
+      out += results[i].ToString();
+    }
+    out += "}";
+  }
+  return out;
+}
+
+std::string CreateViewStmt::ToString() const {
+  std::string out =
+      "CREATE VIEW " + name.ToString() + " AS SUBCLASS OF " +
+      superclass.ToString();
+  if (!signatures.empty()) {
+    out += " SIGNATURE ";
+    for (size_t i = 0; i < signatures.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += signatures[i].ToString();
+    }
+  }
+  out += " " + query.ToString();
+  return out;
+}
+
+std::string UpdateClassStmt::ToString() const {
+  std::string out = "UPDATE CLASS " + cls.ToString() + " SET ";
+  for (size_t i = 0; i < assignments.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += assignments[i].target.ToString() + " = " +
+           assignments[i].value.ToString();
+  }
+  if (where != nullptr) out += " {with " + where->ToString() + "}";
+  return out;
+}
+
+std::string AlterClassStmt::ToString() const {
+  std::string out = "ALTER CLASS " + cls.ToString();
+  if (!add_signatures.empty()) {
+    out += " ADD SIGNATURE ";
+    for (size_t i = 0; i < add_signatures.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += add_signatures[i].ToString();
+    }
+  }
+  if (method_def.has_value()) out += " " + method_def->ToString();
+  return out;
+}
+
+std::string Statement::ToString() const {
+  switch (kind) {
+    case Kind::kQuery:
+      return query ? query->ToString() : "?";
+    case Kind::kCreateView:
+      return create_view ? create_view->ToString() : "?";
+    case Kind::kAlterClass:
+      return alter_class ? alter_class->ToString() : "?";
+    case Kind::kUpdateClass:
+      return update_class ? update_class->ToString() : "?";
+  }
+  return "?";
+}
+
+}  // namespace xsql

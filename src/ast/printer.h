@@ -1,0 +1,19 @@
+#ifndef XSQL_AST_PRINTER_H_
+#define XSQL_AST_PRINTER_H_
+
+#include <string>
+
+#include "ast/ast.h"
+
+namespace xsql {
+
+/// Renders comparison pieces; shared by the AST ToString methods and by
+/// diagnostics in the typing module.
+std::string CompOpToString(CompOp op);
+std::string QuantToString(Quant q);
+std::string SetOpToString(SetOp op);
+std::string AggFnToString(AggFn fn);
+
+}  // namespace xsql
+
+#endif  // XSQL_AST_PRINTER_H_

@@ -1,0 +1,75 @@
+#include "baseline/gem_path.h"
+
+namespace xsql {
+namespace baseline {
+
+namespace {
+
+/// The attribute's value as a set (empty when undefined), including
+/// inherited defaults — shared by both evaluation styles so the work
+/// per hop is identical and only the evaluation *shape* differs.
+OidSet AttrValues(const Database& db, const Oid& obj, const Oid& attr) {
+  const AttrValue* value = db.GetAttribute(obj, attr);
+  return value == nullptr ? OidSet() : value->AsSet();
+}
+
+}  // namespace
+
+OidSet EvalOneSweep(const Database& db, const SimplePathQuery& query) {
+  OidSet frontier = db.Extent(query.start_class);
+  for (const Oid& attr : query.attrs) {
+    // Collect then dedupe once per hop: the frontier stays a *set* of
+    // objects (bounded by the database), never a multiset of paths.
+    std::vector<Oid> next;
+    for (const Oid& obj : frontier) {
+      for (const Oid& v : AttrValues(db, obj, attr)) {
+        next.push_back(v);
+      }
+    }
+    frontier = OidSet(std::move(next));
+  }
+  if (query.final_value.has_value()) {
+    OidSet out;
+    if (frontier.Contains(*query.final_value)) out.Insert(*query.final_value);
+    return out;
+  }
+  return frontier;
+}
+
+OidSet EvalDecomposed(const Database& db, const SimplePathQuery& query,
+                      size_t* materialized_tuples) {
+  // R0 = {(x, x) | x in extent}; each hop joins with the attribute and
+  // collapses set values into one tuple per element, materializing the
+  // whole intermediate relation.
+  size_t total = 0;
+  std::vector<std::pair<Oid, Oid>> relation;
+  for (const Oid& obj : db.Extent(query.start_class)) {
+    relation.emplace_back(obj, obj);
+  }
+  total += relation.size();
+  for (const Oid& attr : query.attrs) {
+    std::vector<std::pair<Oid, Oid>> next;
+    for (const auto& [start, current] : relation) {
+      for (const Oid& value : AttrValues(db, current, attr)) {
+        next.emplace_back(start, value);  // collapse: one tuple per element
+      }
+    }
+    relation = std::move(next);
+    total += relation.size();
+  }
+  if (materialized_tuples != nullptr) *materialized_tuples = total;
+  OidSet out;
+  for (const auto& [start, value] : relation) {
+    if (!query.final_value.has_value() || value == *query.final_value) {
+      out.Insert(value);
+    }
+  }
+  return out;
+}
+
+bool AnyPath(const Database& db, const SimplePathQuery& query) {
+  return !EvalOneSweep(db, query).empty();
+}
+
+}  // namespace baseline
+}  // namespace xsql

@@ -1,0 +1,45 @@
+#ifndef XSQL_BASELINE_GEM_PATH_H_
+#define XSQL_BASELINE_GEM_PATH_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "oid/oid.h"
+#include "store/database.h"
+
+namespace xsql {
+namespace baseline {
+
+/// A GEM-style [ZAN83] simple path query: follow a chain of attribute
+/// names from the extent of a class, optionally filtering the final
+/// value. This is the fragment the original dot notation covered — no
+/// intermediate selectors, no variables over attributes, no methods.
+struct SimplePathQuery {
+  Oid start_class;
+  std::vector<Oid> attrs;
+  std::optional<Oid> final_value;  // keep only paths ending here
+};
+
+/// Evaluates the query the XSQL way: one sweep over the composition
+/// hierarchy, streaming through set-valued attributes without
+/// materializing anything (intro feature 4).
+OidSet EvalOneSweep(const Database& db, const SimplePathQuery& query);
+
+/// Evaluates the query the pre-XSQL way: the path is broken into one
+/// hop per attribute; each hop materializes the intermediate relation
+/// {(start, value)} and set-valued attributes require a "collapse"
+/// (unnest) producing one tuple per element. `materialized_tuples`
+/// returns the total size of the intermediates — the cost the one-sweep
+/// evaluation avoids.
+OidSet EvalDecomposed(const Database& db, const SimplePathQuery& query,
+                      size_t* materialized_tuples);
+
+/// Like EvalOneSweep but also returns, per start object, whether any
+/// path reached the final value — the Boolean-predicate use of a path.
+bool AnyPath(const Database& db, const SimplePathQuery& query);
+
+}  // namespace baseline
+}  // namespace xsql
+
+#endif  // XSQL_BASELINE_GEM_PATH_H_

@@ -1,0 +1,131 @@
+#include "baseline/relational.h"
+
+#include <deque>
+
+namespace xsql {
+namespace baseline {
+
+RelationalDb RelationalDb::Flatten(const Database& db) {
+  RelationalDb out;
+  for (const auto& [oid, object] : db.objects()) {
+    for (const auto& [attr, value] : object.attrs()) {
+      auto& table = out.attr_tables_[attr];
+      std::vector<Oid>& rows = table[oid];
+      if (value.set_valued()) {
+        for (const Oid& v : value.set()) rows.push_back(v);
+      } else {
+        rows.push_back(value.scalar());
+      }
+      out.attribute_rows_ += rows.size();
+    }
+  }
+  for (const Oid& cls : db.graph().classes()) {
+    OidSet extent = db.graph().Extent(cls);
+    out.extents_[cls] =
+        std::vector<Oid>(extent.elems().begin(), extent.elems().end());
+    for (const Oid& super : db.graph().DirectSuperclasses(cls)) {
+      out.isa_table_.emplace_back(cls, super);
+    }
+    for (const Oid& attr : db.signatures().DeclaredMethods(cls)) {
+      out.attributes_table_.emplace_back(cls, attr);
+    }
+  }
+  return out;
+}
+
+OidSet RelationalDb::EvalPathJoin(const Oid& start_class,
+                                  const std::vector<Oid>& attrs,
+                                  const std::optional<Oid>& final_value,
+                                  size_t* joined_tuples) const {
+  size_t total = 0;
+  std::vector<Oid> current;
+  auto it = extents_.find(start_class);
+  if (it != extents_.end()) current = it->second;
+  total += current.size();
+  for (const Oid& attr : attrs) {
+    std::vector<Oid> next;
+    auto table = attr_tables_.find(attr);
+    if (table == attr_tables_.end()) {
+      current.clear();
+      break;
+    }
+    for (const Oid& obj : current) {
+      auto rows = table->second.find(obj);
+      if (rows == table->second.end()) continue;
+      for (const Oid& v : rows->second) next.push_back(v);
+    }
+    current = std::move(next);
+    total += current.size();
+  }
+  if (joined_tuples != nullptr) *joined_tuples = total;
+  OidSet out;
+  for (const Oid& v : current) {
+    if (!final_value.has_value() || v == *final_value) out.Insert(v);
+  }
+  return out;
+}
+
+std::vector<std::pair<Oid, Oid>> RelationalDb::EqJoin(const Oid& class_a,
+                                                      const Oid& attr_a,
+                                                      const Oid& class_b,
+                                                      const Oid& attr_b) const {
+  std::vector<std::pair<Oid, Oid>> out;
+  auto ext_a = extents_.find(class_a);
+  auto ext_b = extents_.find(class_b);
+  auto tab_a = attr_tables_.find(attr_a);
+  auto tab_b = attr_tables_.find(attr_b);
+  if (ext_a == extents_.end() || ext_b == extents_.end() ||
+      tab_a == attr_tables_.end() || tab_b == attr_tables_.end()) {
+    return out;
+  }
+  // Build: value -> objects of class_a having attr_a = value.
+  std::unordered_map<Oid, std::vector<Oid>, OidHash> build;
+  for (const Oid& a : ext_a->second) {
+    auto rows = tab_a->second.find(a);
+    if (rows == tab_a->second.end()) continue;
+    for (const Oid& v : rows->second) build[v].push_back(a);
+  }
+  // Probe with class_b.
+  for (const Oid& b : ext_b->second) {
+    auto rows = tab_b->second.find(b);
+    if (rows == tab_b->second.end()) continue;
+    for (const Oid& v : rows->second) {
+      auto match = build.find(v);
+      if (match == build.end()) continue;
+      for (const Oid& a : match->second) out.emplace_back(a, b);
+    }
+  }
+  return out;
+}
+
+std::vector<Oid> RelationalDb::SuperclassesViaCatalog(const Oid& cls) const {
+  // Iterated self-join of the ISA table (semi-naive closure), the way a
+  // relational user reaches transitive superclasses.
+  std::vector<Oid> out;
+  OidSet seen;
+  std::deque<Oid> frontier{cls};
+  while (!frontier.empty()) {
+    Oid cur = frontier.front();
+    frontier.pop_front();
+    for (const auto& [sub, super] : isa_table_) {
+      if (sub == cur && !seen.Contains(super)) {
+        seen.Insert(super);
+        out.push_back(super);
+        frontier.push_back(super);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Oid> RelationalDb::ClassesWithAttributeViaCatalog(
+    const Oid& attr) const {
+  std::vector<Oid> out;
+  for (const auto& [cls, a] : attributes_table_) {
+    if (a == attr) out.push_back(cls);
+  }
+  return out;
+}
+
+}  // namespace baseline
+}  // namespace xsql

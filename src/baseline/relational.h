@@ -1,0 +1,68 @@
+#ifndef XSQL_BASELINE_RELATIONAL_H_
+#define XSQL_BASELINE_RELATIONAL_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "oid/oid.h"
+#include "store/database.h"
+
+namespace xsql {
+namespace baseline {
+
+/// A relational encoding of the object database, the comparison point
+/// for §1/§3.3: per-attribute binary tables (set-valued attributes
+/// become link tables, i.e. first-normal-form flattening), class extents
+/// as unary tables, and the system-catalog tables (CLASSES, ISA,
+/// ATTRIBUTES) a relational user must join against to answer schema
+/// questions that XSQL expresses directly in the query language.
+class RelationalDb {
+ public:
+  /// Flattens the object database. Call again after mutations.
+  static RelationalDb Flatten(const Database& db);
+
+  /// Evaluates `start_class --attr1--> ... --attrk-->` as a chain of
+  /// hash joins over the attribute tables, optionally filtering the
+  /// final column. `joined_tuples` reports the total intermediate
+  /// cardinality (the join work).
+  OidSet EvalPathJoin(const Oid& start_class, const std::vector<Oid>& attrs,
+                      const std::optional<Oid>& final_value,
+                      size_t* joined_tuples) const;
+
+  /// An explicit join (§3.3 query (6) shape): pairs (a, b) with
+  /// a ∈ class_a, b ∈ class_b and a.attr_a = b.attr_b, via a hash join.
+  std::vector<std::pair<Oid, Oid>> EqJoin(const Oid& class_a,
+                                          const Oid& attr_a,
+                                          const Oid& class_b,
+                                          const Oid& attr_b) const;
+
+  /// Schema browsing the relational way: the transitive closure of the
+  /// ISA catalog table computed by iterated self-joins, returning all
+  /// strict superclasses of `cls` (the §1 "engine types" question).
+  std::vector<Oid> SuperclassesViaCatalog(const Oid& cls) const;
+
+  /// All (class, attribute) rows of the ATTRIBUTES catalog table whose
+  /// attribute equals `attr` — "which classes define WonNobelPrize".
+  std::vector<Oid> ClassesWithAttributeViaCatalog(const Oid& attr) const;
+
+  size_t attribute_table_rows() const { return attribute_rows_; }
+
+ private:
+  // attr -> (obj -> values); flattened 1NF link tables with a hash index.
+  std::unordered_map<Oid, std::unordered_map<Oid, std::vector<Oid>, OidHash>,
+                     OidHash>
+      attr_tables_;
+  // class -> extent rows.
+  std::unordered_map<Oid, std::vector<Oid>, OidHash> extents_;
+  // Catalog tables.
+  std::vector<std::pair<Oid, Oid>> isa_table_;        // (sub, super)
+  std::vector<std::pair<Oid, Oid>> attributes_table_; // (class, attr)
+  size_t attribute_rows_ = 0;
+};
+
+}  // namespace baseline
+}  // namespace xsql
+
+#endif  // XSQL_BASELINE_RELATIONAL_H_

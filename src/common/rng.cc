@@ -1,0 +1,22 @@
+#include "common/rng.h"
+
+namespace xsql {
+
+uint64_t Rng::Next() {
+  // SplitMix64 (Steele, Lea, Flood 2014): tiny, fast, good diffusion.
+  state_ += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::Uniform(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+int64_t Rng::Range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+bool Rng::Percent(uint32_t percent) { return Uniform(100) < percent; }
+
+}  // namespace xsql

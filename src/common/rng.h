@@ -1,0 +1,32 @@
+#ifndef XSQL_COMMON_RNG_H_
+#define XSQL_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace xsql {
+
+/// Deterministic, seedable PRNG (SplitMix64) used by the workload
+/// generator and property tests so every run is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Bernoulli draw with probability `percent`/100.
+  bool Percent(uint32_t percent);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_COMMON_RNG_H_

@@ -1,0 +1,114 @@
+#ifndef XSQL_COMMON_STATUS_H_
+#define XSQL_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace xsql {
+
+/// Error category of a failed operation.
+///
+/// The paper distinguishes several kinds of failure and we preserve that
+/// taxonomy: a *type error* ("inapplicable" in §2) is different from an
+/// undefined value (a null, which is not an error at all), and an
+/// *ill-defined query* (§4.1, conflicting OID-function assignments) is a
+/// run-time error rather than a static one.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad schema op, bad query shape)
+  kParseError,        // lexer/parser rejection
+  kTypeError,         // §6: query is not well-typed under the requested mode
+  kNotFound,          // unknown oid/class/method
+  kRuntimeError,      // §4.1 ill-defined query, OID conflicts, etc.
+  kUnimplemented,
+};
+
+/// Exception-free error propagation, RocksDB/Arrow style.
+///
+/// Functions that can fail return `Status` (or `Result<T>`); callers must
+/// check `ok()` before using results.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable one-line rendering, e.g. "TypeError: ...".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error sum, the return type of fallible producers.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): by design, like absl.
+  Result(T value) : status_(), value_(std::move(value)), has_value_(true) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)), has_value_(false) {}
+
+  bool ok() const { return has_value_ && status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_; }
+  T& value() & { return value_; }
+  T&& value() && { return std::move(value_); }
+
+  const T& operator*() const& { return value_; }
+  T& operator*() & { return value_; }
+  const T* operator->() const { return &value_; }
+  T* operator->() { return &value_; }
+
+ private:
+  Status status_;
+  T value_{};
+  bool has_value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define XSQL_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::xsql::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Evaluates a Result<T> expression; assigns the value or propagates error.
+#define XSQL_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto XSQL_CONCAT_(_res, __LINE__) = (expr);               \
+  if (!XSQL_CONCAT_(_res, __LINE__).ok())                   \
+    return XSQL_CONCAT_(_res, __LINE__).status();           \
+  lhs = std::move(XSQL_CONCAT_(_res, __LINE__)).value()
+
+#define XSQL_CONCAT_IMPL_(a, b) a##b
+#define XSQL_CONCAT_(a, b) XSQL_CONCAT_IMPL_(a, b)
+
+}  // namespace xsql
+
+#endif  // XSQL_COMMON_STATUS_H_

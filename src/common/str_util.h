@@ -1,0 +1,24 @@
+#ifndef XSQL_COMMON_STR_UTIL_H_
+#define XSQL_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsql {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Case-insensitive ASCII equality, used for SQL keywords.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lower-cases ASCII letters.
+std::string AsciiToLower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace xsql
+
+#endif  // XSQL_COMMON_STR_UTIL_H_

@@ -1,0 +1,55 @@
+#include "eval/aggregate.h"
+
+#include <cmath>
+
+#include "eval/comparator.h"
+
+namespace xsql {
+
+Result<Oid> EvalAggregate(AggFn fn, const OidSet& values) {
+  switch (fn) {
+    case AggFn::kCount:
+      return Oid::Int(static_cast<int64_t>(values.size()));
+    case AggFn::kSum:
+    case AggFn::kAvg: {
+      double total = 0;
+      bool all_int = true;
+      for (const Oid& v : values) {
+        if (!v.is_numeric()) {
+          return Status::RuntimeError("sum/avg over non-numeric value " +
+                                      v.ToString());
+        }
+        if (!v.is_int()) all_int = false;
+        total += v.numeric_value();
+      }
+      if (fn == AggFn::kSum) {
+        if (all_int) return Oid::Int(static_cast<int64_t>(total));
+        return Oid::Real(total);
+      }
+      if (values.empty()) {
+        return Status::RuntimeError("avg of empty set");
+      }
+      return Oid::Real(total / static_cast<double>(values.size()));
+    }
+    case AggFn::kMin:
+    case AggFn::kMax: {
+      if (values.empty()) {
+        return Status::RuntimeError("min/max of empty set");
+      }
+      Oid best = *values.begin();
+      for (const Oid& v : values) {
+        std::optional<int> c = CompareOids(v, best);
+        if (!c.has_value()) {
+          return Status::RuntimeError("min/max over incomparable values");
+        }
+        if ((fn == AggFn::kMin && *c < 0) || (fn == AggFn::kMax && *c > 0)) {
+          best = v;
+        }
+      }
+      return best;
+    }
+  }
+  return Status::RuntimeError("unknown aggregate");
+}
+
+}  // namespace xsql

@@ -1,0 +1,21 @@
+#ifndef XSQL_EVAL_AGGREGATE_H_
+#define XSQL_EVAL_AGGREGATE_H_
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "oid/oid.h"
+
+namespace xsql {
+
+/// Applies an aggregate function to a path expression's value set
+/// (§3.2: "passing path expressions as arguments to aggregate functions,
+/// such as sum, count, average").
+///
+/// count works on any set; sum/avg require all-numeric elements; min/max
+/// work on mutually comparable elements (all numeric or all strings).
+/// avg of the empty set is an error; sum of the empty set is 0.
+Result<Oid> EvalAggregate(AggFn fn, const OidSet& values);
+
+}  // namespace xsql
+
+#endif  // XSQL_EVAL_AGGREGATE_H_

@@ -1,0 +1,77 @@
+#ifndef XSQL_EVAL_BINDING_H_
+#define XSQL_EVAL_BINDING_H_
+
+#include <map>
+#include <string>
+
+#include "ast/ast.h"
+#include "oid/oid.h"
+
+namespace xsql {
+
+/// A substitution of oids for variables (§3.4). Evaluation extends and
+/// retracts bindings in place (backtracking), so `Set` returns the
+/// previous state for restoration.
+class Binding {
+ public:
+  bool Bound(const Variable& var) const { return map_.contains(var); }
+
+  /// The bound value; only valid when `Bound(var)`.
+  const Oid& Get(const Variable& var) const { return map_.at(var); }
+
+  /// Binds `var` to `oid`. Returns false (and leaves the binding
+  /// unchanged) when `var` is already bound to a different oid.
+  bool Set(const Variable& var, const Oid& oid) {
+    auto [it, inserted] = map_.emplace(var, oid);
+    return inserted || it->second == oid;
+  }
+
+  /// Removes the binding of `var` (no-op when unbound).
+  void Unset(const Variable& var) { map_.erase(var); }
+
+  size_t size() const { return map_.size(); }
+  const std::map<Variable, Oid>& entries() const { return map_; }
+
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [var, oid] : map_) {
+      if (!first) out += ", ";
+      first = false;
+      out += var.ToString() + "=" + oid.ToString();
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::map<Variable, Oid> map_;
+};
+
+/// RAII scope guard: unbinds `var` on destruction if this frame bound it.
+class BindScope {
+ public:
+  BindScope(Binding* binding, const Variable& var, const Oid& oid)
+      : binding_(binding), var_(var) {
+    was_bound_ = binding->Bound(var);
+    ok_ = binding->Set(var, oid);
+  }
+  ~BindScope() {
+    if (ok_ && !was_bound_) binding_->Unset(var_);
+  }
+  BindScope(const BindScope&) = delete;
+  BindScope& operator=(const BindScope&) = delete;
+
+  /// False when the variable was already bound to a conflicting value.
+  bool ok() const { return ok_; }
+
+ private:
+  Binding* binding_;
+  Variable var_;
+  bool was_bound_;
+  bool ok_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_EVAL_BINDING_H_

@@ -1,0 +1,1172 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "eval/aggregate.h"
+#include "eval/comparator.h"
+#include "eval/oid_function.h"
+#include "store/catalog.h"
+
+namespace xsql {
+
+namespace {
+
+constexpr int kMaxMethodDepth = 64;
+
+void Flatten(const Condition* cond, std::vector<const Condition*>* out) {
+  if (cond->kind == Condition::Kind::kAnd) {
+    for (const auto& child : cond->children) Flatten(child.get(), out);
+  } else {
+    out->push_back(cond);
+  }
+}
+
+bool PathHasUnboundVar(const PathExpr& path, const Binding& binding) {
+  auto scan_term = [&](const IdTerm& t, auto&& self) -> bool {
+    if (t.is_var()) return !binding.Bound(t.var);
+    if (t.is_apply()) {
+      for (const IdTerm& a : t.args) {
+        if (self(a, self)) return true;
+      }
+    }
+    return false;
+  };
+  if (scan_term(path.head, scan_term)) return true;
+  for (const PathStep& step : path.steps) {
+    if (step.kind == PathStep::Kind::kPathVar) {
+      if (!binding.Bound(step.path_var)) return true;
+    } else {
+      if (step.method.name_is_var && !binding.Bound(step.method.name_var)) {
+        return true;
+      }
+      for (const IdTerm& a : step.method.args) {
+        if (scan_term(a, scan_term)) return true;
+      }
+    }
+    if (step.selector.has_value() && scan_term(*step.selector, scan_term)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// §3.1 applicability: some declared signature of `method` covers a
+/// class of `obj` — the attribute may be undefined (null) yet still
+/// applicable; outside every signature it is inapplicable (type error).
+bool IsApplicable(const Database& db, const Oid& method, const Oid& obj) {
+  for (const auto& [cls, sig] : db.signatures().AllFor(method)) {
+    if (db.IsInstanceOf(obj, cls)) return true;
+  }
+  return false;
+}
+
+/// First path (document order) in a value expression that still has an
+/// unbound variable, or nullptr.
+const PathExpr* FirstOpenPath(const ValueExpr& expr, const Binding& binding) {
+  std::vector<const PathExpr*> paths;
+  CollectPathExprs(expr, &paths);
+  for (const PathExpr* p : paths) {
+    if (PathHasUnboundVar(*p, binding)) return p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Conjunct driver
+// ---------------------------------------------------------------------
+
+/// Enumerates the solutions of a conjunction by treating path
+/// expressions (and OR groups of them) as binding generators and
+/// everything else as filters, in a greedy ready-first order (or the
+/// explicit order the caller fixed). This is the "sequence of nested
+/// loops" evaluation §6.2 describes.
+class ConjunctDriver {
+ public:
+  ConjunctDriver(Evaluator* ev, PathEvaluator* pe,
+                 std::vector<const Condition*> conjuncts,
+                 std::vector<size_t> order,
+                 std::vector<const FromEntry*> froms = {},
+                 const EvalOptions* opts = nullptr)
+      : ev_(ev),
+        pe_(pe),
+        conjuncts_(std::move(conjuncts)),
+        froms_(std::move(froms)),
+        opts_(opts) {
+    if (!order.empty() && order.size() == conjuncts_.size()) {
+      fixed_order_ = std::move(order);
+    }
+    used_.assign(conjuncts_.size(), false);
+    from_used_.assign(froms_.size(), false);
+  }
+
+  Status Enumerate(Binding* binding, const std::function<Status()>& done) {
+    return Step(0, binding, done);
+  }
+
+ private:
+  struct PickResult {
+    bool is_from = false;
+    size_t index = 0;
+  };
+
+  Status Step(size_t used_count, Binding* binding,
+              const std::function<Status()>& done) {
+    if (used_count == conjuncts_.size() + froms_.size()) return done();
+    PickResult pick = Pick(*binding);
+    auto continue_step = [&]() -> Status {
+      return Step(used_count + 1, binding, done);
+    };
+    if (pick.is_from) {
+      from_used_[pick.index] = true;
+      Status st = EvalFromEntry(*froms_[pick.index], binding, continue_step);
+      from_used_[pick.index] = false;
+      return st;
+    }
+    used_[pick.index] = true;
+    Status st = EvalConjunct(conjuncts_[pick.index], binding, continue_step);
+    used_[pick.index] = false;
+    return st;
+  }
+
+  PickResult Pick(const Binding& binding) const {
+    if (!fixed_order_.empty()) {
+      for (size_t i : fixed_order_) {
+        if (!used_[i]) return {false, i};
+      }
+    }
+    // 1. Cheap filters: FROM entries whose variable is already bound
+    //    (instance-of membership check, §3.4 consistency).
+    for (size_t j = 0; j < froms_.size(); ++j) {
+      if (!from_used_[j] && binding.Bound(froms_[j]->var)) return {true, j};
+    }
+    // 2. A conjunct whose evaluation will not fall back to active-domain
+    //    enumeration: a path with a determined head, a bound filter.
+    for (size_t i = 0; i < conjuncts_.size(); ++i) {
+      if (used_[i]) continue;
+      if (Ready(conjuncts_[i], binding)) return {false, i};
+    }
+    // 3. A FROM extent as generator — preferring one that unblocks some
+    //    pending path conjunct (its variable is an unbound path head).
+    size_t first_from = froms_.size();
+    for (size_t j = 0; j < froms_.size(); ++j) {
+      if (from_used_[j]) continue;
+      if (first_from == froms_.size()) first_from = j;
+      for (size_t i = 0; i < conjuncts_.size(); ++i) {
+        if (used_[i]) continue;
+        if (BlockedOnHead(conjuncts_[i], froms_[j]->var, binding)) {
+          return {true, j};
+        }
+      }
+    }
+    if (first_from != froms_.size()) return {true, first_from};
+    // 4. Fallback: any remaining conjunct (enumerates a domain).
+    for (size_t i = 0; i < conjuncts_.size(); ++i) {
+      if (!used_[i]) return {false, i};
+    }
+    return {false, 0};
+  }
+
+  /// True when `cond` has a path headed by the unbound variable `var` —
+  /// enumerating var's FROM extent unblocks it.
+  static bool BlockedOnHead(const Condition* cond, const Variable& var,
+                            const Binding& binding) {
+    if (binding.Bound(var)) return false;
+    std::vector<const PathExpr*> paths;
+    switch (cond->kind) {
+      case Condition::Kind::kStandalonePath:
+        paths.push_back(&cond->path);
+        break;
+      case Condition::Kind::kComparison:
+      case Condition::Kind::kSetComparison:
+        CollectPathExprs(cond->lhs, &paths);
+        CollectPathExprs(cond->rhs, &paths);
+        break;
+      default:
+        return false;
+    }
+    for (const PathExpr* p : paths) {
+      if (p->head.is_var() && p->head.var == var) return true;
+    }
+    return false;
+  }
+
+  Status EvalFromEntry(const FromEntry& entry, Binding* binding,
+                       const std::function<Status()>& next) {
+    Database* db = ev_->db();
+    auto with_class = [&](const Oid& cls) -> Status {
+      if (binding->Bound(entry.var)) {
+        return db->IsInstanceOf(binding->Get(entry.var), cls) ? next()
+                                                              : Status::OK();
+      }
+      const VarRange* range = nullptr;
+      if (opts_ != nullptr && opts_->use_range_pruning &&
+          opts_->ranges != nullptr) {
+        auto it = opts_->ranges->find(entry.var);
+        if (it != opts_->ranges->end()) range = &it->second;
+      }
+      for (const Oid& oid : db->Extent(cls)) {
+        if (range != nullptr && !range->Within(*db, oid)) continue;
+        BindScope scope(binding, entry.var, oid);
+        XSQL_RETURN_IF_ERROR(next());
+      }
+      return Status::OK();
+    };
+    if (entry.cls.is_var()) {
+      const Variable& cvar = entry.cls.var;
+      if (binding->Bound(cvar)) return with_class(binding->Get(cvar));
+      for (const Oid& cls : db->graph().Extent(builtin::MetaClass())) {
+        BindScope scope(binding, cvar, cls);
+        XSQL_RETURN_IF_ERROR(with_class(cls));
+      }
+      return Status::OK();
+    }
+    if (!entry.cls.is_const()) {
+      return Status::RuntimeError("FROM class must be a name or variable");
+    }
+    return with_class(entry.cls.value);
+  }
+
+  /// True when the path can evaluate without falling back to domain
+  /// enumeration and without hitting unbound method/id-term arguments.
+  static bool PathReady(const PathExpr& path, const Binding& binding,
+                        bool head_may_enumerate) {
+    auto term_args_bound = [&binding](const IdTerm& t, auto&& self) -> bool {
+      if (t.is_var()) return binding.Bound(t.var);
+      if (t.is_apply()) {
+        for (const IdTerm& a : t.args) {
+          if (!self(a, self)) return false;
+        }
+      }
+      return true;
+    };
+    if (path.head.is_var()) {
+      if (!head_may_enumerate && !binding.Bound(path.head.var)) return false;
+    } else if (!term_args_bound(path.head, term_args_bound)) {
+      return false;
+    }
+    for (const PathStep& step : path.steps) {
+      if (step.kind != PathStep::Kind::kMethod) continue;
+      for (const IdTerm& arg : step.method.args) {
+        if (!term_args_bound(arg, term_args_bound)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// The fresh index answering this standalone-path conjunct by reverse
+  /// lookup, or nullptr: shape `X.a1...an[v]` with X an unbound
+  /// FROM-declared variable, constant attribute names, no arguments, no
+  /// intermediate selectors, and an evaluable terminal selector.
+  const PathIndex* IndexFor(const Condition* cond,
+                            const Binding& binding) const {
+    if (opts_ == nullptr || opts_->indexes == nullptr) return nullptr;
+    if (cond->kind != Condition::Kind::kStandalonePath) return nullptr;
+    const PathExpr& path = cond->path;
+    if (!path.head.is_var() || binding.Bound(path.head.var)) return nullptr;
+    if (path.steps.empty()) return nullptr;
+    std::vector<Oid> attrs;
+    for (size_t i = 0; i < path.steps.size(); ++i) {
+      const PathStep& step = path.steps[i];
+      if (step.kind != PathStep::Kind::kMethod || step.method.name_is_var ||
+          !step.method.args.empty()) {
+        return nullptr;
+      }
+      const bool last = i + 1 == path.steps.size();
+      if (step.selector.has_value() != last) return nullptr;
+      if (last) {
+        const IdTerm& sel = *step.selector;
+        if (!(sel.is_const() ||
+              (sel.is_var() && binding.Bound(sel.var)))) {
+          return nullptr;
+        }
+      }
+      attrs.push_back(step.method.name);
+    }
+    // Anchor class: the head variable's FROM declaration.
+    for (const FromEntry* entry : froms_) {
+      if (entry->var == path.head.var && entry->cls.is_const()) {
+        return opts_->indexes->Find(*ev_->db(), entry->cls.value, attrs);
+      }
+    }
+    return nullptr;
+  }
+
+  bool Ready(const Condition* cond, const Binding& binding) const {
+    switch (cond->kind) {
+      case Condition::Kind::kStandalonePath: {
+        const IdTerm& head = cond->path.head;
+        if (head.is_var() && !binding.Bound(head.var)) {
+          return IndexFor(cond, binding) != nullptr;
+        }
+        return PathReady(cond->path, binding, /*head_may_enumerate=*/false);
+      }
+      case Condition::Kind::kComparison:
+      case Condition::Kind::kSetComparison: {
+        // Ready when every contained path has a determined head and no
+        // unbound method/id-term arguments.
+        for (const ValueExpr* side : {&cond->lhs, &cond->rhs}) {
+          std::vector<const PathExpr*> paths;
+          CollectPathExprs(*side, &paths);
+          for (const PathExpr* p : paths) {
+            if (!PathReady(*p, binding, /*head_may_enumerate=*/false)) {
+              return false;
+            }
+          }
+        }
+        return true;
+      }
+      case Condition::Kind::kNot: {
+        std::vector<Variable> vars;
+        // Negation is safe only when ground.
+        Query probe;
+        probe.where = cond->children[0];
+        for (const Variable& v : CollectVariables(probe)) {
+          if (!binding.Bound(v)) return false;
+        }
+        return true;
+      }
+      case Condition::Kind::kOr: {
+        for (const auto& child : cond->children) {
+          if (!Ready(child.get(), binding)) return false;
+        }
+        return true;
+      }
+      default:
+        return true;
+    }
+  }
+
+  Status EvalConjunct(const Condition* cond, Binding* binding,
+                      const std::function<Status()>& next) {
+    switch (cond->kind) {
+      case Condition::Kind::kStandalonePath: {
+        if (const PathIndex* index = IndexFor(cond, *binding)) {
+          // Reverse evaluation via the [BERT89] path index: bind the
+          // head variable to each object reaching the terminal value.
+          PathEvaluator pe(*ev_->db(), ev_, PathEvalOptions{});
+          const IdTerm& sel = *cond->path.steps.back().selector;
+          XSQL_ASSIGN_OR_RETURN(Oid value, pe.EvalIdTerm(sel, *binding));
+          for (const Oid& head : index->Lookup(value)) {
+            BindScope scope(binding, cond->path.head.var, head);
+            XSQL_RETURN_IF_ERROR(next());
+          }
+          return Status::OK();
+        }
+        return pe_->Enumerate(cond->path, binding,
+                              [&](const Oid&) -> Status { return next(); });
+      }
+      case Condition::Kind::kAnd: {
+        std::vector<const Condition*> subs;
+        Flatten(cond, &subs);
+        ConjunctDriver sub(ev_, pe_, std::move(subs), {});
+        return sub.Enumerate(binding, next);
+      }
+      case Condition::Kind::kOr: {
+        for (const auto& child : cond->children) {
+          XSQL_RETURN_IF_ERROR(EvalConjunct(child.get(), binding, next));
+        }
+        return Status::OK();
+      }
+      case Condition::Kind::kNot: {
+        XSQL_ASSIGN_OR_RETURN(bool truth,
+                              ev_->TestCondition(*cond->children[0], binding));
+        return truth ? Status::OK() : next();
+      }
+      case Condition::Kind::kComparison:
+      case Condition::Kind::kSetComparison:
+        return EnumerateComparison(cond, binding, next);
+      case Condition::Kind::kSubclassOf:
+        return EnumerateSubclassOf(cond, binding, next);
+      case Condition::Kind::kApplicable:
+        return EnumerateApplicable(cond, binding, next);
+      case Condition::Kind::kUpdate: {
+        XSQL_RETURN_IF_ERROR(ev_->ExecuteUpdate(*cond->update, binding));
+        return next();
+      }
+    }
+    return Status::RuntimeError("unexpected condition kind");
+  }
+
+  /// Binds the free variables of a comparison by enumerating its path
+  /// expressions, then tests the ground comparison (§3.4).
+  Status EnumerateComparison(const Condition* cond, Binding* binding,
+                             const std::function<Status()>& next) {
+    const PathExpr* open = FirstOpenPath(cond->lhs, *binding);
+    if (open == nullptr) open = FirstOpenPath(cond->rhs, *binding);
+    if (open == nullptr) {
+      XSQL_ASSIGN_OR_RETURN(bool truth, ev_->TestCondition(*cond, binding));
+      return truth ? next() : Status::OK();
+    }
+    return pe_->Enumerate(*open, binding, [&](const Oid&) -> Status {
+      return EnumerateComparison(cond, binding, next);
+    });
+  }
+
+  /// `"M applicableTo X`: enumerates method-objects for an unbound
+  /// method term and tests applicability against the signature store.
+  Status EnumerateApplicable(const Condition* cond, Binding* binding,
+                             const std::function<Status()>& next) {
+    const Database& db = *ev_->db();
+    auto with_object = [&](const Oid& method) -> Status {
+      auto test = [&](const Oid& obj) -> Status {
+        if (IsApplicable(db, method, obj)) return next();
+        return Status::OK();
+      };
+      const IdTerm& target = cond->super;
+      if (target.is_var() && !binding->Bound(target.var)) {
+        for (const Oid& obj : db.ActiveDomain()) {
+          BindScope scope(binding, target.var, obj);
+          XSQL_RETURN_IF_ERROR(test(obj));
+        }
+        return Status::OK();
+      }
+      PathEvaluator pe(db, ev_, PathEvalOptions{});
+      XSQL_ASSIGN_OR_RETURN(Oid obj, pe.EvalIdTerm(target, *binding));
+      return test(obj);
+    };
+    const IdTerm& method_term = cond->sub;
+    if (method_term.is_var() && !binding->Bound(method_term.var)) {
+      for (const Oid& method :
+           db.graph().Extent(builtin::MetaMethod())) {
+        BindScope scope(binding, method_term.var, method);
+        XSQL_RETURN_IF_ERROR(with_object(method));
+      }
+      return Status::OK();
+    }
+    PathEvaluator pe(db, ev_, PathEvalOptions{});
+    XSQL_ASSIGN_OR_RETURN(Oid method, pe.EvalIdTerm(method_term, *binding));
+    return with_object(method);
+  }
+
+  Status EnumerateSubclassOf(const Condition* cond, Binding* binding,
+                             const std::function<Status()>& next) {
+    const Database& db = *ev_->db();
+    auto with_term = [&](const IdTerm& term,
+                         auto&& body) -> Status {  // body(Oid)
+      if (term.is_var() && !binding->Bound(term.var)) {
+        for (const Oid& cls : db.graph().Extent(builtin::MetaClass())) {
+          BindScope scope(binding, term.var, cls);
+          XSQL_RETURN_IF_ERROR(body(cls));
+        }
+        return Status::OK();
+      }
+      PathEvaluator pe(db, ev_, PathEvalOptions{});
+      XSQL_ASSIGN_OR_RETURN(Oid value, pe.EvalIdTerm(term, *binding));
+      return body(value);
+    };
+    return with_term(cond->sub, [&](const Oid& sub) -> Status {
+      return with_term(cond->super, [&](const Oid& super) -> Status {
+        if (db.graph().IsStrictSubclass(sub, super)) return next();
+        return Status::OK();
+      });
+    });
+  }
+
+  Evaluator* ev_;
+  PathEvaluator* pe_;
+  std::vector<const Condition*> conjuncts_;
+  std::vector<const FromEntry*> froms_;
+  const EvalOptions* opts_;
+  std::vector<size_t> fixed_order_;
+  std::vector<bool> used_;
+  std::vector<bool> from_used_;
+};
+
+// ---------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------
+
+PathEvaluator Evaluator::MakePathEvaluator(const EvalOptions& opts) {
+  PathEvalOptions peo;
+  peo.max_path_var_len = opts.max_path_var_len;
+  if (opts.use_range_pruning && opts.ranges != nullptr) {
+    // Theorem 6.1(2): restrict instantiations of each v-selector X to
+    // oids within A(X). Candidates are cached per variable.
+    const RangeMap* ranges = opts.ranges;
+    Database* db = db_;
+    auto cache = std::make_shared<std::map<Variable, OidSet>>();
+    peo.var_domain = [ranges, db, cache](const Variable& var) -> OidSet {
+      auto it = ranges->find(var);
+      if (it == ranges->end()) return db->ActiveDomain();
+      auto cached = cache->find(var);
+      if (cached != cache->end()) return cached->second;
+      OidSet candidates = it->second.CandidateOids(*db);
+      cache->emplace(var, candidates);
+      return candidates;
+    };
+  }
+  return PathEvaluator(*db_, this, std::move(peo));
+}
+
+std::vector<Oid> Evaluator::ClassesForInvoke(const Oid& oid) const {
+  std::vector<Oid> classes = db_->graph().DirectClassesOf(oid);
+  if (oid.is_numeric()) classes.push_back(builtin::Numeral());
+  if (oid.is_string()) classes.push_back(builtin::String());
+  if (oid.is_bool()) classes.push_back(builtin::Boolean());
+  if (oid.is_nil()) classes.push_back(builtin::NilClass());
+  return classes;
+}
+
+Result<OidSet> Evaluator::Invoke(const Oid& receiver, const Oid& method,
+                                 const std::vector<Oid>& args) {
+  if (args.empty()) {
+    // Stored attribute value (with behavioral inheritance of defaults).
+    if (const AttrValue* value = db_->GetAttribute(receiver, method)) {
+      return value->AsSet();
+    }
+  }
+  auto resolution = db_->methods().Resolve(db_->graph(),
+                                           ClassesForInvoke(receiver), method,
+                                           static_cast<int>(args.size()));
+  if (!resolution.ok()) {
+    if (resolution.status().code() == StatusCode::kNotFound) {
+      // Undefined or inapplicable: no value, hence no database paths.
+      return OidSet();
+    }
+    return resolution.status();  // unresolved inheritance conflict
+  }
+  const MethodBody* body = resolution->body.get();
+  if (const auto* native = dynamic_cast<const NativeMethodBody*>(body)) {
+    return native->fn()(*db_, receiver, args);
+  }
+  if (const auto* query = dynamic_cast<const QueryMethodBody*>(body)) {
+    return InvokeQueryMethod(*query, receiver, args);
+  }
+  return Status::RuntimeError("unknown method body kind: " + body->kind());
+}
+
+OidSet Evaluator::MethodsOn(const Oid& receiver, size_t arity) {
+  OidSet out;
+  if (arity == 0) {
+    if (const Object* obj = db_->GetObject(receiver)) {
+      for (const auto& [attr, value] : obj->attrs()) out.Insert(attr);
+    }
+    for (const Oid& cls : db_->graph().AllClassesOf(receiver)) {
+      if (const Object* class_obj = db_->GetObject(cls)) {
+        for (const auto& [attr, value] : class_obj->attrs()) out.Insert(attr);
+      }
+    }
+  }
+  for (const MethodRegistry::Entry& entry : db_->methods().AllDefinitions()) {
+    if (entry.arity == static_cast<int>(arity) &&
+        db_->IsInstanceOf(receiver, entry.cls)) {
+      out.Insert(entry.method);
+    }
+  }
+  return out;
+}
+
+Result<Oid> Evaluator::ResolveIdFunction(const std::string& fn,
+                                         const std::vector<Oid>& args) {
+  if (views_ != nullptr && views_->IsView(fn)) {
+    XSQL_RETURN_IF_ERROR(views_->EnsureMaterialized(fn));
+  }
+  return Oid::Term(fn, args);
+}
+
+Result<OidSet> Evaluator::InvokeQueryMethod(const QueryMethodBody& body,
+                                            const Oid& receiver,
+                                            const std::vector<Oid>& args) {
+  if (method_depth_ >= kMaxMethodDepth) {
+    return Status::RuntimeError("method recursion limit reached invoking " +
+                                body.method().ToString());
+  }
+  if (args.size() != body.params().size()) {
+    return Status::RuntimeError("arity mismatch invoking " +
+                                body.method().ToString());
+  }
+  ++method_depth_;
+  struct DepthGuard {
+    int* depth;
+    ~DepthGuard() { --*depth; }
+  } guard{&method_depth_};
+
+  Binding binding;
+  binding.Set(body.receiver_var(), receiver);
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (!binding.Set(body.params()[i], args[i])) return OidSet();
+  }
+
+  EvalOptions opts;
+  PathEvaluator pe = MakePathEvaluator(opts);
+  OidSet results;
+  auto solution = [&]() -> Status {
+    XSQL_ASSIGN_OR_RETURN(OidSet value,
+                          EvalValue(body.result_expr(), &binding, opts));
+    results = OidSet::Union(results, value);
+    return Status::OK();
+  };
+  XSQL_RETURN_IF_ERROR(
+      ForEachSolution(body.from(), body.where(), &binding, opts, &pe,
+                      /*order=*/{}, solution));
+  if (!body.set_valued() && results.size() > 1) {
+    return Status::RuntimeError("scalar method " + body.method().ToString() +
+                                " produced " + std::to_string(results.size()) +
+                                " values");
+  }
+  return results;
+}
+
+Status Evaluator::ForEachSolution(const std::vector<FromEntry>& from,
+                                  const std::shared_ptr<Condition>& where,
+                                  Binding* binding, const EvalOptions& opts,
+                                  PathEvaluator* pe,
+                                  std::vector<size_t> order,
+                                  const std::function<Status()>& cb) {
+  std::vector<const Condition*> conjuncts;
+  if (where != nullptr) Flatten(where.get(), &conjuncts);
+
+  if (order.empty()) {
+    // Integrated mode: FROM entries join the ready-first driver, so a
+    // path expression can bind a variable and the FROM entry degrades
+    // to a membership filter — no eager cartesian product.
+    std::vector<const FromEntry*> froms;
+    froms.reserve(from.size());
+    for (const FromEntry& entry : from) froms.push_back(&entry);
+    ConjunctDriver driver(this, pe, std::move(conjuncts), {},
+                          std::move(froms), &opts);
+    return driver.Enumerate(binding, cb);
+  }
+
+  // Explicit-order mode (plan experiments): FROM loops run eagerly, and
+  // the conjuncts follow the caller's order exactly.
+  ConjunctDriver driver(this, pe, std::move(conjuncts), std::move(order), {},
+                        &opts);
+  std::function<Status(size_t)> from_loop = [&](size_t idx) -> Status {
+    if (idx == from.size()) return driver.Enumerate(binding, cb);
+    const FromEntry& entry = from[idx];
+    auto with_class = [&](const Oid& cls) -> Status {
+      if (binding->Bound(entry.var)) {
+        // §3.4 consistency with the FROM clause.
+        if (!db_->IsInstanceOf(binding->Get(entry.var), cls)) {
+          return Status::OK();
+        }
+        return from_loop(idx + 1);
+      }
+      OidSet extent = db_->Extent(cls);
+      const VarRange* range = nullptr;
+      if (opts.use_range_pruning && opts.ranges != nullptr) {
+        auto it = opts.ranges->find(entry.var);
+        if (it != opts.ranges->end()) range = &it->second;
+      }
+      for (const Oid& oid : extent) {
+        if (range != nullptr && !range->Within(*db_, oid)) continue;
+        BindScope scope(binding, entry.var, oid);
+        XSQL_RETURN_IF_ERROR(from_loop(idx + 1));
+      }
+      return Status::OK();
+    };
+    if (entry.cls.is_var()) {
+      const Variable& cvar = entry.cls.var;
+      if (binding->Bound(cvar)) return with_class(binding->Get(cvar));
+      for (const Oid& cls : db_->graph().Extent(builtin::MetaClass())) {
+        BindScope scope(binding, cvar, cls);
+        XSQL_RETURN_IF_ERROR(with_class(cls));
+      }
+      return Status::OK();
+    }
+    if (!entry.cls.is_const()) {
+      return Status::RuntimeError("FROM class must be a name or variable");
+    }
+    return with_class(entry.cls.value);
+  };
+  return from_loop(0);
+}
+
+Result<EvalOutput> Evaluator::Run(const Query& query, const EvalOptions& opts,
+                                  const Binding* outer) {
+  Binding binding;
+  if (outer != nullptr) binding = *outer;
+  PathEvaluator pe = MakePathEvaluator(opts);
+
+  const bool creates_objects = query.oid_function_of.has_value();
+  std::string fn_name = query.oid_fn_name.empty()
+                            ? "q" + std::to_string(next_query_id_++)
+                            : query.oid_fn_name;
+  OidFunctionTable table(fn_name);
+
+  std::vector<std::string> columns;
+  if (creates_objects) {
+    columns.push_back("oid");
+  } else {
+    for (const SelectItem& item : query.select) {
+      columns.push_back(item.out_attr.has_value() ? item.out_attr->ToString()
+                                                  : item.ToString());
+    }
+  }
+  EvalOutput out;
+  out.relation = Relation(columns);
+
+  auto output_attr = [this](const SelectItem& item,
+                            size_t index) -> std::pair<Oid, bool> {
+    // Returns (attribute oid, declared-set-valued?).
+    Oid attr = item.out_attr.has_value()
+                   ? *item.out_attr
+                   : Oid::Atom("col" + std::to_string(index));
+    bool set_valued = false;
+    if (item.kind == SelectItem::Kind::kExpr &&
+        item.expr.kind == ValueExpr::Kind::kPath &&
+        !item.expr.path.trivial()) {
+      const PathStep& last = item.expr.path.steps.back();
+      if (last.kind == PathStep::Kind::kMethod && !last.method.name_is_var) {
+        for (const auto& [cls, sig] :
+             db_->signatures().AllFor(last.method.name)) {
+          if (sig.set_valued) set_valued = true;
+        }
+      }
+    }
+    return {attr, set_valued};
+  };
+
+  auto emit = [&]() -> Status {
+    if (creates_objects) {
+      std::vector<Oid> fn_args;
+      for (const Variable& v : *query.oid_function_of) {
+        if (!binding.Bound(v)) {
+          return Status::RuntimeError("OID FUNCTION OF variable " + v.name +
+                                      " unbound in a solution");
+        }
+        fn_args.push_back(binding.Get(v));
+      }
+      Oid oid = table.MakeOid(fn_args);
+      table.Touch(oid);
+      for (size_t i = 0; i < query.select.size(); ++i) {
+        const SelectItem& item = query.select[i];
+        auto [attr, declared_set] = output_attr(item, i);
+        switch (item.kind) {
+          case SelectItem::Kind::kSetOfVar: {
+            if (!binding.Bound(item.set_var)) {
+              return Status::RuntimeError("grouped variable " +
+                                          item.set_var.name + " unbound");
+            }
+            XSQL_RETURN_IF_ERROR(
+                table.Accumulate(oid, attr, binding.Get(item.set_var)));
+            break;
+          }
+          case SelectItem::Kind::kExpr: {
+            XSQL_ASSIGN_OR_RETURN(OidSet value,
+                                  EvalValue(item.expr, &binding, opts));
+            if (declared_set) {
+              XSQL_RETURN_IF_ERROR(table.RecordSet(oid, attr, value));
+            } else if (value.size() == 1) {
+              XSQL_RETURN_IF_ERROR(
+                  table.RecordScalar(oid, attr, *value.begin()));
+            } else if (value.size() > 1) {
+              XSQL_RETURN_IF_ERROR(table.RecordSet(oid, attr, value));
+            }
+            // Empty scalar value: the attribute stays undefined (a null,
+            // §2), not an empty set.
+            break;
+          }
+          case SelectItem::Kind::kMethodHead:
+            return Status::RuntimeError(
+                "method-definition SELECT outside ALTER CLASS");
+        }
+      }
+      return Status::OK();
+    }
+    // Plain relational result: cartesian product over item value sets.
+    std::vector<OidSet> cells(query.select.size());
+    for (size_t i = 0; i < query.select.size(); ++i) {
+      const SelectItem& item = query.select[i];
+      if (item.kind == SelectItem::Kind::kSetOfVar) {
+        if (!binding.Bound(item.set_var)) {
+          return Status::RuntimeError("grouped variable outside an OID "
+                                      "FUNCTION query");
+        }
+        cells[i].Insert(binding.Get(item.set_var));
+      } else if (item.kind == SelectItem::Kind::kExpr) {
+        XSQL_ASSIGN_OR_RETURN(cells[i], EvalValue(item.expr, &binding, opts));
+      } else {
+        return Status::RuntimeError(
+            "method-definition SELECT outside ALTER CLASS");
+      }
+    }
+    std::vector<Oid> row(query.select.size());
+    std::function<Status(size_t)> cartesian = [&](size_t i) -> Status {
+      if (i == row.size()) return out.relation.AddRow(row);
+      for (const Oid& v : cells[i]) {
+        row[i] = v;
+        XSQL_RETURN_IF_ERROR(cartesian(i + 1));
+      }
+      return Status::OK();
+    };
+    return cartesian(0);
+  };
+
+  XSQL_RETURN_IF_ERROR(ForEachSolution(query.from, query.where, &binding,
+                                       opts, &pe, opts.conjunct_order, emit));
+
+  if (creates_objects) {
+    Oid result_class =
+        opts.result_class.has_value() ? *opts.result_class : builtin::Object();
+    for (const auto& [oid, attrs] : table.objects()) {
+      XSQL_RETURN_IF_ERROR(db_->NewObject(oid, {result_class}));
+      for (const auto& [attr, value] : attrs) {
+        if (value.set_valued()) {
+          XSQL_RETURN_IF_ERROR(db_->SetSet(oid, attr, value.set()));
+        } else {
+          XSQL_RETURN_IF_ERROR(db_->SetScalar(oid, attr, value.scalar()));
+        }
+      }
+      out.created.push_back(oid);
+      XSQL_RETURN_IF_ERROR(out.relation.AddRow({oid}));
+    }
+    out.objects_created = true;
+  }
+  return out;
+}
+
+Result<Relation> Evaluator::RunQueryExpr(const QueryExpr& expr,
+                                         const EvalOptions& opts,
+                                         const Binding* outer) {
+  switch (expr.kind) {
+    case QueryExpr::Kind::kSimple: {
+      XSQL_ASSIGN_OR_RETURN(EvalOutput out, Run(*expr.simple, opts, outer));
+      return out.relation;
+    }
+    default: {
+      XSQL_ASSIGN_OR_RETURN(Relation lhs,
+                            RunQueryExpr(*expr.lhs, opts, outer));
+      XSQL_ASSIGN_OR_RETURN(Relation rhs,
+                            RunQueryExpr(*expr.rhs, opts, outer));
+      switch (expr.kind) {
+        case QueryExpr::Kind::kUnion:
+          return Relation::Union(lhs, rhs);
+        case QueryExpr::Kind::kMinus:
+          return Relation::Minus(lhs, rhs);
+        case QueryExpr::Kind::kIntersect:
+          return Relation::Intersect(lhs, rhs);
+        default:
+          return Status::RuntimeError("bad query expression");
+      }
+    }
+  }
+}
+
+Result<EvalOutput> Evaluator::RunNaive(const Query& query) {
+  std::vector<Variable> vars = CollectVariables(query);
+  for (const Variable& v : vars) {
+    if (v.sort == VarSort::kPath) {
+      return Status::Unimplemented(
+          "naive evaluator does not enumerate path variables");
+    }
+  }
+  // Domains per sort (§3.4: substitutions respect sorts; the active
+  // domain stands in for the infinite universe).
+  std::vector<OidSet> domains;
+  for (const Variable& v : vars) {
+    switch (v.sort) {
+      case VarSort::kClass:
+        domains.push_back(db_->graph().Extent(builtin::MetaClass()));
+        break;
+      case VarSort::kMethod:
+        domains.push_back(db_->graph().Extent(builtin::MetaMethod()));
+        break;
+      default:
+        domains.push_back(db_->ActiveDomain());
+        break;
+    }
+  }
+
+  EvalOptions opts;
+  opts.use_range_pruning = false;
+  const bool creates_objects = query.oid_function_of.has_value();
+  std::string fn_name = query.oid_fn_name.empty()
+                            ? "q" + std::to_string(next_query_id_++)
+                            : query.oid_fn_name;
+  OidFunctionTable table(fn_name);
+  std::vector<std::string> columns;
+  if (creates_objects) {
+    columns.push_back("oid");
+  } else {
+    for (const SelectItem& item : query.select) {
+      columns.push_back(item.out_attr.has_value() ? item.out_attr->ToString()
+                                                  : item.ToString());
+    }
+  }
+  EvalOutput out;
+  out.relation = Relation(columns);
+
+  Binding binding;
+  std::function<Status(size_t)> loop = [&](size_t idx) -> Status {
+    if (idx == vars.size()) {
+      // Consistency with FROM.
+      for (const FromEntry& entry : query.from) {
+        Oid cls;
+        if (entry.cls.is_const()) {
+          cls = entry.cls.value;
+        } else if (entry.cls.is_var()) {
+          cls = binding.Get(entry.cls.var);
+        } else {
+          return Status::RuntimeError("bad FROM class term");
+        }
+        if (!db_->IsInstanceOf(binding.Get(entry.var), cls)) {
+          return Status::OK();
+        }
+      }
+      bool truth = true;
+      if (query.where != nullptr) {
+        XSQL_ASSIGN_OR_RETURN(truth, TestCondition(*query.where, &binding));
+      }
+      if (!truth) return Status::OK();
+      if (creates_objects) {
+        std::vector<Oid> fn_args;
+        for (const Variable& v : *query.oid_function_of) {
+          fn_args.push_back(binding.Get(v));
+        }
+        Oid oid = table.MakeOid(fn_args);
+        table.Touch(oid);
+        for (size_t i = 0; i < query.select.size(); ++i) {
+          const SelectItem& item = query.select[i];
+          Oid attr = item.out_attr.has_value()
+                         ? *item.out_attr
+                         : Oid::Atom("col" + std::to_string(i));
+          if (item.kind == SelectItem::Kind::kSetOfVar) {
+            XSQL_RETURN_IF_ERROR(
+                table.Accumulate(oid, attr, binding.Get(item.set_var)));
+          } else {
+            XSQL_ASSIGN_OR_RETURN(OidSet value,
+                                  EvalValue(item.expr, &binding, opts));
+            if (value.size() == 1) {
+              XSQL_RETURN_IF_ERROR(
+                  table.RecordScalar(oid, attr, *value.begin()));
+            } else if (value.size() > 1) {
+              XSQL_RETURN_IF_ERROR(table.RecordSet(oid, attr, value));
+            }
+          }
+        }
+        return Status::OK();
+      }
+      std::vector<OidSet> cells(query.select.size());
+      for (size_t i = 0; i < query.select.size(); ++i) {
+        const SelectItem& item = query.select[i];
+        if (item.kind == SelectItem::Kind::kSetOfVar) {
+          cells[i].Insert(binding.Get(item.set_var));
+        } else {
+          XSQL_ASSIGN_OR_RETURN(cells[i],
+                                EvalValue(item.expr, &binding, opts));
+        }
+      }
+      std::vector<Oid> row(query.select.size());
+      std::function<Status(size_t)> cartesian = [&](size_t i) -> Status {
+        if (i == row.size()) return out.relation.AddRow(row);
+        for (const Oid& v : cells[i]) {
+          row[i] = v;
+          XSQL_RETURN_IF_ERROR(cartesian(i + 1));
+        }
+        return Status::OK();
+      };
+      return cartesian(0);
+    }
+    for (const Oid& candidate : domains[idx]) {
+      BindScope scope(&binding, vars[idx], candidate);
+      XSQL_RETURN_IF_ERROR(loop(idx + 1));
+    }
+    return Status::OK();
+  };
+  XSQL_RETURN_IF_ERROR(loop(0));
+
+  if (creates_objects) {
+    for (const auto& [oid, attrs] : table.objects()) {
+      XSQL_RETURN_IF_ERROR(db_->NewObject(oid, {builtin::Object()}));
+      for (const auto& [attr, value] : attrs) {
+        if (value.set_valued()) {
+          XSQL_RETURN_IF_ERROR(db_->SetSet(oid, attr, value.set()));
+        } else {
+          XSQL_RETURN_IF_ERROR(db_->SetScalar(oid, attr, value.scalar()));
+        }
+      }
+      out.created.push_back(oid);
+      XSQL_RETURN_IF_ERROR(out.relation.AddRow({oid}));
+    }
+    out.objects_created = true;
+  }
+  return out;
+}
+
+Result<bool> Evaluator::TestCondition(const Condition& cond,
+                                      Binding* binding) {
+  EvalOptions opts;
+  switch (cond.kind) {
+    case Condition::Kind::kAnd:
+      for (const auto& child : cond.children) {
+        XSQL_ASSIGN_OR_RETURN(bool truth, TestCondition(*child, binding));
+        if (!truth) return false;
+      }
+      return true;
+    case Condition::Kind::kOr:
+      for (const auto& child : cond.children) {
+        XSQL_ASSIGN_OR_RETURN(bool truth, TestCondition(*child, binding));
+        if (truth) return true;
+      }
+      return false;
+    case Condition::Kind::kNot: {
+      XSQL_ASSIGN_OR_RETURN(bool truth,
+                            TestCondition(*cond.children[0], binding));
+      return !truth;
+    }
+    case Condition::Kind::kComparison: {
+      XSQL_ASSIGN_OR_RETURN(OidSet lhs, EvalValue(cond.lhs, binding, opts));
+      XSQL_ASSIGN_OR_RETURN(OidSet rhs, EvalValue(cond.rhs, binding, opts));
+      return EvalComparison(lhs, cond.lquant, cond.comp_op, cond.rquant, rhs);
+    }
+    case Condition::Kind::kSetComparison: {
+      XSQL_ASSIGN_OR_RETURN(OidSet lhs, EvalValue(cond.lhs, binding, opts));
+      XSQL_ASSIGN_OR_RETURN(OidSet rhs, EvalValue(cond.rhs, binding, opts));
+      return EvalSetComparison(lhs, cond.set_op, rhs);
+    }
+    case Condition::Kind::kStandalonePath: {
+      PathEvaluator pe = MakePathEvaluator(opts);
+      XSQL_ASSIGN_OR_RETURN(OidSet value, pe.Value(cond.path, *binding));
+      return !value.empty();
+    }
+    case Condition::Kind::kSubclassOf: {
+      PathEvaluator pe = MakePathEvaluator(opts);
+      XSQL_ASSIGN_OR_RETURN(Oid sub, pe.EvalIdTerm(cond.sub, *binding));
+      XSQL_ASSIGN_OR_RETURN(Oid super, pe.EvalIdTerm(cond.super, *binding));
+      return db_->graph().IsStrictSubclass(sub, super);
+    }
+    case Condition::Kind::kApplicable: {
+      PathEvaluator pe = MakePathEvaluator(opts);
+      XSQL_ASSIGN_OR_RETURN(Oid method, pe.EvalIdTerm(cond.sub, *binding));
+      XSQL_ASSIGN_OR_RETURN(Oid obj, pe.EvalIdTerm(cond.super, *binding));
+      return IsApplicable(*db_, method, obj);
+    }
+    case Condition::Kind::kUpdate:
+      XSQL_RETURN_IF_ERROR(ExecuteUpdate(*cond.update, binding));
+      return true;
+  }
+  return Status::RuntimeError("unexpected condition kind");
+}
+
+Result<OidSet> Evaluator::EvalValue(const ValueExpr& expr, Binding* binding,
+                                    const EvalOptions& opts) {
+  switch (expr.kind) {
+    case ValueExpr::Kind::kPath: {
+      PathEvaluator pe = MakePathEvaluator(opts);
+      return pe.Value(expr.path, *binding);
+    }
+    case ValueExpr::Kind::kAggregate: {
+      PathEvaluator pe = MakePathEvaluator(opts);
+      XSQL_ASSIGN_OR_RETURN(OidSet values, pe.Value(expr.path, *binding));
+      XSQL_ASSIGN_OR_RETURN(Oid result, EvalAggregate(expr.agg_fn, values));
+      OidSet out;
+      out.Insert(result);
+      return out;
+    }
+    case ValueExpr::Kind::kArith: {
+      XSQL_ASSIGN_OR_RETURN(OidSet lhs, EvalValue(*expr.lhs, binding, opts));
+      XSQL_ASSIGN_OR_RETURN(OidSet rhs, EvalValue(*expr.rhs, binding, opts));
+      if (lhs.empty() || rhs.empty()) return OidSet();
+      if (lhs.size() != 1 || rhs.size() != 1) {
+        return Status::RuntimeError("arithmetic on non-singleton sets");
+      }
+      const Oid& a = *lhs.begin();
+      const Oid& b = *rhs.begin();
+      if (!a.is_numeric() || !b.is_numeric()) {
+        return Status::RuntimeError("arithmetic on non-numeric values");
+      }
+      double x = a.numeric_value();
+      double y = b.numeric_value();
+      double r = 0;
+      switch (expr.arith_op) {
+        case ArithOp::kAdd:
+          r = x + y;
+          break;
+        case ArithOp::kSub:
+          r = x - y;
+          break;
+        case ArithOp::kMul:
+          r = x * y;
+          break;
+        case ArithOp::kDiv:
+          if (y == 0) return Status::RuntimeError("division by zero");
+          r = x / y;
+          break;
+      }
+      OidSet out;
+      if (a.is_int() && b.is_int() && expr.arith_op != ArithOp::kDiv) {
+        out.Insert(Oid::Int(static_cast<int64_t>(r)));
+      } else {
+        out.Insert(Oid::Real(r));
+      }
+      return out;
+    }
+    case ValueExpr::Kind::kSubquery: {
+      XSQL_ASSIGN_OR_RETURN(Relation rel,
+                            RunQueryExpr(*expr.subquery, opts, binding));
+      return rel.AsSet();
+    }
+    case ValueExpr::Kind::kSetLiteral: {
+      OidSet out;
+      for (const ValueExpr& e : expr.set_elems) {
+        XSQL_ASSIGN_OR_RETURN(OidSet value, EvalValue(e, binding, opts));
+        out = OidSet::Union(out, value);
+      }
+      return out;
+    }
+  }
+  return Status::RuntimeError("unexpected value expression");
+}
+
+Status Evaluator::ExecuteUpdate(const UpdateClassStmt& update,
+                                Binding* binding) {
+  EvalOptions opts;
+  PathEvaluator pe = MakePathEvaluator(opts);
+  for (const UpdateClassStmt::Assignment& assign : update.assignments) {
+    if (assign.target.trivial()) {
+      return Status::RuntimeError("UPDATE target must name an attribute");
+    }
+    const PathStep& last = assign.target.steps.back();
+    if (last.kind != PathStep::Kind::kMethod || !last.method.args.empty()) {
+      return Status::RuntimeError(
+          "UPDATE target must end in an attribute expression");
+    }
+    Oid attr;
+    if (last.method.name_is_var) {
+      if (!binding->Bound(last.method.name_var)) {
+        return Status::RuntimeError("unbound attribute variable in UPDATE");
+      }
+      attr = binding->Get(last.method.name_var);
+    } else {
+      attr = last.method.name;
+    }
+    PathExpr prefix;
+    prefix.head = assign.target.head;
+    prefix.steps.assign(assign.target.steps.begin(),
+                        assign.target.steps.end() - 1);
+    // Collect targets first, then apply: mutating while walking the
+    // composition graph could interact with the enumeration. The
+    // update-scoped conditions (desugared path arguments) are driven
+    // per target so their variables see the prefix bindings.
+    std::vector<const Condition*> scoped;
+    if (update.where != nullptr) Flatten(update.where.get(), &scoped);
+    std::vector<std::pair<Oid, OidSet>> writes;
+    XSQL_RETURN_IF_ERROR(
+        pe.Enumerate(prefix, binding, [&](const Oid& target) -> Status {
+          ConjunctDriver driver(this, &pe, scoped, {});
+          return driver.Enumerate(binding, [&]() -> Status {
+            XSQL_ASSIGN_OR_RETURN(OidSet value,
+                                  EvalValue(assign.value, binding, opts));
+            writes.emplace_back(target, std::move(value));
+            return Status::OK();
+          });
+        }));
+    for (const auto& [target, value] : writes) {
+      if (value.empty()) continue;
+      if (value.size() == 1) {
+        XSQL_RETURN_IF_ERROR(db_->SetScalar(target, attr, *value.begin()));
+      } else {
+        XSQL_RETURN_IF_ERROR(db_->SetSet(target, attr, value));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace xsql

@@ -1,0 +1,53 @@
+#include "eval/introspect.h"
+
+#include <memory>
+
+#include "eval/evaluator.h"
+#include "store/catalog.h"
+
+namespace xsql {
+
+namespace {
+
+Status Install(Database* db, const char* name,
+               Result<OidSet> (*fn)(Database&, const Oid&)) {
+  auto body = std::make_shared<NativeMethodBody>(
+      0, /*set_valued=*/true,
+      [fn](Database& database, const Oid& receiver,
+           const std::vector<Oid>&) { return fn(database, receiver); });
+  XSQL_RETURN_IF_ERROR(
+      db->DefineMethod(builtin::MetaClass(), Oid::Atom(name), 0, body));
+  Signature sig;
+  sig.method = Oid::Atom(name);
+  sig.result = builtin::Object();
+  sig.set_valued = true;
+  return db->DeclareSignature(builtin::MetaClass(), sig);
+}
+
+Result<OidSet> Attributes(Database& db, const Oid& cls) {
+  return catalog::AttributesOf(db, cls);
+}
+
+Result<OidSet> Superclasses(Database& db, const Oid& cls) {
+  return db.graph().Ancestors(cls);
+}
+
+Result<OidSet> Subclasses(Database& db, const Oid& cls) {
+  return db.graph().Descendants(cls);
+}
+
+Result<OidSet> Instances(Database& db, const Oid& cls) {
+  return db.graph().Extent(cls);
+}
+
+}  // namespace
+
+Status InstallIntrospection(Database* db) {
+  XSQL_RETURN_IF_ERROR(Install(db, "attributes", Attributes));
+  XSQL_RETURN_IF_ERROR(Install(db, "superclasses", Superclasses));
+  XSQL_RETURN_IF_ERROR(Install(db, "subclasses", Subclasses));
+  XSQL_RETURN_IF_ERROR(Install(db, "instances", Instances));
+  return Status::OK();
+}
+
+}  // namespace xsql

@@ -1,0 +1,27 @@
+#ifndef XSQL_EVAL_INTROSPECT_H_
+#define XSQL_EVAL_INTROSPECT_H_
+
+#include "common/status.h"
+#include "store/database.h"
+
+namespace xsql {
+
+/// Installs the catalog-as-methods interface (§2: "the system catalogue
+/// [is] part of the class hierarchy"). Classes are objects — instances
+/// of the meta-class `Class` — so giving that meta-class ordinary
+/// (native) methods makes the schema queryable with the very same
+/// path-expression machinery used for data:
+///
+///   SELECT A WHERE Person.attributes[A]       -- visible attributes
+///   SELECT S WHERE TurboEngine.superclasses[S]
+///   SELECT S WHERE PistonEngine.subclasses[S]
+///   SELECT O FROM Class C WHERE C.instances[O] and ...
+///
+/// `superclasses`/`subclasses` are strict, matching the paper's
+/// subclassOf. Signatures are declared on the meta-class so the typing
+/// machinery treats these like any other method.
+Status InstallIntrospection(Database* db);
+
+}  // namespace xsql
+
+#endif  // XSQL_EVAL_INTROSPECT_H_

@@ -1,0 +1,56 @@
+#include "eval/oid_function.h"
+
+namespace xsql {
+
+Status OidFunctionTable::RecordScalar(const Oid& oid, const Oid& attr,
+                                      const Oid& value) {
+  auto& attrs = objects_[oid];
+  auto it = attrs.find(attr);
+  if (it == attrs.end()) {
+    attrs.emplace(attr, AttrValue::Scalar(value));
+    return Status::OK();
+  }
+  if (it->second.set_valued() || !(it->second.scalar() == value)) {
+    return Status::RuntimeError(
+        "ill-defined query: object " + oid.ToString() +
+        " receives conflicting values for attribute " + attr.ToString() +
+        " (" + it->second.ToString() + " vs " + value.ToString() + ")");
+  }
+  return Status::OK();
+}
+
+Status OidFunctionTable::RecordSet(const Oid& oid, const Oid& attr,
+                                   const OidSet& value) {
+  auto& attrs = objects_[oid];
+  auto it = attrs.find(attr);
+  if (it == attrs.end()) {
+    attrs.emplace(attr, AttrValue::Set(value));
+    return Status::OK();
+  }
+  if (!it->second.set_valued() || !(it->second.set() == value)) {
+    return Status::RuntimeError(
+        "ill-defined query: object " + oid.ToString() +
+        " receives conflicting values for set attribute " + attr.ToString());
+  }
+  return Status::OK();
+}
+
+Status OidFunctionTable::Accumulate(const Oid& oid, const Oid& attr,
+                                    const Oid& elem) {
+  auto& attrs = objects_[oid];
+  auto it = attrs.find(attr);
+  if (it == attrs.end()) {
+    OidSet s;
+    s.Insert(elem);
+    attrs.emplace(attr, AttrValue::Set(std::move(s)));
+    return Status::OK();
+  }
+  if (!it->second.set_valued()) {
+    return Status::RuntimeError("attribute " + attr.ToString() +
+                                " mixes scalar and grouped-set uses");
+  }
+  it->second.mutable_set().Insert(elem);
+  return Status::OK();
+}
+
+}  // namespace xsql

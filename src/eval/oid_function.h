@@ -1,0 +1,60 @@
+#ifndef XSQL_EVAL_OID_FUNCTION_H_
+#define XSQL_EVAL_OID_FUNCTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "oid/oid.h"
+#include "store/object.h"
+
+namespace xsql {
+
+/// Assembles the objects created by a query with an OID FUNCTION OF
+/// clause (§4.1).
+///
+/// The id-function is the functional id-term constructor: the object
+/// generated from bindings x, w is `f(x, w)` [KW89]. Two result tuples
+/// mapping to the same oid must describe the same object — conflicting
+/// scalar attribute values make the query *ill-defined*, a run-time
+/// error (§4.1). Set attributes built with the `{W}` syntax accumulate
+/// instead, which is how OID FUNCTION OF doubles as GROUP BY.
+class OidFunctionTable {
+ public:
+  explicit OidFunctionTable(std::string fn_name)
+      : fn_name_(std::move(fn_name)) {}
+
+  /// The oid for one binding of the OID FUNCTION OF variables.
+  Oid MakeOid(const std::vector<Oid>& args) const {
+    return Oid::Term(fn_name_, args);
+  }
+
+  /// Records a scalar attribute of the object `oid`; a differing
+  /// existing value is an ill-defined query.
+  Status RecordScalar(const Oid& oid, const Oid& attr, const Oid& value);
+
+  /// Records a whole set value for the attribute (conflicts as above).
+  Status RecordSet(const Oid& oid, const Oid& attr, const OidSet& value);
+
+  /// Accumulates one element into a grouped set attribute (`{W}`).
+  Status Accumulate(const Oid& oid, const Oid& attr, const Oid& elem);
+
+  /// Marks an object as existing even if no attribute was recorded yet.
+  void Touch(const Oid& oid) { objects_[oid]; }
+
+  /// The assembled objects, keyed by created oid.
+  const std::map<Oid, std::map<Oid, AttrValue>>& objects() const {
+    return objects_;
+  }
+
+  const std::string& fn_name() const { return fn_name_; }
+
+ private:
+  std::string fn_name_;
+  std::map<Oid, std::map<Oid, AttrValue>> objects_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_EVAL_OID_FUNCTION_H_

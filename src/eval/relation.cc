@@ -1,0 +1,73 @@
+#include "eval/relation.h"
+
+namespace xsql {
+
+Status Relation::AddRow(std::vector<Oid> row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) + " != arity " +
+        std::to_string(columns_.size()));
+  }
+  if (index_.insert(row).second) rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<OidSet> Relation::AsSet() const {
+  if (arity() != 1) {
+    return Status::RuntimeError("relation used as set must have one column");
+  }
+  OidSet out;
+  for (const auto& row : rows_) out.Insert(row[0]);
+  return out;
+}
+
+Result<Relation> Relation::Union(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity()) {
+    return Status::RuntimeError("UNION arity mismatch");
+  }
+  Relation out(a.columns());
+  for (const auto& row : a.rows()) XSQL_RETURN_IF_ERROR(out.AddRow(row));
+  for (const auto& row : b.rows()) XSQL_RETURN_IF_ERROR(out.AddRow(row));
+  return out;
+}
+
+Result<Relation> Relation::Minus(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity()) {
+    return Status::RuntimeError("MINUS arity mismatch");
+  }
+  Relation out(a.columns());
+  for (const auto& row : a.rows()) {
+    if (!b.ContainsRow(row)) XSQL_RETURN_IF_ERROR(out.AddRow(row));
+  }
+  return out;
+}
+
+Result<Relation> Relation::Intersect(const Relation& a, const Relation& b) {
+  if (a.arity() != b.arity()) {
+    return Status::RuntimeError("INTERSECT arity mismatch");
+  }
+  Relation out(a.columns());
+  for (const auto& row : a.rows()) {
+    if (b.ContainsRow(row)) XSQL_RETURN_IF_ERROR(out.AddRow(row));
+  }
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += columns_[i];
+  }
+  out += "\n";
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xsql

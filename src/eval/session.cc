@@ -1,0 +1,157 @@
+#include "eval/session.h"
+
+#include <cctype>
+
+#include "eval/update.h"
+#include "parser/parser.h"
+
+namespace xsql {
+
+Result<EvalOutput> Session::Execute(const std::string& text) {
+  XSQL_ASSIGN_OR_RETURN(Statement stmt, ParseAndResolve(text, *db_));
+  switch (stmt.kind) {
+    case Statement::Kind::kQuery: {
+      EvalOptions opts;
+      opts.use_range_pruning = options_.use_range_pruning;
+      TypingResult typing;
+      if (stmt.query->kind == QueryExpr::Kind::kSimple) {
+        TypeChecker checker(*db_);
+        typing = checker.Check(*stmt.query->simple, options_.typing_mode,
+                               options_.exemptions);
+        if (!typing.well_typed && options_.enforce_typing &&
+            typing.in_fragment) {
+          return Status::TypeError("query is not well-typed (" +
+                                   typing.explanation + ")");
+        }
+        if (typing.well_typed && typing.in_fragment) {
+          opts.ranges = &typing.ranges;  // Theorem 6.1(2)
+        }
+        return evaluator_.Run(*stmt.query->simple, opts);
+      }
+      XSQL_ASSIGN_OR_RETURN(Relation rel,
+                            evaluator_.RunQueryExpr(*stmt.query, opts));
+      EvalOutput out;
+      out.relation = std::move(rel);
+      return out;
+    }
+    case Statement::Kind::kCreateView: {
+      XSQL_RETURN_IF_ERROR(views_.Create(*stmt.create_view));
+      EvalOutput out;
+      out.relation = Relation({"view"});
+      XSQL_RETURN_IF_ERROR(out.relation.AddRow({stmt.create_view->name}));
+      return out;
+    }
+    case Statement::Kind::kAlterClass: {
+      XSQL_RETURN_IF_ERROR(ApplyAlterClass(db_, *stmt.alter_class));
+      EvalOutput out;
+      out.relation = Relation({"class"});
+      XSQL_RETURN_IF_ERROR(out.relation.AddRow({stmt.alter_class->cls}));
+      return out;
+    }
+    case Statement::Kind::kUpdateClass: {
+      Binding binding;
+      XSQL_RETURN_IF_ERROR(
+          evaluator_.ExecuteUpdate(*stmt.update_class, &binding));
+      EvalOutput out;
+      out.relation = Relation({"updated"});
+      XSQL_RETURN_IF_ERROR(out.relation.AddRow({Oid::Bool(true)}));
+      return out;
+    }
+  }
+  return Status::RuntimeError("unknown statement kind");
+}
+
+Result<EvalOutput> Session::ExecuteScript(const std::string& script) {
+  EvalOutput last;
+  std::string current;
+  bool in_string = false;
+  bool any = false;
+  auto flush = [&]() -> Status {
+    // Skip blank statements (trailing semicolons, empty lines).
+    bool blank = true;
+    for (char c : current) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (!blank) {
+      XSQL_ASSIGN_OR_RETURN(last, Execute(current));
+      any = true;
+    }
+    current.clear();
+    return Status::OK();
+  };
+  for (char c : script) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      XSQL_RETURN_IF_ERROR(flush());
+    } else {
+      current.push_back(c);
+    }
+  }
+  XSQL_RETURN_IF_ERROR(flush());
+  if (!any) return Status::InvalidArgument("empty script");
+  return last;
+}
+
+Result<Relation> Session::Query(const std::string& text) {
+  XSQL_ASSIGN_OR_RETURN(EvalOutput out, Execute(text));
+  return std::move(out.relation);
+}
+
+Result<std::string> Session::Explain(const std::string& text) {
+  XSQL_ASSIGN_OR_RETURN(Statement stmt, ParseAndResolve(text, *db_));
+  if (stmt.kind != Statement::Kind::kQuery ||
+      stmt.query->kind != QueryExpr::Kind::kSimple) {
+    return Status::InvalidArgument("Explain expects a simple query");
+  }
+  // `::xsql::Query` the AST type, not the member function Session::Query.
+  const ::xsql::Query& query = *stmt.query->simple;
+  TypeChecker checker(*db_);
+  TypingResult liberal = checker.Check(query, TypingMode::kLiberal,
+                                       options_.exemptions);
+  TypingResult strict = checker.Check(query, TypingMode::kStrict,
+                                      options_.exemptions);
+  std::string out = "query   : " + query.ToString() + "\n";
+  if (!strict.in_fragment) {
+    out += "fragment: outside the typed fragment (" + strict.explanation +
+           "); evaluated as liberally typed\n";
+    return out;
+  }
+  out += "liberal : ";
+  out += liberal.well_typed ? "well-typed" : "ill-typed (" +
+                                                 liberal.explanation + ")";
+  out += "\nstrict  : ";
+  out += strict.well_typed ? "well-typed" : "ill-typed (" +
+                                                strict.explanation + ")";
+  out += "\n";
+  const TypingResult& witness = strict.well_typed ? strict : liberal;
+  if (witness.well_typed) {
+    if (!witness.plan.empty()) {
+      out += "plan    : " + PlanToString(witness.plan) + "\n";
+    }
+    for (size_t p = 0; p < witness.assignment.size(); ++p) {
+      for (size_t s = 0; s < witness.assignment[p].size(); ++s) {
+        out += "assign  : p" + std::to_string(p) + "/step" +
+               std::to_string(s) + " : " +
+               witness.assignment[p][s].ToString() + "\n";
+      }
+    }
+    for (const auto& [var, range] : witness.ranges) {
+      out += "range   : A(" + var.ToString() + ") = " + range.ToString() +
+             "\n";
+    }
+  }
+  return out;
+}
+
+Result<TypingResult> Session::TypeCheck(const std::string& text,
+                                        TypingMode mode) {
+  XSQL_ASSIGN_OR_RETURN(Statement stmt, ParseAndResolve(text, *db_));
+  if (stmt.kind != Statement::Kind::kQuery ||
+      stmt.query->kind != QueryExpr::Kind::kSimple) {
+    return Status::InvalidArgument("TypeCheck expects a simple query");
+  }
+  TypeChecker checker(*db_);
+  return checker.Check(*stmt.query->simple, mode, options_.exemptions);
+}
+
+}  // namespace xsql

@@ -1,0 +1,81 @@
+#ifndef XSQL_EVAL_SESSION_H_
+#define XSQL_EVAL_SESSION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "eval/evaluator.h"
+#include "eval/introspect.h"
+#include "eval/view.h"
+#include "store/database.h"
+#include "typing/type_checker.h"
+
+namespace xsql {
+
+/// Session-wide policy knobs.
+struct SessionOptions {
+  /// Which well-typing notion gates queries (§6.2). Strict is the
+  /// default because its witness unlocks the Theorem 6.1(2) pruning;
+  /// queries that fail strict typing still run (typing is metalogical)
+  /// unless `enforce_typing` is set.
+  TypingMode typing_mode = TypingMode::kStrict;
+  /// Reject queries that are not well-typed under `typing_mode`.
+  bool enforce_typing = false;
+  /// Apply the Theorem 6.1(2) range restriction when a strict witness
+  /// exists.
+  bool use_range_pruning = true;
+  /// §6.2 exemptions (the middle ground between liberal and strict).
+  ExemptionSet exemptions;
+};
+
+/// The top-level API a user of the library drives: text in, relations
+/// and objects out. Owns the view catalog and wires parsing, name
+/// resolution, typing, and evaluation together.
+class Session {
+ public:
+  explicit Session(Database* db, SessionOptions options = {})
+      : db_(db),
+        options_(std::move(options)),
+        views_(db),
+        evaluator_(db, &views_) {
+    // Catalog-as-methods (§2): classes answer attributes/superclasses/
+    // subclasses/instances like ordinary objects. Idempotent.
+    (void)InstallIntrospection(db);
+  }
+
+  /// Parses and executes one statement (query or DDL/DML).
+  Result<EvalOutput> Execute(const std::string& text);
+
+  /// Executes a `;`-separated script (quotes respected, `--` comments
+  /// stripped by the lexer). Stops at the first error; returns the last
+  /// statement's output.
+  Result<EvalOutput> ExecuteScript(const std::string& script);
+
+  /// Convenience: execute and return just the relation.
+  Result<Relation> Query(const std::string& text);
+
+  /// Type-checks a query without running it.
+  Result<TypingResult> TypeCheck(const std::string& text, TypingMode mode);
+
+  /// Human-readable typing/plan report for a query: fragment status,
+  /// liberal and strict verdicts, the witness execution plan, the
+  /// witness type assignment, and the variable ranges A(X) that the
+  /// Theorem 6.1(2) pruning would use.
+  Result<std::string> Explain(const std::string& text);
+
+  Database& db() { return *db_; }
+  ViewManager& views() { return views_; }
+  Evaluator& evaluator() { return evaluator_; }
+  const SessionOptions& options() const { return options_; }
+  SessionOptions& mutable_options() { return options_; }
+
+ private:
+  Database* db_;
+  SessionOptions options_;
+  ViewManager views_;
+  Evaluator evaluator_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_EVAL_SESSION_H_

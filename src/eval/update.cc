@@ -1,0 +1,67 @@
+#include "eval/update.h"
+
+#include <memory>
+
+#include "eval/evaluator.h"
+
+namespace xsql {
+
+Status ApplySignatureDecl(Database* db, const Oid& cls,
+                          const SignatureDecl& decl) {
+  for (const Oid& result : decl.results) {
+    Signature sig;
+    sig.method = decl.method;
+    sig.args = decl.args;
+    sig.result = result;
+    sig.set_valued = decl.set_valued;
+    XSQL_RETURN_IF_ERROR(db->DeclareSignature(cls, std::move(sig)));
+  }
+  return Status::OK();
+}
+
+Status ApplyAlterClass(Database* db, const AlterClassStmt& stmt) {
+  if (!db->graph().IsClass(stmt.cls)) {
+    XSQL_RETURN_IF_ERROR(db->DeclareClass(stmt.cls));
+  }
+  for (const SignatureDecl& decl : stmt.add_signatures) {
+    XSQL_RETURN_IF_ERROR(ApplySignatureDecl(db, stmt.cls, decl));
+  }
+  if (!stmt.method_def.has_value()) return Status::OK();
+
+  const Query& def = *stmt.method_def;
+  // The defining query's single SELECT item is the method head
+  // `(M @ p1,...,pk) = expr`; `OID X` named the receiver variable.
+  if (def.select.size() != 1 ||
+      def.select[0].kind != SelectItem::Kind::kMethodHead) {
+    return Status::InvalidArgument(
+        "ALTER CLASS method definition needs a single (M @ ...) = expr "
+        "SELECT item");
+  }
+  if (!def.oid_function_of.has_value() || def.oid_function_of->size() != 1) {
+    return Status::InvalidArgument(
+        "ALTER CLASS method definition needs an OID <var> clause naming "
+        "the receiver");
+  }
+  const SelectItem& head = def.select[0];
+  std::vector<Variable> params;
+  for (const IdTerm& arg : head.method_args) {
+    if (!arg.is_var() || arg.var.sort != VarSort::kIndividual) {
+      return Status::InvalidArgument(
+          "method parameters must be individual variables (path arguments "
+          "are desugared by the parser)");
+    }
+    params.push_back(arg.var);
+  }
+  bool set_valued = false;
+  for (const SignatureDecl& decl : stmt.add_signatures) {
+    if (decl.method == head.method) set_valued = decl.set_valued;
+  }
+  auto body = std::make_shared<QueryMethodBody>(
+      head.method, std::move(params), (*def.oid_function_of)[0], head.expr,
+      def.from, def.where, set_valued);
+  return db->DefineMethod(stmt.cls, head.method,
+                          static_cast<int>(head.method_args.size()),
+                          std::move(body));
+}
+
+}  // namespace xsql

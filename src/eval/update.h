@@ -1,0 +1,23 @@
+#ifndef XSQL_EVAL_UPDATE_H_
+#define XSQL_EVAL_UPDATE_H_
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "store/database.h"
+
+namespace xsql {
+
+/// Adds the signatures of a declaration to `cls`, expanding the paper's
+/// multi-result abbreviation `M : A ->> {student, employee}` into one
+/// signature per result class (§2 "Types").
+Status ApplySignatureDecl(Database* db, const Oid& cls,
+                          const SignatureDecl& decl);
+
+/// Applies an ALTER CLASS statement (§5): adds the declared signatures
+/// and, when a method-definition SELECT is present, installs a
+/// query-defined method body on the class.
+Status ApplyAlterClass(Database* db, const AlterClassStmt& stmt);
+
+}  // namespace xsql
+
+#endif  // XSQL_EVAL_UPDATE_H_

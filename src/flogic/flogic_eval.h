@@ -1,0 +1,27 @@
+#ifndef XSQL_FLOGIC_FLOGIC_EVAL_H_
+#define XSQL_FLOGIC_FLOGIC_EVAL_H_
+
+#include "common/status.h"
+#include "eval/relation.h"
+#include "flogic/formula.h"
+#include "store/database.h"
+
+namespace xsql {
+namespace flogic {
+
+/// Model-checks an F-logic query against the database viewed as an
+/// F-structure whose domain is the active domain (the standard finite
+/// reading). Quantifiers range over the sort-appropriate universe:
+/// individual variables over the active domain, class variables over
+/// class-objects, method variables over method-objects.
+///
+/// This is deliberately the *naive* semantics — it is the referee for
+/// Theorem 3.1: for any query q in the covered fragment,
+/// `EvaluateFLogic(TranslateToFLogic(q))` must agree with the XSQL
+/// evaluators.
+Result<Relation> EvaluateFLogic(const FLogicQuery& query, Database* db);
+
+}  // namespace flogic
+}  // namespace xsql
+
+#endif  // XSQL_FLOGIC_FLOGIC_EVAL_H_

@@ -1,0 +1,127 @@
+#include "flogic/formula.h"
+
+namespace xsql {
+namespace flogic {
+
+std::string Atom::ToString() const {
+  switch (kind) {
+    case Kind::kData: {
+      std::string out = obj.ToString() + "[" + method.ToString();
+      if (!args.empty()) {
+        out += " @ ";
+        for (size_t i = 0; i < args.size(); ++i) {
+          if (i > 0) out += ",";
+          out += args[i].ToString();
+        }
+      }
+      out += " ->> " + value.ToString() + "]";
+      return out;
+    }
+    case Kind::kIsa:
+      return obj.ToString() + " : " + value.ToString();
+    case Kind::kSubclass:
+      return obj.ToString() + " :: " + value.ToString();
+    case Kind::kEquals:
+      return obj.ToString() + " = " + value.ToString();
+    case Kind::kComparison: {
+      const char* op_str = op == CompOp::kLt   ? " < "
+                           : op == CompOp::kLe ? " <= "
+                           : op == CompOp::kGt ? " > "
+                           : op == CompOp::kGe ? " >= "
+                           : op == CompOp::kNe ? " != "
+                                               : " = ";
+      return obj.ToString() + op_str + value.ToString();
+    }
+  }
+  return "?";
+}
+
+std::shared_ptr<Formula> Formula::Make(Atom a) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kAtom;
+  f->atom = std::move(a);
+  return f;
+}
+
+std::shared_ptr<Formula> Formula::And(
+    std::vector<std::shared_ptr<Formula>> children) {
+  if (children.size() == 1) return children[0];
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kAnd;
+  f->children = std::move(children);
+  return f;
+}
+
+std::shared_ptr<Formula> Formula::Or(
+    std::vector<std::shared_ptr<Formula>> children) {
+  if (children.size() == 1) return children[0];
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kOr;
+  f->children = std::move(children);
+  return f;
+}
+
+std::shared_ptr<Formula> Formula::Not(std::shared_ptr<Formula> child) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kNot;
+  f->children.push_back(std::move(child));
+  return f;
+}
+
+std::shared_ptr<Formula> Formula::Exists(Variable var,
+                                         std::shared_ptr<Formula> child) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kExists;
+  f->var = std::move(var);
+  f->children.push_back(std::move(child));
+  return f;
+}
+
+std::shared_ptr<Formula> Formula::Forall(Variable var,
+                                         std::shared_ptr<Formula> child) {
+  auto f = std::make_shared<Formula>();
+  f->kind = Kind::kForall;
+  f->var = std::move(var);
+  f->children.push_back(std::move(child));
+  return f;
+}
+
+std::string Formula::ToString() const {
+  switch (kind) {
+    case Kind::kAtom:
+      return atom.ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind == Kind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kNot:
+      return "NOT (" + children[0]->ToString() + ")";
+    case Kind::kExists:
+      return "EXISTS " + var.ToString() + " (" + children[0]->ToString() +
+             ")";
+    case Kind::kForall:
+      return "FORALL " + var.ToString() + " (" + children[0]->ToString() +
+             ")";
+  }
+  return "?";
+}
+
+std::string FLogicQuery::ToString() const {
+  std::string out = "?- {";
+  for (size_t i = 0; i < answer_vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += answer_vars[i].ToString();
+  }
+  out += "} : " + (body ? body->ToString() : std::string("true"));
+  return out;
+}
+
+}  // namespace flogic
+}  // namespace xsql

@@ -1,0 +1,77 @@
+#ifndef XSQL_FLOGIC_FORMULA_H_
+#define XSQL_FLOGIC_FORMULA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "oid/oid.h"
+
+namespace xsql {
+namespace flogic {
+
+/// An atomic F-logic formula [KLW90].
+///
+/// `kData` is the data molecule `obj[mthd @ a1,...,ak -> v]`: the value
+/// of method `mthd`, invoked on `obj` with the given arguments, includes
+/// `v` (scalar methods: equals `v`). The method position is a term, so
+/// "higher-order"-looking variables over method names stay first-order,
+/// exactly the HiLog/F-logic trick the paper leans on. `kIsa` is `t : c`
+/// (instance-of), `kSubclass` the *strict* `t :: c` the paper's
+/// subclassOf denotes, `kEquals` term equality and `kComparison` the
+/// built-in ordering predicates on numerals/strings.
+struct Atom {
+  enum class Kind : uint8_t { kData, kIsa, kSubclass, kEquals, kComparison };
+
+  Kind kind = Kind::kData;
+  IdTerm obj;                 // kData receiver; kIsa/kSubclass left term
+  IdTerm method;              // kData method position (constant or variable)
+  std::vector<IdTerm> args;   // kData arguments
+  IdTerm value;               // kData value; kIsa/kSubclass right term;
+                              // kEquals/kComparison right term
+  CompOp op = CompOp::kEq;    // kComparison
+
+  std::string ToString() const;
+};
+
+/// A first-order formula over atoms with the usual connectives and
+/// sorted quantifiers.
+struct Formula {
+  enum class Kind : uint8_t { kAtom, kAnd, kOr, kNot, kExists, kForall };
+
+  Kind kind = Kind::kAtom;
+  Atom atom;                                        // kAtom
+  std::vector<std::shared_ptr<Formula>> children;   // connectives (kNot: 1,
+                                                    // quantifiers: 1)
+  Variable var;                                     // quantifiers
+
+  static std::shared_ptr<Formula> Make(Atom a);
+  static std::shared_ptr<Formula> And(
+      std::vector<std::shared_ptr<Formula>> children);
+  static std::shared_ptr<Formula> Or(
+      std::vector<std::shared_ptr<Formula>> children);
+  static std::shared_ptr<Formula> Not(std::shared_ptr<Formula> child);
+  static std::shared_ptr<Formula> Exists(Variable var,
+                                         std::shared_ptr<Formula> child);
+  static std::shared_ptr<Formula> Forall(Variable var,
+                                         std::shared_ptr<Formula> child);
+
+  std::string ToString() const;
+};
+
+/// A first-order F-logic query: distinguished answer variables plus a
+/// body formula; its answers are the substitutions for the answer
+/// variables making the body true in the database (viewed as an
+/// F-structure over the active domain).
+struct FLogicQuery {
+  std::vector<Variable> answer_vars;
+  std::shared_ptr<Formula> body;
+
+  std::string ToString() const;
+};
+
+}  // namespace flogic
+}  // namespace xsql
+
+#endif  // XSQL_FLOGIC_FORMULA_H_

@@ -1,0 +1,393 @@
+#include "flogic/translate.h"
+
+#include <functional>
+
+namespace xsql {
+namespace flogic {
+
+namespace {
+
+class Translator {
+ public:
+  Result<FLogicQuery> Run(const Query& query) {
+    if (query.oid_function_of.has_value()) {
+      return Status::Unimplemented(
+          "P translates answer-producing queries; OID FUNCTION creates "
+          "objects");
+    }
+    FLogicQuery out;
+    std::vector<std::shared_ptr<Formula>> conjuncts;
+    // FROM Cls X  ~~>  X : Cls.
+    for (const FromEntry& entry : query.from) {
+      Atom isa;
+      isa.kind = Atom::Kind::kIsa;
+      isa.obj = IdTerm::Var(entry.var);
+      isa.value = entry.cls;
+      conjuncts.push_back(Formula::Make(std::move(isa)));
+    }
+    // SELECT items become answer variables; a non-trivial path item gets
+    // a fresh answer variable Z plus the conjunct "path reaches Z".
+    for (const SelectItem& item : query.select) {
+      if (item.kind != SelectItem::Kind::kExpr) {
+        return Status::Unimplemented(
+            "P translates plain SELECT items only");
+      }
+      const ValueExpr& expr = item.expr;
+      if (expr.kind != ValueExpr::Kind::kPath) {
+        return Status::Unimplemented(
+            "aggregates/arithmetic/subqueries are outside the first-order "
+            "fragment");
+      }
+      if (expr.path.trivial() && expr.path.head.is_var()) {
+        out.answer_vars.push_back(expr.path.head.var);
+        continue;
+      }
+      Variable answer = Fresh();
+      out.answer_vars.push_back(answer);
+      XSQL_ASSIGN_OR_RETURN(
+          std::shared_ptr<Formula> reach,
+          Reach(expr.path, IdTerm::Var(answer)));
+      conjuncts.push_back(std::move(reach));
+    }
+    if (query.where != nullptr) {
+      XSQL_ASSIGN_OR_RETURN(std::shared_ptr<Formula> where,
+                            TranslateCondition(*query.where));
+      conjuncts.push_back(std::move(where));
+    }
+    out.body = conjuncts.empty()
+                   ? nullptr
+                   : Formula::And(std::move(conjuncts));
+    // Existentially close the free variables that are not answer
+    // variables (the §3.4 semantics considers all substitutions; a
+    // tuple is an answer if *some* extension satisfies the body).
+    if (out.body != nullptr) {
+      std::vector<Variable> free;
+      CollectFreeVars(*out.body, {}, &free);
+      for (auto it = free.rbegin(); it != free.rend(); ++it) {
+        bool is_answer = false;
+        for (const Variable& v : out.answer_vars) {
+          if (v == *it) is_answer = true;
+        }
+        if (!is_answer) out.body = Formula::Exists(*it, std::move(out.body));
+      }
+    }
+    return out;
+  }
+
+ private:
+  Variable Fresh() {
+    return Variable{"_f" + std::to_string(fresh_++), VarSort::kIndividual};
+  }
+
+  static void AddVar(const Variable& v, const std::vector<Variable>& bound,
+                     std::vector<Variable>* out) {
+    for (const Variable& b : bound) {
+      if (b == v) return;
+    }
+    for (const Variable& have : *out) {
+      if (have == v) return;
+    }
+    out->push_back(v);
+  }
+
+  static void CollectTermVars(const IdTerm& term,
+                              const std::vector<Variable>& bound,
+                              std::vector<Variable>* out) {
+    if (term.is_var()) {
+      AddVar(term.var, bound, out);
+    } else if (term.is_apply()) {
+      for (const IdTerm& a : term.args) CollectTermVars(a, bound, out);
+    }
+  }
+
+  /// Free variables of a formula, in first-occurrence order.
+  static void CollectFreeVars(const Formula& formula,
+                              std::vector<Variable> bound,
+                              std::vector<Variable>* out) {
+    switch (formula.kind) {
+      case Formula::Kind::kAtom: {
+        const Atom& atom = formula.atom;
+        CollectTermVars(atom.obj, bound, out);
+        CollectTermVars(atom.method, bound, out);
+        for (const IdTerm& a : atom.args) CollectTermVars(a, bound, out);
+        CollectTermVars(atom.value, bound, out);
+        break;
+      }
+      case Formula::Kind::kExists:
+      case Formula::Kind::kForall:
+        bound.push_back(formula.var);
+        CollectFreeVars(*formula.children[0], bound, out);
+        break;
+      default:
+        for (const auto& child : formula.children) {
+          CollectFreeVars(*child, bound, out);
+        }
+        break;
+    }
+  }
+
+  static std::shared_ptr<Formula> Implies(std::shared_ptr<Formula> a,
+                                          std::shared_ptr<Formula> b) {
+    return Formula::Or({Formula::Not(std::move(a)), std::move(b)});
+  }
+
+  /// Formula asserting that some database path satisfying `path` ends in
+  /// the object denoted by `end`: one kData molecule per step, with
+  /// fresh existential variables for the selector-less intermediate
+  /// nodes — the §3.1 satisfaction definition written out in F-logic.
+  Result<std::shared_ptr<Formula>> Reach(const PathExpr& path,
+                                         const IdTerm& end) {
+    if (path.trivial()) {
+      Atom eq;
+      eq.kind = Atom::Kind::kEquals;
+      eq.obj = end;
+      eq.value = path.head;
+      return Formula::Make(std::move(eq));
+    }
+    std::vector<std::shared_ptr<Formula>> atoms;
+    std::vector<Variable> existentials;
+    IdTerm prev = path.head;
+    for (size_t i = 0; i < path.steps.size(); ++i) {
+      const PathStep& step = path.steps[i];
+      if (step.kind == PathStep::Kind::kPathVar) {
+        return Status::Unimplemented(
+            "path variables are outside the first-order fragment P covers");
+      }
+      IdTerm node;
+      if (i + 1 == path.steps.size()) {
+        // The final node: use the declared selector if present (then tie
+        // it to `end` with equality), otherwise `end` directly.
+        if (step.selector.has_value()) {
+          node = *step.selector;
+          Atom eq;
+          eq.kind = Atom::Kind::kEquals;
+          eq.obj = end;
+          eq.value = node;
+          atoms.push_back(Formula::Make(std::move(eq)));
+        } else {
+          node = end;
+        }
+      } else if (step.selector.has_value()) {
+        node = *step.selector;
+      } else {
+        Variable fresh = Fresh();
+        existentials.push_back(fresh);
+        node = IdTerm::Var(fresh);
+      }
+      Atom data;
+      data.kind = Atom::Kind::kData;
+      data.obj = prev;
+      data.method = step.method.name_is_var
+                        ? IdTerm::Var(step.method.name_var)
+                        : IdTerm::Const(step.method.name);
+      data.args = step.method.args;
+      data.value = node;
+      atoms.push_back(Formula::Make(std::move(data)));
+      prev = node;
+    }
+    std::shared_ptr<Formula> body = Formula::And(std::move(atoms));
+    for (auto it = existentials.rbegin(); it != existentials.rend(); ++it) {
+      body = Formula::Exists(*it, std::move(body));
+    }
+    return body;
+  }
+
+  /// Builds "for the value set of `expr` under quantifier `q`, the
+  /// property `inner(x)` holds", i.e. some-x, all-x or the-unique-x.
+  Result<std::shared_ptr<Formula>> Quantify(
+      const ValueExpr& expr, Quant q,
+      const std::function<Result<std::shared_ptr<Formula>>(const IdTerm&)>&
+          inner) {
+    if (expr.kind == ValueExpr::Kind::kSetLiteral) {
+      // A set literal's value is known syntactically: expand the
+      // quantifier into a finite conjunction/disjunction.
+      std::vector<std::shared_ptr<Formula>> parts;
+      for (const ValueExpr& elem : expr.set_elems) {
+        if (elem.kind != ValueExpr::Kind::kPath || !elem.path.trivial()) {
+          return Status::Unimplemented(
+              "set literals in the first-order fragment must list "
+              "id-terms");
+        }
+        XSQL_ASSIGN_OR_RETURN(auto part, inner(elem.path.head));
+        parts.push_back(std::move(part));
+      }
+      switch (q) {
+        case Quant::kSome:
+          return Formula::Or(std::move(parts));
+        case Quant::kAll:
+          return Formula::And(std::move(parts));
+        case Quant::kNone:
+          if (parts.size() != 1) {
+            return Status::Unimplemented(
+                "unquantified set literal must be a singleton");
+          }
+          return parts[0];
+      }
+    }
+    if (expr.kind != ValueExpr::Kind::kPath) {
+      return Status::Unimplemented(
+          "aggregates/arithmetic/subqueries are outside the first-order "
+          "fragment");
+    }
+    const PathExpr& path = expr.path;
+    Variable x = Fresh();
+    IdTerm xt = IdTerm::Var(x);
+    XSQL_ASSIGN_OR_RETURN(std::shared_ptr<Formula> reach_x, Reach(path, xt));
+    XSQL_ASSIGN_OR_RETURN(std::shared_ptr<Formula> prop, inner(xt));
+    switch (q) {
+      case Quant::kSome:
+        return Formula::Exists(
+            x, Formula::And({std::move(reach_x), std::move(prop)}));
+      case Quant::kAll:
+        return Formula::Forall(x,
+                               Implies(std::move(reach_x), std::move(prop)));
+      case Quant::kNone: {
+        // Unquantified side: the value must be the singleton {x}.
+        Variable z = Fresh();
+        XSQL_ASSIGN_OR_RETURN(std::shared_ptr<Formula> reach_z,
+                              Reach(path, IdTerm::Var(z)));
+        Atom eq;
+        eq.kind = Atom::Kind::kEquals;
+        eq.obj = IdTerm::Var(z);
+        eq.value = xt;
+        std::shared_ptr<Formula> unique = Formula::Forall(
+            z, Implies(std::move(reach_z), Formula::Make(std::move(eq))));
+        return Formula::Exists(
+            x, Formula::And(
+                   {std::move(reach_x), std::move(unique), std::move(prop)}));
+      }
+    }
+    return Status::RuntimeError("bad quantifier");
+  }
+
+  Result<std::shared_ptr<Formula>> TranslateComparison(const Condition& c) {
+    return Quantify(c.lhs, c.lquant, [&](const IdTerm& x) {
+      return Quantify(c.rhs, c.rquant,
+                      [&](const IdTerm& y) -> Result<std::shared_ptr<Formula>> {
+                        Atom cmp;
+                        cmp.kind = c.comp_op == CompOp::kEq
+                                       ? Atom::Kind::kEquals
+                                       : Atom::Kind::kComparison;
+                        cmp.op = c.comp_op;
+                        cmp.obj = x;
+                        cmp.value = y;
+                        return Formula::Make(std::move(cmp));
+                      });
+    });
+  }
+
+  /// `every x reached by a is also reached by b`.
+  Result<std::shared_ptr<Formula>> SubsetEq(const ValueExpr& a,
+                                            const ValueExpr& b) {
+    return Quantify(a, Quant::kAll, [&](const IdTerm& x) {
+      // "b reaches x": exists y reached by b with y = x.
+      return Quantify(b, Quant::kSome,
+                      [&](const IdTerm& y) -> Result<std::shared_ptr<Formula>> {
+                        Atom eq;
+                        eq.kind = Atom::Kind::kEquals;
+                        eq.obj = x;
+                        eq.value = y;
+                        return Formula::Make(std::move(eq));
+                      });
+    });
+  }
+
+  /// `some x reached by a is not reached by b` (proper-ness witness).
+  Result<std::shared_ptr<Formula>> SomeNotIn(const ValueExpr& a,
+                                             const ValueExpr& b) {
+    return Quantify(a, Quant::kSome, [&](const IdTerm& x) {
+      return Quantify(b, Quant::kAll,
+                      [&](const IdTerm& y) -> Result<std::shared_ptr<Formula>> {
+                        Atom ne;
+                        ne.kind = Atom::Kind::kComparison;
+                        ne.op = CompOp::kNe;
+                        ne.obj = x;
+                        ne.value = y;
+                        return Formula::Make(std::move(ne));
+                      });
+    });
+  }
+
+  Result<std::shared_ptr<Formula>> TranslateSetComparison(
+      const Condition& c) {
+    switch (c.set_op) {
+      case SetOp::kSubsetEq:
+        return SubsetEq(c.lhs, c.rhs);
+      case SetOp::kContainsEq:
+        return SubsetEq(c.rhs, c.lhs);
+      case SetOp::kSubset: {
+        XSQL_ASSIGN_OR_RETURN(auto sub, SubsetEq(c.lhs, c.rhs));
+        XSQL_ASSIGN_OR_RETURN(auto proper, SomeNotIn(c.rhs, c.lhs));
+        return Formula::And({std::move(sub), std::move(proper)});
+      }
+      case SetOp::kContains: {
+        XSQL_ASSIGN_OR_RETURN(auto sup, SubsetEq(c.rhs, c.lhs));
+        XSQL_ASSIGN_OR_RETURN(auto proper, SomeNotIn(c.lhs, c.rhs));
+        return Formula::And({std::move(sup), std::move(proper)});
+      }
+      case SetOp::kSetEq: {
+        XSQL_ASSIGN_OR_RETURN(auto ab, SubsetEq(c.lhs, c.rhs));
+        XSQL_ASSIGN_OR_RETURN(auto ba, SubsetEq(c.rhs, c.lhs));
+        return Formula::And({std::move(ab), std::move(ba)});
+      }
+    }
+    return Status::RuntimeError("bad set comparator");
+  }
+
+  Result<std::shared_ptr<Formula>> TranslateCondition(const Condition& c) {
+    switch (c.kind) {
+      case Condition::Kind::kAnd:
+      case Condition::Kind::kOr: {
+        std::vector<std::shared_ptr<Formula>> children;
+        for (const auto& child : c.children) {
+          XSQL_ASSIGN_OR_RETURN(auto f, TranslateCondition(*child));
+          children.push_back(std::move(f));
+        }
+        return c.kind == Condition::Kind::kAnd
+                   ? Formula::And(std::move(children))
+                   : Formula::Or(std::move(children));
+      }
+      case Condition::Kind::kNot: {
+        XSQL_ASSIGN_OR_RETURN(auto f, TranslateCondition(*c.children[0]));
+        return Formula::Not(std::move(f));
+      }
+      case Condition::Kind::kComparison:
+        return TranslateComparison(c);
+      case Condition::Kind::kSetComparison:
+        return TranslateSetComparison(c);
+      case Condition::Kind::kStandalonePath: {
+        Variable tail = Fresh();
+        XSQL_ASSIGN_OR_RETURN(auto reach,
+                              Reach(c.path, IdTerm::Var(tail)));
+        return Formula::Exists(tail, std::move(reach));
+      }
+      case Condition::Kind::kSubclassOf: {
+        Atom sub;
+        sub.kind = Atom::Kind::kSubclass;
+        sub.obj = c.sub;
+        sub.value = c.super;
+        return Formula::Make(std::move(sub));
+      }
+      case Condition::Kind::kApplicable:
+        return Status::Unimplemented(
+            "applicableTo queries the signature store, which P does not "
+            "axiomatize");
+      case Condition::Kind::kUpdate:
+        return Status::Unimplemented(
+            "nested UPDATE is outside the first-order fragment");
+    }
+    return Status::RuntimeError("bad condition");
+  }
+
+  int fresh_ = 0;
+};
+
+}  // namespace
+
+Result<FLogicQuery> TranslateToFLogic(const Query& query) {
+  Translator translator;
+  return translator.Run(query);
+}
+
+}  // namespace flogic
+}  // namespace xsql

@@ -1,0 +1,26 @@
+#ifndef XSQL_FLOGIC_TRANSLATE_H_
+#define XSQL_FLOGIC_TRANSLATE_H_
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "flogic/formula.h"
+
+namespace xsql {
+namespace flogic {
+
+/// Theorem 3.1's effective procedure `P`: translates an XSQL query of
+/// the form considered in §3 and §5 — SELECT over variables and path
+/// expressions, FROM, a WHERE clause built from path expressions,
+/// quantified and set comparisons, subclassOf and Boolean connectives —
+/// into an equivalent first-order F-logic query.
+///
+/// Constructs outside that form are rejected with Unimplemented:
+/// aggregates and arithmetic (not first-order), subqueries (translate
+/// them separately), OID FUNCTION object creation (§4 extends the data,
+/// not just the answers), nested UPDATE, and path variables.
+Result<FLogicQuery> TranslateToFLogic(const Query& query);
+
+}  // namespace flogic
+}  // namespace xsql
+
+#endif  // XSQL_FLOGIC_TRANSLATE_H_

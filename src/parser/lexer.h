@@ -1,0 +1,63 @@
+#ifndef XSQL_PARSER_LEXER_H_
+#define XSQL_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xsql {
+
+/// Token categories of the XSQL surface syntax.
+enum class TokenType : uint8_t {
+  kEnd,
+  kIdent,       // bare identifier: mary123, Residence, _john13, OO_Forum
+  kClassVar,    // $X
+  kMethodVar,   // "X
+  kExplicitVar, // ?X — explicit individual variable (our extension)
+  kString,      // 'newyork'
+  kInt,
+  kReal,
+  kDot,
+  kComma,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kAt,
+  kEq,          // =
+  kNe,          // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,       // also the keyword MINUS is an ident; '-' is this token
+  kStar,
+  kSlash,
+  kColon,
+  kArrow,       // => / ->  (scalar signature arrow)
+  kDoubleArrow, // =>> / ->> (set signature arrow)
+};
+
+/// One lexed token with its source position (byte offset) for errors.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier / variable name / string body
+  int64_t int_value = 0;
+  double real_value = 0;
+  size_t pos = 0;
+
+  /// Case-insensitive keyword test for identifier tokens.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes XSQL text. `--` comments run to end of line.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace xsql
+
+#endif  // XSQL_PARSER_LEXER_H_

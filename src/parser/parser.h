@@ -1,0 +1,44 @@
+#ifndef XSQL_PARSER_PARSER_H_
+#define XSQL_PARSER_PARSER_H_
+
+#include <string>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "store/database.h"
+
+namespace xsql {
+
+/// Parses one XSQL statement (query, CREATE VIEW, ALTER CLASS or UPDATE
+/// CLASS). The returned AST may contain unresolved `kNameRef` id-terms;
+/// run `ResolveNames` before type checking or evaluation.
+///
+/// Two paper-prescribed desugarings happen during parsing:
+///  * a non-trivial path used as a method argument or id-function
+///    argument (e.g. `(MngrSalary @ Y.Name)`) is replaced by a fresh
+///    variable plus the conjunct `Y.Name[Z]` added to the WHERE clause
+///    (§5, discussion after query (12); §4.2 for id-terms);
+///  * `OID X` is parsed as `OID FUNCTION OF X`.
+Result<Statement> Parse(const std::string& text);
+
+/// Resolves every bare identifier (`kNameRef`) to a constant or an
+/// individual variable. The rule, documented in README (the paper leaves
+/// bare identifiers' sorting to context):
+///  * names declared by the enclosing FROM clauses, appearing bare in a
+///    SELECT list, listed in OID FUNCTION OF, or grouped in `{W}` are
+///    individual variables;
+///  * names known to the database (a class, an existing object, or any
+///    oid in the active domain) are constants;
+///  * remaining names starting with an upper-case letter are individual
+///    variables (the paper's `X`, `Y`, `W` style);
+///  * everything else is a constant atom (so `mary123` on an empty
+///    database denotes a non-existent object and yields empty answers,
+///    exactly as §3.1 discusses).
+Status ResolveNames(Statement* stmt, const Database& db);
+
+/// Convenience: parse then resolve.
+Result<Statement> ParseAndResolve(const std::string& text, const Database& db);
+
+}  // namespace xsql
+
+#endif  // XSQL_PARSER_PARSER_H_

@@ -1,0 +1,357 @@
+#include "storage/snapshot.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace xsql {
+namespace storage {
+
+namespace {
+
+constexpr const char* kHeader = "XSQL-SNAPSHOT 1";
+
+Status Malformed(const std::string& what, size_t pos) {
+  return Status::InvalidArgument("malformed snapshot: " + what +
+                                 " at offset " + std::to_string(pos));
+}
+
+}  // namespace
+
+void EncodeOid(const Oid& oid, std::string* out) {
+  switch (oid.kind()) {
+    case OidKind::kNil:
+      out->push_back('n');
+      break;
+    case OidKind::kBool:
+      out->push_back('b');
+      out->push_back(oid.bool_value() ? '1' : '0');
+      break;
+    case OidKind::kInt:
+      out->push_back('i');
+      out->append(std::to_string(oid.int_value()));
+      out->push_back(';');
+      break;
+    case OidKind::kReal: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "r%.17g;", oid.real_value());
+      out->append(buf);
+      break;
+    }
+    case OidKind::kString:
+    case OidKind::kAtom:
+      out->push_back(oid.is_string() ? 's' : 'a');
+      out->append(std::to_string(oid.str().size()));
+      out->push_back(':');
+      out->append(oid.str());
+      break;
+    case OidKind::kTerm: {
+      out->push_back('t');
+      out->append(std::to_string(oid.term_fn().size()));
+      out->push_back(':');
+      out->append(oid.term_fn());
+      out->append(std::to_string(oid.term_args().size()));
+      out->push_back(';');
+      for (const Oid& arg : oid.term_args()) EncodeOid(arg, out);
+      break;
+    }
+  }
+}
+
+namespace {
+
+Result<int64_t> DecodeInt(const std::string& text, size_t* pos,
+                          char terminator) {
+  size_t start = *pos;
+  size_t end = text.find(terminator, start);
+  if (end == std::string::npos) return Malformed("unterminated number", start);
+  errno = 0;
+  char* stop = nullptr;
+  std::string digits = text.substr(start, end - start);
+  int64_t value = std::strtoll(digits.c_str(), &stop, 10);
+  if (errno != 0 || stop == digits.c_str() || *stop != '\0') {
+    return Malformed("bad number", start);
+  }
+  *pos = end + 1;
+  return value;
+}
+
+Result<std::string> DecodePayload(const std::string& text, size_t* pos) {
+  XSQL_ASSIGN_OR_RETURN(int64_t len, DecodeInt(text, pos, ':'));
+  if (len < 0 || *pos + static_cast<size_t>(len) > text.size()) {
+    return Malformed("payload overruns input", *pos);
+  }
+  std::string payload = text.substr(*pos, static_cast<size_t>(len));
+  *pos += static_cast<size_t>(len);
+  return payload;
+}
+
+}  // namespace
+
+Result<Oid> DecodeOid(const std::string& text, size_t* pos) {
+  if (*pos >= text.size()) return Malformed("truncated oid", *pos);
+  char tag = text[(*pos)++];
+  switch (tag) {
+    case 'n':
+      return Oid::Nil();
+    case 'b': {
+      if (*pos >= text.size()) return Malformed("truncated bool", *pos);
+      char v = text[(*pos)++];
+      return Oid::Bool(v == '1');
+    }
+    case 'i': {
+      XSQL_ASSIGN_OR_RETURN(int64_t value, DecodeInt(text, pos, ';'));
+      return Oid::Int(value);
+    }
+    case 'r': {
+      size_t start = *pos;
+      size_t end = text.find(';', start);
+      if (end == std::string::npos) return Malformed("unterminated real", start);
+      errno = 0;
+      char* stop = nullptr;
+      std::string digits = text.substr(start, end - start);
+      double value = std::strtod(digits.c_str(), &stop);
+      if (errno != 0 || stop == digits.c_str() || *stop != '\0' ||
+          !std::isfinite(value)) {
+        // Non-finite reals would break Oid's total order.
+        return Malformed("bad real", start);
+      }
+      *pos = end + 1;
+      return Oid::Real(value);
+    }
+    case 's': {
+      XSQL_ASSIGN_OR_RETURN(std::string payload, DecodePayload(text, pos));
+      return Oid::String(std::move(payload));
+    }
+    case 'a': {
+      XSQL_ASSIGN_OR_RETURN(std::string payload, DecodePayload(text, pos));
+      return Oid::Atom(std::move(payload));
+    }
+    case 't': {
+      XSQL_ASSIGN_OR_RETURN(std::string fn, DecodePayload(text, pos));
+      XSQL_ASSIGN_OR_RETURN(int64_t argc, DecodeInt(text, pos, ';'));
+      if (argc < 0 || argc > 1 << 20) return Malformed("bad arity", *pos);
+      std::vector<Oid> args;
+      args.reserve(static_cast<size_t>(argc));
+      for (int64_t i = 0; i < argc; ++i) {
+        XSQL_ASSIGN_OR_RETURN(Oid arg, DecodeOid(text, pos));
+        args.push_back(std::move(arg));
+      }
+      return Oid::Term(std::move(fn), std::move(args));
+    }
+    default:
+      return Malformed(std::string("unknown oid tag '") + tag + "'",
+                       *pos - 1);
+  }
+}
+
+std::string SaveSnapshot(const Database& db) {
+  std::string out = kHeader;
+  out += '\n';
+  auto emit_oid = [&out](const Oid& oid) { EncodeOid(oid, &out); };
+
+  for (const Oid& cls : db.graph().classes()) {
+    out += "CLASS ";
+    emit_oid(cls);
+    out += '\n';
+  }
+  for (const Oid& cls : db.graph().classes()) {
+    for (const Oid& super : db.graph().DirectSuperclasses(cls)) {
+      out += "ISA ";
+      emit_oid(cls);
+      out += ' ';
+      emit_oid(super);
+      out += '\n';
+    }
+  }
+  for (const Oid& cls : db.signatures().DeclaringClasses()) {
+    for (const Oid& method : db.signatures().DeclaredMethods(cls)) {
+      for (const Signature& sig : db.signatures().Declared(cls, method)) {
+        out += "SIG ";
+        emit_oid(cls);
+        out += ' ';
+        emit_oid(sig.method);
+        out += ' ';
+        out += std::to_string(sig.args.size());
+        for (const Oid& arg : sig.args) {
+          out += ' ';
+          emit_oid(arg);
+        }
+        out += ' ';
+        emit_oid(sig.result);
+        out += sig.set_valued ? " set" : " scalar";
+        out += '\n';
+      }
+    }
+  }
+  for (const auto& [obj, cls] : db.graph().AllInstancePairs()) {
+    out += "INST ";
+    emit_oid(obj);
+    out += ' ';
+    emit_oid(cls);
+    out += '\n';
+  }
+  for (const auto& [oid, object] : db.objects()) {
+    out += "OBJ ";
+    emit_oid(oid);
+    out += '\n';
+    for (const auto& [attr, value] : object.attrs()) {
+      out += "ATTR ";
+      emit_oid(oid);
+      out += ' ';
+      emit_oid(attr);
+      if (value.set_valued()) {
+        out += " set " + std::to_string(value.set().size());
+        for (const Oid& v : value.set()) {
+          out += ' ';
+          emit_oid(v);
+        }
+      } else {
+        out += " scalar ";
+        emit_oid(value.scalar());
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Token cursor over one snapshot line. Owns its text: callers pass
+/// substr temporaries.
+class LineCursor {
+ public:
+  explicit LineCursor(std::string line) : line_(std::move(line)) {}
+
+  Result<Oid> NextOid() {
+    SkipSpace();
+    return DecodeOid(line_, &pos_);
+  }
+
+  Result<int64_t> NextCount() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < line_.size() && line_[pos_] != ' ') ++pos_;
+    errno = 0;
+    char* stop = nullptr;
+    std::string digits = line_.substr(start, pos_ - start);
+    int64_t value = std::strtoll(digits.c_str(), &stop, 10);
+    if (errno != 0 || stop == digits.c_str() || *stop != '\0') {
+      return Malformed("bad count", start);
+    }
+    return value;
+  }
+
+  Result<std::string> NextWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < line_.size() && line_[pos_] != ' ') ++pos_;
+    if (start == pos_) return Malformed("missing word", start);
+    return line_.substr(start, pos_ - start);
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < line_.size() && line_[pos_] == ' ') ++pos_;
+  }
+
+  std::string line_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status LoadSnapshot(const std::string& text, Database* db) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::InvalidArgument("not an XSQL snapshot (bad header)");
+  }
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      return Malformed("record without payload (line " +
+                       std::to_string(line_no) + ")", 0);
+    }
+    std::string record = line.substr(0, space);
+    LineCursor cursor(line.substr(space + 1));
+    if (record == "CLASS") {
+      XSQL_ASSIGN_OR_RETURN(Oid cls, cursor.NextOid());
+      XSQL_RETURN_IF_ERROR(db->mutable_graph().DeclareClass(cls));
+    } else if (record == "ISA") {
+      XSQL_ASSIGN_OR_RETURN(Oid sub, cursor.NextOid());
+      XSQL_ASSIGN_OR_RETURN(Oid super, cursor.NextOid());
+      XSQL_RETURN_IF_ERROR(db->mutable_graph().AddSubclass(sub, super));
+    } else if (record == "SIG") {
+      XSQL_ASSIGN_OR_RETURN(Oid cls, cursor.NextOid());
+      Signature sig;
+      XSQL_ASSIGN_OR_RETURN(sig.method, cursor.NextOid());
+      XSQL_ASSIGN_OR_RETURN(int64_t argc, cursor.NextCount());
+      for (int64_t i = 0; i < argc; ++i) {
+        XSQL_ASSIGN_OR_RETURN(Oid arg, cursor.NextOid());
+        sig.args.push_back(std::move(arg));
+      }
+      XSQL_ASSIGN_OR_RETURN(sig.result, cursor.NextOid());
+      XSQL_ASSIGN_OR_RETURN(std::string kind, cursor.NextWord());
+      sig.set_valued = kind == "set";
+      XSQL_RETURN_IF_ERROR(db->DeclareSignature(cls, std::move(sig)));
+    } else if (record == "INST") {
+      XSQL_ASSIGN_OR_RETURN(Oid obj, cursor.NextOid());
+      XSQL_ASSIGN_OR_RETURN(Oid cls, cursor.NextOid());
+      XSQL_RETURN_IF_ERROR(db->mutable_graph().AddInstance(obj, cls));
+    } else if (record == "OBJ") {
+      XSQL_ASSIGN_OR_RETURN(Oid oid, cursor.NextOid());
+      XSQL_RETURN_IF_ERROR(db->NewObject(oid, {}));
+    } else if (record == "ATTR") {
+      XSQL_ASSIGN_OR_RETURN(Oid oid, cursor.NextOid());
+      XSQL_ASSIGN_OR_RETURN(Oid attr, cursor.NextOid());
+      XSQL_ASSIGN_OR_RETURN(std::string kind, cursor.NextWord());
+      if (kind == "scalar") {
+        XSQL_ASSIGN_OR_RETURN(Oid value, cursor.NextOid());
+        XSQL_RETURN_IF_ERROR(db->SetScalar(oid, attr, value));
+      } else if (kind == "set") {
+        XSQL_ASSIGN_OR_RETURN(int64_t count, cursor.NextCount());
+        OidSet values;
+        for (int64_t i = 0; i < count; ++i) {
+          XSQL_ASSIGN_OR_RETURN(Oid value, cursor.NextOid());
+          values.Insert(value);
+        }
+        XSQL_RETURN_IF_ERROR(db->SetSet(oid, attr, std::move(values)));
+      } else {
+        return Malformed("bad ATTR kind '" + kind + "'", 0);
+      }
+    } else {
+      return Malformed("unknown record '" + record + "' (line " +
+                       std::to_string(line_no) + ")", 0);
+    }
+  }
+  return Status::OK();
+}
+
+Status SaveSnapshotToFile(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  std::string text = SaveSnapshot(db);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::RuntimeError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadSnapshotFromFile(const std::string& path, Database* db) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return LoadSnapshot(buffer.str(), db);
+}
+
+}  // namespace storage
+}  // namespace xsql

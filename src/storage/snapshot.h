@@ -1,0 +1,45 @@
+#ifndef XSQL_STORAGE_SNAPSHOT_H_
+#define XSQL_STORAGE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "oid/oid.h"
+#include "store/database.h"
+
+namespace xsql {
+namespace storage {
+
+/// Durable snapshots of a Database: a line-oriented text format holding
+/// the full schema (classes, IS-A edges, signatures), the instance-of
+/// relation, and every object with its attribute values. Oids are
+/// encoded self-delimiting (length-prefixed payloads), so arbitrary
+/// strings and nested id-terms round-trip byte-exactly.
+///
+/// Not persisted (by design, documented): method *bodies* (native
+/// functions cannot be serialized; query-defined methods and views are
+/// re-installed by replaying their DDL, which callers own) and the
+/// version counter (a loaded database starts fresh). Limitation: string
+/// and atom payloads containing a newline are not representable in the
+/// line-oriented format.
+
+/// Serializes the database.
+std::string SaveSnapshot(const Database& db);
+
+/// Restores a snapshot produced by SaveSnapshot into `db`, which should
+/// be freshly constructed (builtins are reconciled, everything else is
+/// added). Fails with InvalidArgument on malformed input.
+Status LoadSnapshot(const std::string& text, Database* db);
+
+/// File convenience wrappers.
+Status SaveSnapshotToFile(const Database& db, const std::string& path);
+Status LoadSnapshotFromFile(const std::string& path, Database* db);
+
+/// Self-delimiting oid codec (exposed for tests).
+void EncodeOid(const Oid& oid, std::string* out);
+Result<Oid> DecodeOid(const std::string& text, size_t* pos);
+
+}  // namespace storage
+}  // namespace xsql
+
+#endif  // XSQL_STORAGE_SNAPSHOT_H_

@@ -1,0 +1,69 @@
+#ifndef XSQL_STORE_CATALOG_H_
+#define XSQL_STORE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "oid/oid.h"
+
+namespace xsql {
+
+class Database;
+
+/// Built-in class oids (§2).
+///
+/// The paper's catalog design makes the system catalogue *part of the
+/// class hierarchy*: classes are objects (instances of the meta-class
+/// `Class`) and attribute/method names are objects (instances of the
+/// meta-class `Method`), so the very same language browses schema and
+/// data. These are the well-known class names that make that work.
+namespace builtin {
+
+/// Root class of all individual objects.
+Oid Object();
+/// Class of all numbers (ints and reals are its literal instances).
+Oid Numeral();
+/// Class of all strings.
+Oid String();
+/// Class of booleans.
+Oid Boolean();
+/// Class containing only `nil` (§5 uses nil as a "no meaningful value").
+Oid NilClass();
+/// Meta-class whose instances are the class-objects themselves.
+Oid MetaClass();
+/// Meta-class whose instances are attribute- and method-name objects.
+Oid MetaMethod();
+
+/// All builtin class oids, for iteration.
+std::vector<Oid> All();
+
+}  // namespace builtin
+
+/// Schema-browsing helpers over the catalog (§1's "engine types" need,
+/// §3.1's class/attribute variables). These answer the questions the
+/// relational model would require system tables for.
+namespace catalog {
+
+/// Attribute/method names visible on `cls` through declared signatures
+/// (including structurally inherited ones).
+OidSet AttributesOf(const Database& db, const Oid& cls);
+
+/// Classes that declare (directly) a signature for `method`.
+std::vector<Oid> ClassesDeclaring(const Database& db, const Oid& method);
+
+/// All attribute/method-name objects known to the database — the range of
+/// the paper's method variables (`"Y`).
+OidSet MethodNameUniverse(const Database& db);
+
+/// All class-objects — the range of class variables (`$X`).
+OidSet ClassUniverse(const Database& db);
+
+/// Multi-line textual rendering of the schema (classes, IS-A edges,
+/// signatures), used by examples and debugging.
+std::string DumpSchema(const Database& db);
+
+}  // namespace catalog
+
+}  // namespace xsql
+
+#endif  // XSQL_STORE_CATALOG_H_

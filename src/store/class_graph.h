@@ -1,0 +1,102 @@
+#ifndef XSQL_STORE_CLASS_GRAPH_H_
+#define XSQL_STORE_CLASS_GRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "oid/oid.h"
+
+namespace xsql {
+
+/// The IS-A hierarchy and the instance-of relationship of §2.
+///
+/// Classes are identified by their class-oids (atoms like `Person`). The
+/// IS-A (subclass) relation is a DAG — `AddSubclass` rejects edges that
+/// would create a cycle. `instance-of` relates individual oids to the
+/// classes they directly belong to; membership is closed upward along
+/// IS-A (an instance of `Employee` is an instance of `Person`), exactly
+/// the paper's containment rule, while the converse (extensional equality
+/// does not imply IS-A) is naturally respected because IS-A is only what
+/// was declared.
+class ClassGraph {
+ public:
+  /// Registers `cls` as a class with no superclasses (yet).
+  /// Idempotent for already-declared classes.
+  Status DeclareClass(const Oid& cls);
+
+  /// Declares `sub` IS-A `super`. Both are auto-declared if new.
+  /// Fails with InvalidArgument if the edge would create a cycle.
+  Status AddSubclass(const Oid& sub, const Oid& super);
+
+  /// Makes `obj` a direct instance of `cls` (declared on demand).
+  Status AddInstance(const Oid& obj, const Oid& cls);
+
+  /// Removes `obj` from the direct extent of `cls`.
+  void RemoveInstance(const Oid& obj, const Oid& cls);
+
+  bool IsClass(const Oid& oid) const;
+
+  /// The paper's `subclassOf` is *strict*: `C subclassOf C` is false.
+  bool IsStrictSubclass(const Oid& sub, const Oid& super) const;
+  /// Reflexive subclass test.
+  bool IsSubclassEq(const Oid& sub, const Oid& super) const;
+
+  /// True if `obj` was declared an instance of `cls` or of a subclass.
+  bool IsInstanceOf(const Oid& obj, const Oid& cls) const;
+
+  /// All declared classes, in declaration order.
+  const std::vector<Oid>& classes() const { return class_list_; }
+
+  std::vector<Oid> DirectSuperclasses(const Oid& cls) const;
+  std::vector<Oid> DirectSubclasses(const Oid& cls) const;
+
+  /// All strict ancestors (resp. descendants) of `cls`.
+  OidSet Ancestors(const Oid& cls) const;
+  OidSet Descendants(const Oid& cls) const;
+
+  /// Direct instances only.
+  const OidSet& DirectExtent(const Oid& cls) const;
+
+  /// Deep extent: direct instances of `cls` and of every descendant.
+  OidSet Extent(const Oid& cls) const;
+
+  /// The classes `obj` directly belongs to.
+  std::vector<Oid> DirectClassesOf(const Oid& obj) const;
+
+  /// Every (object, direct class) pair — snapshot/export support.
+  std::vector<std::pair<Oid, Oid>> AllInstancePairs() const;
+
+  /// All classes `obj` belongs to (direct classes + their ancestors).
+  OidSet AllClassesOf(const Oid& obj) const;
+
+  /// True if some declared class is a (non-strict) subclass of every class
+  /// in `classes`. Used for the §6.2 range-emptiness test: a range with no
+  /// common subclass (e.g. {Person, Company}) can never contain an oid.
+  bool HaveCommonSubclass(const std::vector<Oid>& classes) const;
+
+  /// §6.2 subrange test: a range `R` (set of classes) is a subrange of `T`
+  /// if every oid that could belong to all of `R` is an instance of `T`;
+  /// statically, every common (non-strict) subclass of `R` must be a
+  /// subclass of `T`. Vacuously true when `R` has no common subclass.
+  bool IsSubrange(const std::vector<Oid>& range, const Oid& of_class) const;
+
+ private:
+  struct Node {
+    std::vector<Oid> supers;
+    std::vector<Oid> subs;
+    OidSet direct_extent;
+  };
+
+  const Node* Find(const Oid& cls) const;
+  Node* FindMutable(const Oid& cls);
+
+  std::unordered_map<Oid, Node, OidHash> nodes_;
+  std::vector<Oid> class_list_;
+  // obj -> direct classes
+  std::unordered_map<Oid, std::vector<Oid>, OidHash> instance_of_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_STORE_CLASS_GRAPH_H_

@@ -1,0 +1,260 @@
+#include "store/database.h"
+
+#include <deque>
+
+#include "store/catalog.h"
+
+namespace xsql {
+
+Database::Database() {
+  // Builtin hierarchy: individual classes live under Object; the two
+  // meta-classes (Class, Method) stand apart, making the catalog part of
+  // the hierarchy without mixing the class universe into individuals.
+  (void)graph_.DeclareClass(builtin::Object());
+  (void)graph_.AddSubclass(builtin::Numeral(), builtin::Object());
+  (void)graph_.AddSubclass(builtin::String(), builtin::Object());
+  (void)graph_.AddSubclass(builtin::Boolean(), builtin::Object());
+  (void)graph_.AddSubclass(builtin::NilClass(), builtin::Object());
+  (void)graph_.DeclareClass(builtin::MetaClass());
+  (void)graph_.DeclareClass(builtin::MetaMethod());
+  for (const Oid& cls : builtin::All()) {
+    (void)graph_.AddInstance(cls, builtin::MetaClass());
+  }
+}
+
+Status Database::DeclareClass(const Oid& cls, const std::vector<Oid>& supers) {
+  if (!cls.is_atom()) {
+    return Status::InvalidArgument("class oid must be an atom: " +
+                                   cls.ToString());
+  }
+  XSQL_RETURN_IF_ERROR(graph_.DeclareClass(cls));
+  if (supers.empty()) {
+    XSQL_RETURN_IF_ERROR(graph_.AddSubclass(cls, builtin::Object()));
+  } else {
+    for (const Oid& super : supers) {
+      XSQL_RETURN_IF_ERROR(graph_.AddSubclass(cls, super));
+    }
+  }
+  // Classes are objects: register in the meta-class and give them a
+  // (possibly empty) tuple-object record.
+  XSQL_RETURN_IF_ERROR(graph_.AddInstance(cls, builtin::MetaClass()));
+  GetOrCreate(cls);
+  Touch();
+  return Status::OK();
+}
+
+Status Database::AddSubclass(const Oid& sub, const Oid& super) {
+  XSQL_RETURN_IF_ERROR(graph_.AddSubclass(sub, super));
+  XSQL_RETURN_IF_ERROR(graph_.AddInstance(sub, builtin::MetaClass()));
+  XSQL_RETURN_IF_ERROR(graph_.AddInstance(super, builtin::MetaClass()));
+  Touch();
+  return Status::OK();
+}
+
+Status Database::DeclareAttribute(const Oid& cls, const Oid& attr,
+                                  const Oid& result, bool set_valued) {
+  Signature sig;
+  sig.method = attr;
+  sig.result = result;
+  sig.set_valued = set_valued;
+  return DeclareSignature(cls, std::move(sig));
+}
+
+Status Database::DeclareSignature(const Oid& cls, Signature sig) {
+  if (!graph_.IsClass(cls)) {
+    XSQL_RETURN_IF_ERROR(DeclareClass(cls));
+  }
+  XSQL_RETURN_IF_ERROR(RegisterMethodObject(sig.method));
+  XSQL_RETURN_IF_ERROR(signatures_.Add(cls, std::move(sig)));
+  Touch();
+  return Status::OK();
+}
+
+Status Database::DefineMethod(const Oid& cls, const Oid& method, int arity,
+                              std::shared_ptr<const MethodBody> body) {
+  XSQL_RETURN_IF_ERROR(RegisterMethodObject(method));
+  XSQL_RETURN_IF_ERROR(methods_.Define(cls, method, arity, std::move(body)));
+  Touch();
+  return Status::OK();
+}
+
+Status Database::ResolveMethodConflict(const Oid& cls, const Oid& method,
+                                       const Oid& from_super) {
+  return methods_.ResolveConflict(cls, method, from_super);
+}
+
+Status Database::NewObject(const Oid& oid, const std::vector<Oid>& classes) {
+  GetOrCreate(oid);
+  for (const Oid& cls : classes) {
+    if (!graph_.IsClass(cls)) {
+      return Status::NotFound("unknown class " + cls.ToString());
+    }
+    XSQL_RETURN_IF_ERROR(graph_.AddInstance(oid, cls));
+  }
+  Touch();
+  return Status::OK();
+}
+
+Status Database::AddInstanceOf(const Oid& oid, const Oid& cls) {
+  if (!graph_.IsClass(cls)) {
+    return Status::NotFound("unknown class " + cls.ToString());
+  }
+  GetOrCreate(oid);
+  XSQL_RETURN_IF_ERROR(graph_.AddInstance(oid, cls));
+  Touch();
+  return Status::OK();
+}
+
+Status Database::SetScalar(const Oid& obj, const Oid& attr, const Oid& value) {
+  XSQL_RETURN_IF_ERROR(RegisterMethodObject(attr));
+  GetOrCreate(obj).SetScalar(attr, value);
+  Touch();
+  return Status::OK();
+}
+
+Status Database::SetSet(const Oid& obj, const Oid& attr, OidSet values) {
+  XSQL_RETURN_IF_ERROR(RegisterMethodObject(attr));
+  GetOrCreate(obj).SetSet(attr, std::move(values));
+  Touch();
+  return Status::OK();
+}
+
+Status Database::AddToSet(const Oid& obj, const Oid& attr, const Oid& value) {
+  XSQL_RETURN_IF_ERROR(RegisterMethodObject(attr));
+  XSQL_RETURN_IF_ERROR(GetOrCreate(obj).AddToSet(attr, value));
+  Touch();
+  return Status::OK();
+}
+
+Status Database::ClearAttribute(const Oid& obj, const Oid& attr) {
+  Object* o = GetMutableObject(obj);
+  if (o == nullptr) return Status::NotFound("no object " + obj.ToString());
+  o->Remove(attr);
+  Touch();
+  return Status::OK();
+}
+
+const Object* Database::GetObject(const Oid& oid) const {
+  auto it = objects_.find(oid);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Object* Database::GetMutableObject(const Oid& oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) return nullptr;
+  Touch();
+  return &it->second;
+}
+
+const AttrValue* Database::GetAttribute(const Oid& obj, const Oid& attr) const {
+  if (const Object* o = GetObject(obj)) {
+    if (const AttrValue* v = o->Get(attr)) return v;
+  }
+  // Behavioral inheritance of defaults: walk classes upward, level by
+  // level, and take the nearest class-object that defines the attribute.
+  std::deque<Oid> frontier;
+  for (const Oid& cls : graph_.DirectClassesOf(obj)) frontier.push_back(cls);
+  OidSet visited;
+  while (!frontier.empty()) {
+    std::vector<const AttrValue*> hits;
+    std::vector<Oid> hit_classes;
+    std::deque<Oid> next;
+    for (const Oid& cls : frontier) {
+      if (visited.Contains(cls)) continue;
+      visited.Insert(cls);
+      const Object* class_obj = GetObject(cls);
+      const AttrValue* v =
+          class_obj == nullptr ? nullptr : class_obj->Get(attr);
+      if (v != nullptr) {
+        hits.push_back(v);
+        hit_classes.push_back(cls);
+      } else {
+        for (const Oid& super : graph_.DirectSuperclasses(cls)) {
+          next.push_back(super);
+        }
+      }
+    }
+    if (!hits.empty()) {
+      // Deterministic pick among incomparable providers: smallest oid.
+      size_t best = 0;
+      for (size_t i = 1; i < hit_classes.size(); ++i) {
+        if (hit_classes[i] < hit_classes[best]) best = i;
+      }
+      return hits[best];
+    }
+    frontier = next;
+  }
+  return nullptr;
+}
+
+bool Database::IsInstanceOf(const Oid& oid, const Oid& cls) const {
+  // Literal instances of the builtin classes.
+  if (oid.is_numeric()) {
+    if (graph_.IsSubclassEq(builtin::Numeral(), cls)) return true;
+  } else if (oid.is_string()) {
+    if (graph_.IsSubclassEq(builtin::String(), cls)) return true;
+  } else if (oid.is_bool()) {
+    if (graph_.IsSubclassEq(builtin::Boolean(), cls)) return true;
+  } else if (oid.is_nil()) {
+    if (graph_.IsSubclassEq(builtin::NilClass(), cls)) return true;
+  }
+  return graph_.IsInstanceOf(oid, cls);
+}
+
+OidSet Database::Extent(const Oid& cls) const {
+  OidSet out = graph_.Extent(cls);
+  // Literal classes draw their extent from the active domain.
+  const bool wants_numeral = graph_.IsSubclassEq(builtin::Numeral(), cls);
+  const bool wants_string = graph_.IsSubclassEq(builtin::String(), cls);
+  const bool wants_bool = graph_.IsSubclassEq(builtin::Boolean(), cls);
+  const bool wants_nil = graph_.IsSubclassEq(builtin::NilClass(), cls);
+  if (wants_numeral || wants_string || wants_bool || wants_nil) {
+    for (const Oid& oid : ActiveDomain()) {
+      if ((wants_numeral && oid.is_numeric()) ||
+          (wants_string && oid.is_string()) ||
+          (wants_bool && oid.is_bool()) || (wants_nil && oid.is_nil())) {
+        out.Insert(oid);
+      }
+    }
+  }
+  return out;
+}
+
+const OidSet& Database::ActiveDomain() const {
+  if (active_domain_dirty_) {
+    OidSet domain;
+    for (const auto& [oid, object] : objects_) {
+      domain.Insert(oid);
+      for (const auto& [attr, value] : object.attrs()) {
+        domain.Insert(attr);
+        if (value.set_valued()) {
+          for (const Oid& v : value.set()) domain.Insert(v);
+        } else {
+          domain.Insert(value.scalar());
+        }
+      }
+    }
+    for (const Oid& cls : graph_.classes()) domain.Insert(cls);
+    active_domain_ = std::move(domain);
+    active_domain_dirty_ = false;
+  }
+  return active_domain_;
+}
+
+Status Database::RegisterMethodObject(const Oid& attr) {
+  if (!attr.is_atom()) {
+    return Status::InvalidArgument("attribute/method name must be an atom: " +
+                                   attr.ToString());
+  }
+  return graph_.AddInstance(attr, builtin::MetaMethod());
+}
+
+Object& Database::GetOrCreate(const Oid& oid) {
+  auto it = objects_.find(oid);
+  if (it == objects_.end()) {
+    it = objects_.emplace(oid, Object(oid)).first;
+  }
+  return it->second;
+}
+
+}  // namespace xsql

@@ -1,0 +1,149 @@
+#ifndef XSQL_STORE_DATABASE_H_
+#define XSQL_STORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "oid/oid.h"
+#include "store/class_graph.h"
+#include "store/method.h"
+#include "store/object.h"
+#include "store/signature.h"
+
+namespace xsql {
+
+/// The object-oriented database of §2: objects, classes, signatures,
+/// methods and the instance-of / IS-A relationships, with the system
+/// catalogue folded into the class hierarchy.
+///
+/// Key semantics implemented here rather than in sub-stores:
+///  * literals (`20`, `'austin'`, `true`, `nil`) are instances of the
+///    builtin classes Numeral/String/Boolean/Nil without registration;
+///  * attribute lookup applies *behavioral inheritance of defaults*:
+///    a value undefined on an object is inherited from the nearest
+///    class-object (classes are objects and can carry default values);
+///  * class extents for the literal classes use the *active domain*
+///    (every oid occurring in the database), the standard logic-database
+///    reading of an otherwise infinite extent;
+///  * attribute names used in data are auto-registered as method-objects
+///    (instances of `Method`) so that method variables can range over
+///    them — the paper's schema-browsing feature.
+class Database {
+ public:
+  Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // ---- Schema -------------------------------------------------------
+
+  /// Declares a class. If `supers` is empty the class is made a direct
+  /// subclass of `Object` (classes of individuals live under Object).
+  Status DeclareClass(const Oid& cls, const std::vector<Oid>& supers = {});
+
+  /// Adds an IS-A edge between existing or new classes.
+  Status AddSubclass(const Oid& sub, const Oid& super);
+
+  /// Declares signature `attr => result` (or `=>>`) on `cls` and
+  /// registers `attr` as a method-object.
+  Status DeclareAttribute(const Oid& cls, const Oid& attr, const Oid& result,
+                          bool set_valued);
+
+  /// Declares a full method signature on `cls`.
+  Status DeclareSignature(const Oid& cls, Signature sig);
+
+  /// Defines/overrides a method body on a class (see MethodRegistry).
+  Status DefineMethod(const Oid& cls, const Oid& method, int arity,
+                      std::shared_ptr<const MethodBody> body);
+
+  /// Explicit multiple-inheritance conflict resolution [MEY88].
+  Status ResolveMethodConflict(const Oid& cls, const Oid& method,
+                               const Oid& from_super);
+
+  // ---- Data ---------------------------------------------------------
+
+  /// Creates an object with the given direct classes. The object record
+  /// is created on first use even for class-objects.
+  Status NewObject(const Oid& oid, const std::vector<Oid>& classes);
+
+  /// Adds `oid` to further classes.
+  Status AddInstanceOf(const Oid& oid, const Oid& cls);
+
+  /// Sets a scalar attribute; registers `attr` as a method-object.
+  Status SetScalar(const Oid& obj, const Oid& attr, const Oid& value);
+
+  /// Sets a set-valued attribute wholesale.
+  Status SetSet(const Oid& obj, const Oid& attr, OidSet values);
+
+  /// Adds an element to a set-valued attribute.
+  Status AddToSet(const Oid& obj, const Oid& attr, const Oid& value);
+
+  /// Removes an attribute from an object (making it undefined there).
+  Status ClearAttribute(const Oid& obj, const Oid& attr);
+
+  // ---- Lookup -------------------------------------------------------
+
+  bool HasObject(const Oid& oid) const { return objects_.contains(oid); }
+  const Object* GetObject(const Oid& oid) const;
+  Object* GetMutableObject(const Oid& oid);
+
+  /// The value of `attr` on `obj`, applying default-value inheritance
+  /// from class-objects (nearest class wins; among incomparable nearest
+  /// providers the smallest class oid wins — a deterministic stand-in
+  /// for the schema-level conflict resolution the paper requires).
+  /// Returns nullptr when the attribute is undefined (a null, not an
+  /// error — see §2 on undefined vs. inapplicable).
+  const AttrValue* GetAttribute(const Oid& obj, const Oid& attr) const;
+
+  /// True if `oid` denotes an instance of `cls`, including literal
+  /// instances of the builtin classes and upward IS-A closure.
+  bool IsInstanceOf(const Oid& oid, const Oid& cls) const;
+
+  /// Deep extent of `cls`. For Numeral/String/Boolean this is the set of
+  /// matching literals in the active domain.
+  OidSet Extent(const Oid& cls) const;
+
+  /// Every oid that occurs in the database: object ids, attribute names,
+  /// attribute values (recursing into id-term arguments is not needed —
+  /// a term occurrence is itself a domain element).
+  const OidSet& ActiveDomain() const;
+
+  // ---- Components ---------------------------------------------------
+
+  const ClassGraph& graph() const { return graph_; }
+  ClassGraph& mutable_graph() { return graph_; }
+  const SignatureStore& signatures() const { return signatures_; }
+  SignatureStore& mutable_signatures() { return signatures_; }
+  const MethodRegistry& methods() const { return methods_; }
+  MethodRegistry& mutable_methods() { return methods_; }
+
+  /// All data objects (including class-objects), unordered.
+  const std::unordered_map<Oid, Object, OidHash>& objects() const {
+    return objects_;
+  }
+
+  /// Monotone counter bumped on every mutation; used for cache
+  /// invalidation by higher layers.
+  uint64_t version() const { return version_; }
+
+ private:
+  Status RegisterMethodObject(const Oid& attr);
+  Object& GetOrCreate(const Oid& oid);
+  void Touch() { ++version_; active_domain_dirty_ = true; }
+
+  ClassGraph graph_;
+  SignatureStore signatures_;
+  MethodRegistry methods_;
+  std::unordered_map<Oid, Object, OidHash> objects_;
+  uint64_t version_ = 0;
+
+  mutable OidSet active_domain_;
+  mutable bool active_domain_dirty_ = true;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_STORE_DATABASE_H_

@@ -1,0 +1,80 @@
+#include "store/index.h"
+
+namespace xsql {
+
+Status PathIndex::Build(const Database& db) {
+  by_value_.clear();
+  entries_ = 0;
+  for (const Oid& head : db.Extent(anchor_class_)) {
+    // One forward sweep per head; GetAttribute applies default-value
+    // inheritance, so the index sees exactly what the evaluator sees.
+    OidSet frontier;
+    frontier.Insert(head);
+    for (const Oid& attr : path_) {
+      std::vector<Oid> next;
+      for (const Oid& obj : frontier) {
+        if (const AttrValue* value = db.GetAttribute(obj, attr)) {
+          for (const Oid& v : value->AsSet()) next.push_back(v);
+        }
+      }
+      frontier = OidSet(std::move(next));
+    }
+    for (const Oid& terminal : frontier) {
+      OidSet& heads = by_value_[terminal];
+      size_t before = heads.size();
+      heads.Insert(head);
+      entries_ += heads.size() - before;
+    }
+  }
+  built_at_ = db.version();
+  return Status::OK();
+}
+
+const OidSet& PathIndex::Lookup(const Oid& value) const {
+  static const OidSet kEmpty;
+  auto it = by_value_.find(value);
+  return it == by_value_.end() ? kEmpty : it->second;
+}
+
+std::string PathIndex::Key() const {
+  std::string key = anchor_class_.ToString() + "/";
+  for (size_t i = 0; i < path_.size(); ++i) {
+    if (i > 0) key += ".";
+    key += path_[i].ToString();
+  }
+  return key;
+}
+
+Status PathIndexSet::Add(const Database& db, Oid anchor_class,
+                         std::vector<Oid> path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("path index needs at least one attribute");
+  }
+  PathIndex index(std::move(anchor_class), std::move(path));
+  XSQL_RETURN_IF_ERROR(index.Build(db));
+  std::string key = index.Key();
+  indexes_.erase(key);
+  indexes_.emplace(std::move(key), std::move(index));
+  return Status::OK();
+}
+
+Status PathIndexSet::Refresh(const Database& db) {
+  for (auto& [key, index] : indexes_) {
+    if (index.stale(db)) {
+      XSQL_RETURN_IF_ERROR(index.Build(db));
+    }
+  }
+  return Status::OK();
+}
+
+const PathIndex* PathIndexSet::Find(const Database& db,
+                                    const Oid& anchor_class,
+                                    const std::vector<Oid>& path) const {
+  PathIndex probe(anchor_class, path);
+  auto it = indexes_.find(probe.Key());
+  if (it == indexes_.end()) return nullptr;
+  if (it->second.stale(db)) return nullptr;
+  return &it->second;
+}
+
+}  // namespace xsql

@@ -1,0 +1,86 @@
+#ifndef XSQL_STORE_INDEX_H_
+#define XSQL_STORE_INDEX_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "oid/oid.h"
+#include "store/database.h"
+
+namespace xsql {
+
+/// A path index in the style of Bertino & Kim [BERT89] (the indexing
+/// work the paper cites for nested-object queries): for an attribute
+/// path `a1.a2...an` anchored at a class, maps each *terminal value* to
+/// the set of head objects some database path connects to it. A path of
+/// length 1 is the classic attribute (equality) index.
+///
+/// The index is value-complete with respect to the §2 semantics: it is
+/// built through `Database::GetAttribute`, so inherited default values
+/// are indexed like stored ones. It is a snapshot — `stale()` compares
+/// the database version; the evaluator ignores stale indexes and falls
+/// back to forward evaluation, so correctness never depends on rebuild
+/// discipline.
+class PathIndex {
+ public:
+  PathIndex(Oid anchor_class, std::vector<Oid> path)
+      : anchor_class_(std::move(anchor_class)), path_(std::move(path)) {}
+
+  /// (Re)builds the value -> heads map by one sweep from the anchor
+  /// class extent.
+  Status Build(const Database& db);
+
+  const Oid& anchor_class() const { return anchor_class_; }
+  const std::vector<Oid>& path() const { return path_; }
+  bool built() const { return built_at_ != 0; }
+  bool stale(const Database& db) const {
+    return built_at_ != db.version();
+  }
+
+  /// Head objects reaching `value` through the path. Empty set when the
+  /// value is unknown.
+  const OidSet& Lookup(const Oid& value) const;
+
+  /// Number of distinct terminal values.
+  size_t distinct_values() const { return by_value_.size(); }
+  /// Total (value, head) entries.
+  size_t entries() const { return entries_; }
+
+  /// Key used by PathIndexSet ("Person/Residence.City").
+  std::string Key() const;
+
+ private:
+  Oid anchor_class_;
+  std::vector<Oid> path_;
+  std::unordered_map<Oid, OidSet, OidHash> by_value_;
+  size_t entries_ = 0;
+  uint64_t built_at_ = 0;
+};
+
+/// A registry of path indexes the evaluator consults. Lookup is by the
+/// anchored attribute chain; only fresh (non-stale) indexes are served.
+class PathIndexSet {
+ public:
+  /// Registers and builds an index; replaces an existing one for the
+  /// same anchored path.
+  Status Add(const Database& db, Oid anchor_class, std::vector<Oid> path);
+
+  /// Rebuilds every stale index.
+  Status Refresh(const Database& db);
+
+  /// The fresh index for this anchored path, or nullptr.
+  const PathIndex* Find(const Database& db, const Oid& anchor_class,
+                        const std::vector<Oid>& path) const;
+
+  size_t size() const { return indexes_.size(); }
+
+ private:
+  std::map<std::string, PathIndex> indexes_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_STORE_INDEX_H_

@@ -1,0 +1,35 @@
+#include "store/object.h"
+
+namespace xsql {
+
+Status Object::AddToSet(const Oid& attr, const Oid& value) {
+  auto it = attrs_.find(attr);
+  if (it == attrs_.end()) {
+    OidSet s;
+    s.Insert(value);
+    attrs_.emplace(attr, AttrValue::Set(std::move(s)));
+    return Status::OK();
+  }
+  if (!it->second.set_valued()) {
+    return Status::InvalidArgument("attribute " + attr.ToString() + " of " +
+                                   id_.ToString() + " is scalar");
+  }
+  it->second.mutable_set().Insert(value);
+  return Status::OK();
+}
+
+std::string Object::ToString() const {
+  std::string out = id_.ToString() + "[";
+  bool first = true;
+  for (const auto& [attr, value] : attrs_) {
+    if (!first) out += "; ";
+    first = false;
+    out += attr.ToString();
+    out += value.set_valued() ? " ->> " : " -> ";
+    out += value.ToString();
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace xsql

@@ -1,0 +1,111 @@
+#ifndef XSQL_STORE_OBJECT_H_
+#define XSQL_STORE_OBJECT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "oid/oid.h"
+
+namespace xsql {
+
+/// The value of one attribute of a tuple-object (§2, "Attributes").
+///
+/// Scalar attributes hold a single oid; set-valued attributes hold a set
+/// of oids. Set-objects are just tuple-objects with one set-valued
+/// attribute, so this one value type covers the whole model.
+class AttrValue {
+ public:
+  static AttrValue Scalar(Oid value) {
+    AttrValue v;
+    v.set_valued_ = false;
+    v.scalar_ = std::move(value);
+    return v;
+  }
+  static AttrValue Set(OidSet values) {
+    AttrValue v;
+    v.set_valued_ = true;
+    v.set_ = std::move(values);
+    return v;
+  }
+
+  bool set_valued() const { return set_valued_; }
+  const Oid& scalar() const { return scalar_; }
+  const OidSet& set() const { return set_; }
+  OidSet& mutable_set() { return set_; }
+
+  /// The value viewed as a set: a scalar contributes a singleton. Path
+  /// expressions treat scalar and set-valued attributes uniformly (§3.1),
+  /// so this is the evaluator's main accessor.
+  OidSet AsSet() const {
+    if (set_valued_) return set_;
+    OidSet s;
+    s.Insert(scalar_);
+    return s;
+  }
+
+  bool operator==(const AttrValue& other) const {
+    return set_valued_ == other.set_valued_ &&
+           (set_valued_ ? set_ == other.set_ : scalar_ == other.scalar_);
+  }
+
+  std::string ToString() const {
+    return set_valued_ ? set_.ToString() : scalar_.ToString();
+  }
+
+ private:
+  bool set_valued_ = false;
+  Oid scalar_;
+  OidSet set_;
+};
+
+/// A tuple-object: a logical oid plus attribute-name -> value entries.
+///
+/// All objects in the model are tuple-objects (§2); classes are objects
+/// too and may carry attributes (including inheritable defaults), which is
+/// why `Object` makes no distinction.
+class Object {
+ public:
+  Object() = default;
+  explicit Object(Oid id) : id_(std::move(id)) {}
+
+  const Oid& id() const { return id_; }
+
+  /// Sets attribute `attr` to the scalar `value`.
+  void SetScalar(const Oid& attr, Oid value) {
+    attrs_[attr] = AttrValue::Scalar(std::move(value));
+  }
+
+  /// Sets attribute `attr` to the set `values`.
+  void SetSet(const Oid& attr, OidSet values) {
+    attrs_[attr] = AttrValue::Set(std::move(values));
+  }
+
+  /// Adds one element to a set-valued attribute (created if missing).
+  /// Fails if `attr` currently holds a scalar.
+  Status AddToSet(const Oid& attr, const Oid& value);
+
+  /// The stored value of `attr`, or nullptr when undefined *on this
+  /// object* (inheritance of defaults is the Database's job).
+  const AttrValue* Get(const Oid& attr) const {
+    auto it = attrs_.find(attr);
+    return it == attrs_.end() ? nullptr : &it->second;
+  }
+
+  /// Removes the attribute entirely (making it undefined here).
+  void Remove(const Oid& attr) { attrs_.erase(attr); }
+
+  /// All locally-defined attributes, sorted by attribute oid.
+  const std::map<Oid, AttrValue>& attrs() const { return attrs_; }
+
+  std::string ToString() const;
+
+ private:
+  Oid id_;
+  std::map<Oid, AttrValue> attrs_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_STORE_OBJECT_H_

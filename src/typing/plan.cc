@@ -1,0 +1,35 @@
+#include "typing/plan.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xsql {
+
+std::vector<ExecutionPlan> EnumeratePlans(size_t n, size_t max_exhaustive) {
+  std::vector<ExecutionPlan> plans;
+  ExecutionPlan base(n);
+  std::iota(base.begin(), base.end(), 0);
+  if (n <= max_exhaustive) {
+    ExecutionPlan p = base;
+    do {
+      plans.push_back(p);
+    } while (std::next_permutation(p.begin(), p.end()));
+  } else {
+    plans.push_back(base);
+    ExecutionPlan reversed = base;
+    std::reverse(reversed.begin(), reversed.end());
+    plans.push_back(std::move(reversed));
+  }
+  return plans;
+}
+
+std::string PlanToString(const ExecutionPlan& plan) {
+  std::string out;
+  for (size_t i = 0; i < plan.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += "p" + std::to_string(plan[i]);
+  }
+  return out;
+}
+
+}  // namespace xsql

@@ -1,0 +1,30 @@
+#ifndef XSQL_TYPING_PLAN_H_
+#define XSQL_TYPING_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace xsql {
+
+/// An execution plan (§6.2) orders the path expressions of a WHERE
+/// clause. The paper defines a plan as a partial order; for checking
+/// coherence it suffices to consider total orders, because extending a
+/// coherent partial order only *adds* assigned occurrences to each
+/// restriction A', which shrinks ranges and can only make the subrange
+/// conditions easier to satisfy. A plan is therefore a permutation of
+/// path-expression indices.
+using ExecutionPlan = std::vector<size_t>;
+
+/// All permutations of {0..n-1} when n <= max_exhaustive; otherwise just
+/// the identity and the reversed order (a pragmatic cap — real queries
+/// have a handful of path expressions).
+std::vector<ExecutionPlan> EnumeratePlans(size_t n,
+                                          size_t max_exhaustive = 6);
+
+/// Renders a plan like "p2 -> p0 -> p1" for diagnostics.
+std::string PlanToString(const ExecutionPlan& plan);
+
+}  // namespace xsql
+
+#endif  // XSQL_TYPING_PLAN_H_

@@ -1,0 +1,523 @@
+#include "typing/type_checker.h"
+
+#include <functional>
+
+#include "store/catalog.h"
+
+namespace xsql {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Normalization
+// ---------------------------------------------------------------------
+
+class Normalizer {
+ public:
+  NormalizedQuery Run(const Query& query) {
+    for (const FromEntry& entry : query.from) {
+      if (entry.cls.is_const()) {
+        out_.from_types.emplace_back(entry.var, entry.cls.value);
+      } else {
+        Fail("class-variable FROM entry");
+      }
+    }
+    for (const SelectItem& item : query.select) {
+      switch (item.kind) {
+        case SelectItem::Kind::kExpr:
+          HandleValueSide(item.expr, /*from_select=*/true);
+          break;
+        case SelectItem::Kind::kSetOfVar:
+          break;
+        case SelectItem::Kind::kMethodHead:
+          HandleValueSide(item.expr, /*from_select=*/true);
+          break;
+      }
+    }
+    if (query.where != nullptr) HandleCondition(*query.where);
+    return std::move(out_);
+  }
+
+ private:
+  void Fail(const std::string& reason) {
+    if (out_.fragment_ok) {
+      out_.fragment_ok = false;
+      out_.fragment_reason = reason;
+    }
+  }
+
+  IdTerm FreshVar() {
+    return IdTerm::Var(
+        Variable{"_t" + std::to_string(fresh_++), VarSort::kIndividual});
+  }
+
+  /// Adds the path to the normalized set; returns the id-term denoting
+  /// its end (the final selector, inserted fresh when absent), or
+  /// nullopt when the path is outside the fragment.
+  std::optional<IdTerm> AddPath(const PathExpr& path, bool from_select) {
+    if (path.head.kind == IdTerm::Kind::kApply) {
+      Fail("id-term head selector");
+      return std::nullopt;
+    }
+    if (path.trivial()) return path.head;
+    NormalizedPath np;
+    np.head = path.head;
+    np.from_select = from_select;
+    for (const PathStep& step : path.steps) {
+      if (step.kind == PathStep::Kind::kPathVar) {
+        Fail("path variable");
+        return std::nullopt;
+      }
+      if (step.method.name_is_var) {
+        Fail("method variable in method position");
+        return std::nullopt;
+      }
+      NormalizedStep ns;
+      ns.method = step.method.name;
+      for (const IdTerm& arg : step.method.args) {
+        if (arg.kind == IdTerm::Kind::kApply) {
+          Fail("id-term method argument");
+          return std::nullopt;
+        }
+        ns.args.push_back(arg);
+      }
+      if (step.selector.has_value()) {
+        if (step.selector->kind == IdTerm::Kind::kApply) {
+          Fail("id-term selector");
+          return std::nullopt;
+        }
+        ns.selector = *step.selector;
+      } else {
+        ns.selector = FreshVar();
+      }
+      np.steps.push_back(std::move(ns));
+    }
+    IdTerm end = np.steps.back().selector;
+    out_.paths.push_back(std::move(np));
+    return end;
+  }
+
+  NormalizedComparison::Side HandleValueSide(const ValueExpr& expr,
+                                             bool from_select = false) {
+    NormalizedComparison::Side side;
+    switch (expr.kind) {
+      case ValueExpr::Kind::kPath: {
+        std::optional<IdTerm> end = AddPath(expr.path, from_select);
+        if (end.has_value()) {
+          if (end->is_const()) {
+            side.constant = end->value;
+          } else if (end->is_var() &&
+                     end->var.sort == VarSort::kIndividual) {
+            side.var = end->var;
+          }
+        }
+        break;
+      }
+      case ValueExpr::Kind::kAggregate:
+        AddPath(expr.path, from_select);
+        side.numeric_expr = true;
+        break;
+      case ValueExpr::Kind::kArith:
+        if (expr.lhs) HandleValueSide(*expr.lhs, from_select);
+        if (expr.rhs) HandleValueSide(*expr.rhs, from_select);
+        side.numeric_expr = true;
+        break;
+      case ValueExpr::Kind::kSubquery:
+        // Subqueries are typed on their own (§6.2 assumes them away);
+        // the outer comparison treats the side as opaque.
+        side.numeric_expr = true;
+        break;
+      case ValueExpr::Kind::kSetLiteral:
+        for (const ValueExpr& e : expr.set_elems) {
+          HandleValueSide(e, from_select);
+        }
+        break;
+    }
+    return side;
+  }
+
+  void HandleCondition(const Condition& cond) {
+    switch (cond.kind) {
+      case Condition::Kind::kAnd:
+        for (const auto& child : cond.children) HandleCondition(*child);
+        break;
+      case Condition::Kind::kOr:
+        Fail("disjunction in WHERE (typed fragment is conjunctive)");
+        break;
+      case Condition::Kind::kNot:
+        Fail("negation in WHERE (typed fragment is conjunctive)");
+        break;
+      case Condition::Kind::kComparison: {
+        NormalizedComparison nc;
+        nc.op = cond.comp_op;
+        nc.lhs = HandleValueSide(cond.lhs);
+        nc.rhs = HandleValueSide(cond.rhs);
+        out_.comparisons.push_back(std::move(nc));
+        break;
+      }
+      case Condition::Kind::kSetComparison:
+        HandleValueSide(cond.lhs);
+        HandleValueSide(cond.rhs);
+        break;
+      case Condition::Kind::kStandalonePath:
+        AddPath(cond.path, /*from_select=*/false);
+        break;
+      case Condition::Kind::kSubclassOf:
+      case Condition::Kind::kApplicable:
+        break;  // schema-level, no data typing
+      case Condition::Kind::kUpdate:
+        Fail("nested UPDATE in typed fragment");
+        break;
+    }
+  }
+
+  NormalizedQuery out_;
+  int fresh_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Assignment search
+// ---------------------------------------------------------------------
+
+/// The id-term playing the receiver role of step `i` of `path`: the head
+/// for the first step, otherwise the previous step's selector.
+const IdTerm& ReceiverTerm(const NormalizedPath& path, size_t step) {
+  return step == 0 ? path.head : path.steps[step - 1].selector;
+}
+
+bool IsIndividualVar(const IdTerm& term) {
+  return term.is_var() && term.var.sort == VarSort::kIndividual;
+}
+
+class CheckerImpl {
+ public:
+  CheckerImpl(const Database& db, const NormalizedQuery& nq, TypingMode mode,
+              const ExemptionSet& exemptions, size_t witness_limit)
+      : db_(db),
+        nq_(nq),
+        mode_(mode),
+        exemptions_(exemptions),
+        witness_limit_(witness_limit) {
+    for (size_t p = 0; p < nq_.paths.size(); ++p) {
+      if (!nq_.paths[p].from_select) where_paths_.push_back(p);
+      for (size_t s = 0; s < nq_.paths[p].steps.size(); ++s) {
+        occurrences_.emplace_back(p, s);
+      }
+    }
+  }
+
+  /// Runs the search; returns collected witnesses (at least one element,
+  /// possibly a failure explanation, when none found).
+  std::vector<TypingResult> Run() {
+    // Candidate type expressions per occurrence.
+    candidates_.resize(occurrences_.size());
+    for (size_t i = 0; i < occurrences_.size(); ++i) {
+      const auto& [p, s] = occurrences_[i];
+      const NormalizedStep& step = nq_.paths[p].steps[s];
+      for (TypeExpr& t : DeclaredTypeExprs(db_, step.method)) {
+        if (t.arity() == step.args.size()) {
+          candidates_[i].push_back(std::move(t));
+        }
+      }
+      if (candidates_[i].empty()) {
+        TypingResult fail;
+        fail.well_typed = false;
+        fail.explanation = "no signature declared for method " +
+                           step.method.ToString() + "/" +
+                           std::to_string(step.args.size());
+        return {std::move(fail)};
+      }
+    }
+    chosen_.resize(occurrences_.size());
+    Assign(0);
+    if (witnesses_.empty()) {
+      TypingResult fail;
+      fail.well_typed = false;
+      fail.explanation = failure_.empty()
+                             ? "no valid and complete type assignment"
+                             : failure_;
+      return {std::move(fail)};
+    }
+    return std::move(witnesses_);
+  }
+
+ private:
+  void Assign(size_t index) {
+    if (witnesses_.size() >= witness_limit_) return;
+    if (index == occurrences_.size()) {
+      CheckComplete();
+      return;
+    }
+    const auto& [p, s] = occurrences_[index];
+    for (const TypeExpr& t : candidates_[index]) {
+      if (!LocallyValid(nq_.paths[p], s, t)) continue;
+      chosen_[index] = &t;
+      Assign(index + 1);
+      if (witnesses_.size() >= witness_limit_) return;
+    }
+  }
+
+  /// Constant-instance validity checks for one occurrence (§6.2 validity
+  /// clauses 2 and 3 plus the result side for constant selectors).
+  bool LocallyValid(const NormalizedPath& path, size_t s,
+                    const TypeExpr& t) const {
+    const IdTerm& receiver = ReceiverTerm(path, s);
+    if (receiver.is_const() && !db_.IsInstanceOf(receiver.value, t.receiver)) {
+      return false;
+    }
+    const NormalizedStep& step = path.steps[s];
+    for (size_t j = 0; j < step.args.size(); ++j) {
+      if (step.args[j].is_const() &&
+          !db_.IsInstanceOf(step.args[j].value, t.args[j])) {
+        return false;
+      }
+    }
+    if (step.selector.is_const() &&
+        !db_.IsInstanceOf(step.selector.value, t.result)) {
+      return false;
+    }
+    return true;
+  }
+
+  const TypeExpr& ChosenFor(size_t p, size_t s) const {
+    for (size_t i = 0; i < occurrences_.size(); ++i) {
+      if (occurrences_[i].first == p && occurrences_[i].second == s) {
+        return *chosen_[i];
+      }
+    }
+    static const TypeExpr kDummy;
+    return kDummy;
+  }
+
+  /// Folds the forced type constraints of one assigned occurrence into
+  /// `ranges` (§6.2 "forces type assignments to selectors and
+  /// arguments").
+  void AddForced(size_t p, size_t s, const TypeExpr& t,
+                 RangeMap* ranges) const {
+    const NormalizedPath& path = nq_.paths[p];
+    const IdTerm& receiver = ReceiverTerm(path, s);
+    if (IsIndividualVar(receiver)) (*ranges)[receiver.var].Add(t.receiver);
+    const NormalizedStep& step = path.steps[s];
+    for (size_t j = 0; j < step.args.size(); ++j) {
+      if (IsIndividualVar(step.args[j])) {
+        (*ranges)[step.args[j].var].Add(t.args[j]);
+      }
+    }
+    if (IsIndividualVar(step.selector)) {
+      (*ranges)[step.selector.var].Add(t.result);
+    }
+  }
+
+  RangeMap BaseRanges() const {
+    RangeMap ranges;
+    for (const auto& [var, cls] : nq_.from_types) ranges[var].Add(cls);
+    // Ensure every variable appearing in a path or comparison has an
+    // entry (with at least the Object constraint).
+    for (const NormalizedPath& path : nq_.paths) {
+      if (IsIndividualVar(path.head)) ranges[path.head.var];
+      for (const NormalizedStep& step : path.steps) {
+        for (const IdTerm& arg : step.args) {
+          if (IsIndividualVar(arg)) ranges[arg.var];
+        }
+        if (IsIndividualVar(step.selector)) ranges[step.selector.var];
+      }
+    }
+    for (const NormalizedComparison& nc : nq_.comparisons) {
+      if (nc.lhs.var.has_value()) ranges[*nc.lhs.var];
+      if (nc.rhs.var.has_value()) ranges[*nc.rhs.var];
+    }
+    return ranges;
+  }
+
+  RangeMap FullRanges() const {
+    RangeMap ranges = BaseRanges();
+    for (size_t i = 0; i < occurrences_.size(); ++i) {
+      AddForced(occurrences_[i].first, occurrences_[i].second, *chosen_[i],
+                &ranges);
+    }
+    return ranges;
+  }
+
+  bool ComparisonsWellDefined(const RangeMap& ranges, std::string* why) const {
+    for (const NormalizedComparison& nc : nq_.comparisons) {
+      if (nc.op == CompOp::kEq || nc.op == CompOp::kNe) continue;
+      for (const NormalizedComparison::Side* side : {&nc.lhs, &nc.rhs}) {
+        if (side->numeric_expr) continue;
+        if (side->constant.has_value()) {
+          if (!side->constant->is_numeric() && !side->constant->is_string()) {
+            *why = "ordered comparison with non-comparable constant " +
+                   side->constant->ToString();
+            return false;
+          }
+          continue;
+        }
+        if (side->var.has_value()) {
+          auto it = ranges.find(*side->var);
+          if (it == ranges.end()) continue;
+          if (!it->second.SubrangeOf(db_.graph(), builtin::Numeral()) &&
+              !it->second.SubrangeOf(db_.graph(), builtin::String())) {
+            *why = "ordered comparison on variable " + side->var->name +
+                   " whose range " + it->second.ToString() +
+                   " is not numeric or string";
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  void CheckComplete() {
+    RangeMap ranges = FullRanges();
+    for (const auto& [var, range] : ranges) {
+      if (range.Empty(db_.graph())) {
+        failure_ = "range of " + var.ToString() + " = " + range.ToString() +
+                   " is empty";
+        return;
+      }
+    }
+    std::string why;
+    if (!ComparisonsWellDefined(ranges, &why)) {
+      failure_ = why;
+      return;
+    }
+    if (mode_ == TypingMode::kLiberal) {
+      EmitWitness(ranges, /*plan=*/{});
+      return;
+    }
+    // Strict: find a coherent plan over the WHERE paths.
+    for (const ExecutionPlan& plan : EnumeratePlans(where_paths_.size())) {
+      if (PlanCoherent(plan)) {
+        ExecutionPlan as_path_indices;
+        for (size_t i : plan) as_path_indices.push_back(where_paths_[i]);
+        EmitWitness(ranges, as_path_indices);
+        if (witnesses_.size() >= witness_limit_) return;
+      }
+    }
+    if (failure_.empty()) {
+      failure_ = "no execution plan is coherent with any valid assignment";
+    }
+  }
+
+  /// §6.2 coherence: walking the plan left to right (and each path's
+  /// steps left to right), every variable receiver/argument's restricted
+  /// range A' must be a subrange of the type the method expects.
+  bool PlanCoherent(const ExecutionPlan& plan) const {
+    RangeMap restricted = BaseRanges();
+    auto check_paths = [&](const std::vector<size_t>& order) {
+      for (size_t p : order) {
+        const NormalizedPath& path = nq_.paths[p];
+        for (size_t s = 0; s < path.steps.size(); ++s) {
+          const TypeExpr& t = ChosenFor(p, s);
+          const NormalizedStep& step = path.steps[s];
+          const IdTerm& receiver = ReceiverTerm(path, s);
+          if (IsIndividualVar(receiver) &&
+              !exemptions_.Exempts(step.method, 0)) {
+            auto it = restricted.find(receiver.var);
+            const VarRange& range =
+                it == restricted.end() ? kObjectOnly() : it->second;
+            if (!range.SubrangeOf(db_.graph(), t.receiver)) return false;
+          }
+          for (size_t j = 0; j < step.args.size(); ++j) {
+            if (IsIndividualVar(step.args[j]) &&
+                !exemptions_.Exempts(step.method, static_cast<int>(j) + 1)) {
+              auto it = restricted.find(step.args[j].var);
+              const VarRange& range =
+                  it == restricted.end() ? kObjectOnly() : it->second;
+              if (!range.SubrangeOf(db_.graph(), t.args[j])) return false;
+            }
+          }
+          AddForced(p, s, t, &restricted);
+        }
+      }
+      return true;
+    };
+    std::vector<size_t> where_order;
+    for (size_t i : plan) where_order.push_back(where_paths_[i]);
+    if (!check_paths(where_order)) return false;
+    // SELECT paths evaluate after all WHERE bindings.
+    std::vector<size_t> select_order;
+    for (size_t p = 0; p < nq_.paths.size(); ++p) {
+      if (nq_.paths[p].from_select) select_order.push_back(p);
+    }
+    return check_paths(select_order);
+  }
+
+  static const VarRange& kObjectOnly() {
+    static const VarRange range;
+    return range;
+  }
+
+  void EmitWitness(const RangeMap& ranges, ExecutionPlan plan) {
+    TypingResult res;
+    res.well_typed = true;
+    res.in_fragment = true;
+    res.ranges = ranges;
+    res.plan = std::move(plan);
+    res.assignment.resize(nq_.paths.size());
+    for (size_t p = 0; p < nq_.paths.size(); ++p) {
+      res.assignment[p].resize(nq_.paths[p].steps.size());
+    }
+    for (size_t i = 0; i < occurrences_.size(); ++i) {
+      res.assignment[occurrences_[i].first][occurrences_[i].second] =
+          *chosen_[i];
+    }
+    witnesses_.push_back(std::move(res));
+  }
+
+  const Database& db_;
+  const NormalizedQuery& nq_;
+  TypingMode mode_;
+  const ExemptionSet& exemptions_;
+  size_t witness_limit_;
+
+  std::vector<std::pair<size_t, size_t>> occurrences_;
+  std::vector<size_t> where_paths_;
+  std::vector<std::vector<TypeExpr>> candidates_;
+  std::vector<const TypeExpr*> chosen_;
+  std::vector<TypingResult> witnesses_;
+  std::string failure_;
+};
+
+}  // namespace
+
+NormalizedQuery NormalizeForTyping(const Query& query) {
+  if (query.where != nullptr && !IsConjunctive(*query.where)) {
+    // Normalizer flags this too, but short-circuit for clarity.
+  }
+  Normalizer normalizer;
+  return normalizer.Run(query);
+}
+
+TypingResult TypeChecker::Check(const Query& query, TypingMode mode,
+                                const ExemptionSet& exemptions) const {
+  NormalizedQuery nq = NormalizeForTyping(query);
+  if (!nq.fragment_ok) {
+    TypingResult res;
+    res.in_fragment = false;
+    // Outside the fragment the paper's definitions do not apply; the
+    // session treats such queries as liberally typed (all exempt).
+    res.well_typed = mode == TypingMode::kLiberal;
+    res.explanation = nq.fragment_reason;
+    for (const auto& [var, cls] : nq.from_types) res.ranges[var].Add(cls);
+    return res;
+  }
+  CheckerImpl impl(db_, nq, mode, exemptions, /*witness_limit=*/1);
+  std::vector<TypingResult> results = impl.Run();
+  return std::move(results.front());
+}
+
+std::vector<TypingResult> TypeChecker::AllStrictWitnesses(
+    const Query& query, size_t limit, const ExemptionSet& exemptions) const {
+  NormalizedQuery nq = NormalizeForTyping(query);
+  if (!nq.fragment_ok) return {};
+  CheckerImpl impl(db_, nq, TypingMode::kStrict, exemptions, limit);
+  std::vector<TypingResult> results = impl.Run();
+  std::vector<TypingResult> witnesses;
+  for (TypingResult& r : results) {
+    if (r.well_typed) witnesses.push_back(std::move(r));
+  }
+  return witnesses;
+}
+
+}  // namespace xsql

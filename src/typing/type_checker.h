@@ -1,0 +1,128 @@
+#ifndef XSQL_TYPING_TYPE_CHECKER_H_
+#define XSQL_TYPING_TYPE_CHECKER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/ast.h"
+#include "common/status.h"
+#include "store/database.h"
+#include "typing/plan.h"
+#include "typing/range.h"
+#include "typing/type_expr.h"
+
+namespace xsql {
+
+/// Exempts argument positions of a method from the strict-typing check
+/// (§6.2, "well-typing with exemptions"). `arg_index` 0 is the receiver
+/// (the paper's 0th argument); j >= 1 are the explicit arguments.
+struct Exemption {
+  Oid method;
+  int arg_index = 0;
+};
+
+/// A set of exemptions. `exempt_all` recovers liberal well-typing
+/// exactly as the paper notes ("the liberal notion exempts all arguments
+/// while the conservative exempts none").
+struct ExemptionSet {
+  std::vector<Exemption> items;
+  bool exempt_all = false;
+
+  bool Exempts(const Oid& method, int arg_index) const {
+    if (exempt_all) return true;
+    for (const Exemption& e : items) {
+      if (e.method == method && e.arg_index == arg_index) return true;
+    }
+    return false;
+  }
+};
+
+/// Which notion of well-typing to check (§6.2).
+enum class TypingMode {
+  kLiberal,  // exists a valid & complete assignment with non-empty ranges
+  kStrict,   // additionally a coherent execution plan must exist
+};
+
+/// A normalized path expression for typing: every selector present
+/// (fresh variables inserted), method names constant, arguments and
+/// selectors reduced to id-terms.
+struct NormalizedStep {
+  Oid method;
+  std::vector<IdTerm> args;
+  IdTerm selector;
+};
+struct NormalizedPath {
+  IdTerm head;
+  std::vector<NormalizedStep> steps;
+  bool from_select = false;  // SELECT-clause paths evaluate after WHERE
+};
+
+/// A comparison reduced to the shape the §6.2 validity test needs: each
+/// side is an oid constant, a variable (the path's end selector), or a
+/// numeral-producing computation (aggregate/arithmetic).
+struct NormalizedComparison {
+  CompOp op = CompOp::kEq;
+  struct Side {
+    std::optional<Oid> constant;
+    std::optional<Variable> var;
+    bool numeric_expr = false;  // aggregate or arithmetic result
+  };
+  Side lhs, rhs;
+};
+
+/// The query's content restated for the typing algorithm.
+struct NormalizedQuery {
+  std::vector<NormalizedPath> paths;
+  std::vector<std::pair<Variable, Oid>> from_types;
+  std::vector<NormalizedComparison> comparisons;
+  bool fragment_ok = true;     // within the §6.2 typed fragment
+  std::string fragment_reason;
+};
+
+/// Restates `query` for typing. Queries outside the paper's typed
+/// fragment (disjunction/negation, method or path variables in method
+/// position, id-term selectors, class-variable FROM entries) come back
+/// with `fragment_ok == false`; the paper simply assumes them away, and
+/// the session treats them as liberally typed.
+NormalizedQuery NormalizeForTyping(const Query& query);
+
+/// Outcome of a typing check, with the witnesses Theorem 6.1 needs.
+struct TypingResult {
+  bool well_typed = false;
+  bool in_fragment = true;
+  std::string explanation;
+  /// Witness type assignment: per path, per step.
+  std::vector<std::vector<TypeExpr>> assignment;
+  /// Witness coherent plan (strict mode; WHERE paths only).
+  ExecutionPlan plan;
+  /// Ranges A(X) under the witness assignment — Theorem 6.1(2) allows
+  /// the evaluator to restrict each v-selector to oids within its range.
+  RangeMap ranges;
+};
+
+/// Checks well-typing of queries (§6.2). Type-correctness is metalogical
+/// (does not change query semantics); the evaluator can run ill-typed
+/// queries, but a strict witness enables range pruning.
+class TypeChecker {
+ public:
+  explicit TypeChecker(const Database& db) : db_(db) {}
+
+  TypingResult Check(const Query& query, TypingMode mode,
+                     const ExemptionSet& exemptions = {}) const;
+
+  /// Enumerates *all* (assignment, plan) witnesses of strict typing, up
+  /// to `limit` — Theorem 6.1(1) states any of them evaluates to the
+  /// same answer; property tests exercise exactly that.
+  std::vector<TypingResult> AllStrictWitnesses(const Query& query,
+                                               size_t limit,
+                                               const ExemptionSet& exemptions =
+                                                   {}) const;
+
+ private:
+  const Database& db_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_TYPING_TYPE_CHECKER_H_

@@ -1,0 +1,62 @@
+#include "typing/type_expr.h"
+
+namespace xsql {
+
+TypeExpr TypeExpr::FromSignature(const Oid& cls, const Signature& sig) {
+  TypeExpr t;
+  t.receiver = cls;
+  t.args = sig.args;
+  t.result = sig.result;
+  t.set_valued = sig.set_valued;
+  return t;
+}
+
+std::string TypeExpr::ToString() const {
+  std::string out = receiver.ToString();
+  for (const Oid& a : args) {
+    out += ",";
+    out += a.ToString();
+  }
+  out += set_valued ? " =>> " : " => ";
+  out += result.ToString();
+  return out;
+}
+
+bool IsSupertypeOf(const ClassGraph& graph, const TypeExpr& sup,
+                   const TypeExpr& sub) {
+  if (sup.set_valued != sub.set_valued) return false;
+  if (sup.args.size() != sub.args.size()) return false;
+  if (!graph.IsSubclassEq(sup.receiver, sub.receiver)) return false;
+  for (size_t i = 0; i < sup.args.size(); ++i) {
+    if (!graph.IsSubclassEq(sup.args[i], sub.args[i])) return false;
+  }
+  return graph.IsSubclassEq(sub.result, sup.result);
+}
+
+bool Possesses(const Database& db, const Oid& method, const TypeExpr& type) {
+  for (const auto& [cls, sig] : db.signatures().AllFor(method)) {
+    if (IsSupertypeOf(db.graph(), type, TypeExpr::FromSignature(cls, sig))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TypeExpr> DeclaredTypeExprs(const Database& db,
+                                        const Oid& method) {
+  std::vector<TypeExpr> out;
+  for (const auto& [cls, sig] : db.signatures().AllFor(method)) {
+    TypeExpr t = TypeExpr::FromSignature(cls, sig);
+    bool dup = false;
+    for (const TypeExpr& have : out) {
+      if (have == t) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace xsql

@@ -1,0 +1,58 @@
+#ifndef XSQL_TYPING_TYPE_EXPR_H_
+#define XSQL_TYPING_TYPE_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "oid/oid.h"
+#include "store/database.h"
+#include "store/signature.h"
+
+namespace xsql {
+
+/// A type expression `A0, A1, ..., Ak ~> R` (§6.1 formula (14)): the
+/// receiver class A0, argument classes A1..Ak, result class R, and the
+/// arrow kind. Signatures attached to a class become type expressions by
+/// making the declaring class the explicit 0th argument.
+struct TypeExpr {
+  Oid receiver;
+  std::vector<Oid> args;
+  Oid result;
+  bool set_valued = false;
+
+  /// Builds the type expression of a signature declared on `cls`.
+  static TypeExpr FromSignature(const Oid& cls, const Signature& sig);
+
+  size_t arity() const { return args.size(); }
+
+  bool operator==(const TypeExpr& other) const {
+    return receiver == other.receiver && args == other.args &&
+           result == other.result && set_valued == other.set_valued;
+  }
+
+  std::string ToString() const;
+};
+
+/// §6.1: `sup` is a supertype of `sub` iff every argument class of `sup`
+/// (including the receiver) is a — possibly nonstrict — subclass of the
+/// corresponding argument class of `sub`, `sup`'s result is a superclass
+/// of `sub`'s result, and the arrow kinds agree. ("Supertype" reads as
+/// "superset of the described function sets".)
+bool IsSupertypeOf(const ClassGraph& graph, const TypeExpr& sup,
+                   const TypeExpr& sub);
+
+/// §6.1 possession: method `method` possesses `type` iff some declared
+/// signature of `method` (anywhere in the schema) has a type expression
+/// of which `type` is a supertype. Structural inheritance (covariance)
+/// is reflected by the closure under the supertype relationship.
+bool Possesses(const Database& db, const Oid& method, const TypeExpr& type);
+
+/// All base type expressions of `method`: one per declared signature,
+/// with the declaring class as receiver. These are the candidate
+/// assignments the type checker searches over (the possessed closure is
+/// generated from them by `IsSupertypeOf`).
+std::vector<TypeExpr> DeclaredTypeExprs(const Database& db, const Oid& method);
+
+}  // namespace xsql
+
+#endif  // XSQL_TYPING_TYPE_EXPR_H_

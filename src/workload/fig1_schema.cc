@@ -1,0 +1,157 @@
+#include "workload/fig1_schema.h"
+
+#include "store/catalog.h"
+
+namespace xsql {
+namespace workload {
+
+namespace fig1 {
+Oid Vehicle() { return Oid::Atom("Vehicle"); }
+Oid Motorbike() { return Oid::Atom("Motorbike"); }
+Oid Bicycle() { return Oid::Atom("Bicycle"); }
+Oid Automobile() { return Oid::Atom("Automobile"); }
+Oid Person() { return Oid::Atom("Person"); }
+Oid Employee() { return Oid::Atom("Employee"); }
+Oid Company() { return Oid::Atom("Company"); }
+Oid Division() { return Oid::Atom("Division"); }
+Oid Address() { return Oid::Atom("Address"); }
+Oid VehicleDrivetrain() { return Oid::Atom("VehicleDrivetrain"); }
+Oid AutoBody() { return Oid::Atom("AutoBody"); }
+Oid PistonEngine() { return Oid::Atom("PistonEngine"); }
+Oid TwoStrokeEngine() { return Oid::Atom("TwoStrokeEngine"); }
+Oid FourStrokeEngine() { return Oid::Atom("FourStrokeEngine"); }
+Oid TurboEngine() { return Oid::Atom("TurboEngine"); }
+Oid DieselEngine() { return Oid::Atom("DieselEngine"); }
+Oid Organization() { return Oid::Atom("Organization"); }
+Oid Association() { return Oid::Atom("Association"); }
+}  // namespace fig1
+
+namespace {
+
+Status Attr(Database* db, const Oid& cls, const char* name, const Oid& result,
+            bool set_valued = false) {
+  return db->DeclareAttribute(cls, Oid::Atom(name), result, set_valued);
+}
+
+}  // namespace
+
+Status BuildFig1Schema(Database* db) {
+  using namespace fig1;  // NOLINT(build/namespaces): local schema helpers
+  const Oid str = builtin::String();
+  const Oid num = builtin::Numeral();
+
+  // IS-A hierarchy (thick arrows of Figure 1).
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Vehicle()));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Motorbike(), {Vehicle()}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Bicycle(), {Vehicle()}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Automobile(), {Vehicle()}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Person()));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Employee(), {Person()}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Organization()));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Company(), {Organization()}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Division()));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Address()));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(VehicleDrivetrain()));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(AutoBody()));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(PistonEngine()));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(TwoStrokeEngine(), {PistonEngine()}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(FourStrokeEngine(), {PistonEngine()}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(TurboEngine(), {FourStrokeEngine()}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(DieselEngine(), {FourStrokeEngine()}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Association()));
+
+  // Composition (thin arrows; * marks set-valued).
+  XSQL_RETURN_IF_ERROR(Attr(db, Vehicle(), "Model", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, Vehicle(), "Manufacturer", Company()));
+  XSQL_RETURN_IF_ERROR(Attr(db, Vehicle(), "Color", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, Motorbike(), "Size", num));
+  XSQL_RETURN_IF_ERROR(
+      Attr(db, Automobile(), "Drivetrain", VehicleDrivetrain()));
+  XSQL_RETURN_IF_ERROR(Attr(db, Automobile(), "Body", AutoBody()));
+  XSQL_RETURN_IF_ERROR(Attr(db, Motorbike(), "Drivetrain",
+                            VehicleDrivetrain()));
+
+  XSQL_RETURN_IF_ERROR(Attr(db, Person(), "Name", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, Person(), "Age", num));
+  XSQL_RETURN_IF_ERROR(Attr(db, Person(), "Residence", Address()));
+  XSQL_RETURN_IF_ERROR(
+      Attr(db, Person(), "OwnedVehicles", Vehicle(), /*set_valued=*/true));
+
+  XSQL_RETURN_IF_ERROR(
+      Attr(db, Employee(), "Qualifications", str, /*set_valued=*/true));
+  XSQL_RETURN_IF_ERROR(Attr(db, Employee(), "Salary", num));
+  XSQL_RETURN_IF_ERROR(
+      Attr(db, Employee(), "FamMembers", Person(), /*set_valued=*/true));
+  // Footnote 9: Dependents of Employee, Retirees of Company.
+  XSQL_RETURN_IF_ERROR(
+      Attr(db, Employee(), "Dependents", Person(), /*set_valued=*/true));
+
+  XSQL_RETURN_IF_ERROR(Attr(db, Company(), "Name", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, Company(), "Headquarters", Address()));
+  XSQL_RETURN_IF_ERROR(
+      Attr(db, Company(), "Divisions", Division(), /*set_valued=*/true));
+  // §6.2 (18): President : Company => Person; (20) adds a second type
+  // expression Organization => Person via a declaration on Organization.
+  XSQL_RETURN_IF_ERROR(Attr(db, Company(), "President", Person()));
+  XSQL_RETURN_IF_ERROR(Attr(db, Organization(), "President", Person()));
+  XSQL_RETURN_IF_ERROR(
+      Attr(db, Company(), "Retirees", Person(), /*set_valued=*/true));
+
+  XSQL_RETURN_IF_ERROR(Attr(db, Division(), "Name", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, Division(), "Location", Address()));
+  XSQL_RETURN_IF_ERROR(Attr(db, Division(), "Function", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, Division(), "Manager", Employee()));
+  XSQL_RETURN_IF_ERROR(
+      Attr(db, Division(), "Employees", Employee(), /*set_valued=*/true));
+
+  XSQL_RETURN_IF_ERROR(Attr(db, Address(), "Street", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, Address(), "City", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, Address(), "State", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, Address(), "Phone", num));
+
+  XSQL_RETURN_IF_ERROR(
+      Attr(db, VehicleDrivetrain(), "Engine", PistonEngine()));
+  XSQL_RETURN_IF_ERROR(Attr(db, VehicleDrivetrain(), "Transmission", str));
+
+  XSQL_RETURN_IF_ERROR(Attr(db, AutoBody(), "Chassis", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, AutoBody(), "Interior", str));
+  XSQL_RETURN_IF_ERROR(Attr(db, AutoBody(), "Doors", num));
+
+  XSQL_RETURN_IF_ERROR(Attr(db, PistonEngine(), "HPpower", num));
+  XSQL_RETURN_IF_ERROR(Attr(db, PistonEngine(), "CCsize", num));
+  XSQL_RETURN_IF_ERROR(Attr(db, PistonEngine(), "CylinderN", num));
+
+  // §6.2 (19): Member : Association, Numeral => Organization.
+  Signature member;
+  member.method = Oid::Atom("Member");
+  member.args = {num};
+  member.result = Organization();
+  XSQL_RETURN_IF_ERROR(db->DeclareSignature(Association(), member));
+
+  return Status::OK();
+}
+
+Status BuildNobelSchema(Database* db) {
+  const Oid str = builtin::String();
+  const Oid person = fig1::Person();
+  const Oid organization = fig1::Organization();
+  if (!db->graph().IsClass(person)) {
+    XSQL_RETURN_IF_ERROR(db->DeclareClass(person));
+  }
+  if (!db->graph().IsClass(organization)) {
+    XSQL_RETURN_IF_ERROR(db->DeclareClass(organization));
+  }
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(Oid::Atom("Scientist"), {person}));
+  XSQL_RETURN_IF_ERROR(
+      db->DeclareClass(Oid::Atom("CharityOrg"), {organization}));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(
+      Oid::Atom("Scientist"), Oid::Atom("WonNobelPrize"), str,
+      /*set_valued=*/true));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(
+      Oid::Atom("CharityOrg"), Oid::Atom("WonNobelPrize"), str,
+      /*set_valued=*/true));
+  return Status::OK();
+}
+
+}  // namespace workload
+}  // namespace xsql

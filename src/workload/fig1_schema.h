@@ -1,0 +1,52 @@
+#ifndef XSQL_WORKLOAD_FIG1_SCHEMA_H_
+#define XSQL_WORKLOAD_FIG1_SCHEMA_H_
+
+#include "common/status.h"
+#include "oid/oid.h"
+#include "store/database.h"
+
+namespace xsql {
+namespace workload {
+
+/// Installs the paper's Figure 1 schema: the Vehicle/Person/Company
+/// composition hierarchy, the engine IS-A chain (TurboEngine and
+/// DieselEngine under FourStrokeEngine under PistonEngine — so that
+/// query (4) returns exactly {FourStrokeEngine, PistonEngine, Object}),
+/// plus the classes and attributes the running examples add outside the
+/// figure: Company.Retirees*, Employee.Dependents* (footnote 9),
+/// Organization above Company with its own President signature and the
+/// Association class with the Member method (§6.2 fragments (19)/(20)).
+Status BuildFig1Schema(Database* db);
+
+/// Installs the introduction's Nobel-prize mini schema on top of a
+/// database: Scientist under Person and CharityOrg under Organization,
+/// each declaring WonNobelPrize =>> String. Winners are *not* all in
+/// one class — the point of the example.
+Status BuildNobelSchema(Database* db);
+
+/// Well-known class oids of the Figure 1 schema.
+namespace fig1 {
+Oid Vehicle();
+Oid Motorbike();
+Oid Bicycle();
+Oid Automobile();
+Oid Person();
+Oid Employee();
+Oid Company();
+Oid Division();
+Oid Address();
+Oid VehicleDrivetrain();
+Oid AutoBody();
+Oid PistonEngine();
+Oid TwoStrokeEngine();
+Oid FourStrokeEngine();
+Oid TurboEngine();
+Oid DieselEngine();
+Oid Organization();
+Oid Association();
+}  // namespace fig1
+
+}  // namespace workload
+}  // namespace xsql
+
+#endif  // XSQL_WORKLOAD_FIG1_SCHEMA_H_

@@ -1,0 +1,360 @@
+#include "workload/generator.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.h"
+#include "workload/fig1_schema.h"
+
+namespace xsql {
+namespace workload {
+
+namespace {
+
+const char* kCities[] = {"newyork", "austin", "sanfrancisco", "boston",
+                         "chicago"};
+const char* kColors[] = {"blue", "red", "white", "black", "silver"};
+const char* kFunctions[] = {"advertizing", "engineering", "sales",
+                            "research"};
+const char* kTransmissions[] = {"manual", "automatic"};
+
+Oid A(const std::string& name) { return Oid::Atom(name); }
+Oid S(const std::string& value) { return Oid::String(value); }
+
+class Generator {
+ public:
+  Generator(Database* db, const WorkloadParams& params)
+      : db_(db), params_(params), rng_(params.seed) {}
+
+  Result<WorkloadStats> Run() {
+    XSQL_RETURN_IF_ERROR(MakePersons());
+    XSQL_RETURN_IF_ERROR(MakeCompanies());
+    XSQL_RETURN_IF_ERROR(MakeAutomobiles());
+    XSQL_RETURN_IF_ERROR(AssignOwnership());
+    if (params_.include_named_individuals) {
+      XSQL_RETURN_IF_ERROR(MakeNamedIndividuals());
+    }
+    return stats_;
+  }
+
+ private:
+  Result<Oid> MakeAddress(const std::string& tag) {
+    Oid addr = A("addr_" + tag);
+    XSQL_RETURN_IF_ERROR(db_->NewObject(addr, {fig1::Address()}));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(
+        addr, A("Street"), S(std::to_string(rng_.Range(1, 999)) + " main st")));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(
+        addr, A("City"), S(kCities[rng_.Uniform(std::size(kCities))])));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(addr, A("State"), S("tx")));
+    XSQL_RETURN_IF_ERROR(
+        db_->SetScalar(addr, A("Phone"), Oid::Int(rng_.Range(1000, 9999))));
+    ++stats_.addresses;
+    return addr;
+  }
+
+  Status MakePerson(const Oid& oid, const Oid& cls, const std::string& name) {
+    XSQL_RETURN_IF_ERROR(db_->NewObject(oid, {cls}));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(oid, A("Name"), S(name)));
+    XSQL_RETURN_IF_ERROR(
+        db_->SetScalar(oid, A("Age"), Oid::Int(rng_.Range(16, 80))));
+    XSQL_ASSIGN_OR_RETURN(Oid addr, MakeAddress("p" + name));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(oid, A("Residence"), addr));
+    ++stats_.persons;
+    return Status::OK();
+  }
+
+  Status MakePersons() {
+    for (size_t i = 0; i < params_.extra_persons; ++i) {
+      Oid person = A("person" + std::to_string(i));
+      XSQL_RETURN_IF_ERROR(
+          MakePerson(person, fig1::Person(), "person" + std::to_string(i)));
+      persons_.push_back(person);
+    }
+    return Status::OK();
+  }
+
+  Result<Oid> MakeEmployee(const std::string& tag) {
+    Oid emp = A("emp_" + tag);
+    XSQL_RETURN_IF_ERROR(MakePerson(emp, fig1::Employee(), "emp_" + tag));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(
+        emp, A("Salary"), Oid::Int(rng_.Range(20000, 120000))));
+    OidSet quals;
+    quals.Insert(S("bs"));
+    if (rng_.Percent(40)) quals.Insert(S("ms"));
+    XSQL_RETURN_IF_ERROR(db_->SetSet(emp, A("Qualifications"), quals));
+    // Family members drawn from the person pool.
+    if (!persons_.empty()) {
+      OidSet family;
+      size_t n = rng_.Uniform(params_.max_family + 1);
+      for (size_t i = 0; i < n; ++i) {
+        family.Insert(persons_[rng_.Uniform(persons_.size())]);
+      }
+      if (!family.empty()) {
+        XSQL_RETURN_IF_ERROR(db_->SetSet(emp, A("FamMembers"), family));
+        if (rng_.Percent(50)) {
+          XSQL_RETURN_IF_ERROR(db_->SetSet(emp, A("Dependents"), family));
+        }
+      }
+    }
+    employees_.push_back(emp);
+    ++stats_.employees;
+    return emp;
+  }
+
+  Status MakeCompanies() {
+    for (size_t c = 0; c < params_.companies; ++c) {
+      std::string ctag = std::to_string(c);
+      Oid comp = A("comp" + ctag);
+      std::string comp_name = "company" + ctag;
+      XSQL_RETURN_IF_ERROR(db_->NewObject(comp, {fig1::Company()}));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(comp, A("Name"), S(comp_name)));
+      XSQL_ASSIGN_OR_RETURN(Oid hq, MakeAddress("c" + ctag));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(comp, A("Headquarters"), hq));
+      companies_.push_back(comp);
+      ++stats_.companies;
+
+      OidSet divisions;
+      Oid first_employee;
+      for (size_t d = 0; d < params_.divisions_per_company; ++d) {
+        std::string dtag = ctag + "_" + std::to_string(d);
+        Oid div = A("div" + dtag);
+        XSQL_RETURN_IF_ERROR(db_->NewObject(div, {fig1::Division()}));
+        XSQL_RETURN_IF_ERROR(db_->SetScalar(
+            div, A("Name"),
+            S(kFunctions[d % std::size(kFunctions)])));
+        XSQL_RETURN_IF_ERROR(db_->SetScalar(
+            div, A("Function"), S(kFunctions[d % std::size(kFunctions)])));
+        XSQL_ASSIGN_OR_RETURN(Oid loc, MakeAddress("d" + dtag));
+        XSQL_RETURN_IF_ERROR(db_->SetScalar(div, A("Location"), loc));
+        OidSet div_employees;
+        Oid manager;
+        for (size_t e = 0; e < params_.employees_per_division; ++e) {
+          XSQL_ASSIGN_OR_RETURN(
+              Oid emp, MakeEmployee(dtag + "_" + std::to_string(e)));
+          div_employees.Insert(emp);
+          if (e == 0) manager = emp;
+          if (c == 0 && d == 0 && e == 1) {
+            // One employee shares the company's name: the explicit-join
+            // query (6) has a non-empty answer.
+            XSQL_RETURN_IF_ERROR(
+                db_->SetScalar(emp, A("Name"), S(comp_name)));
+          }
+          if (first_employee.is_nil()) first_employee = emp;
+        }
+        XSQL_RETURN_IF_ERROR(db_->SetScalar(div, A("Manager"), manager));
+        XSQL_RETURN_IF_ERROR(db_->SetSet(div, A("Employees"), div_employees));
+        divisions.Insert(div);
+        ++stats_.divisions;
+      }
+      XSQL_RETURN_IF_ERROR(db_->SetSet(comp, A("Divisions"), divisions));
+      if (!first_employee.is_nil()) {
+        XSQL_RETURN_IF_ERROR(db_->SetScalar(comp, A("President"),
+                                            first_employee));
+        presidents_.push_back(first_employee);
+      }
+      // Retirees (footnote 9) from the person pool.
+      if (!persons_.empty()) {
+        OidSet retirees;
+        retirees.Insert(persons_[rng_.Uniform(persons_.size())]);
+        XSQL_RETURN_IF_ERROR(db_->SetSet(comp, A("Retirees"), retirees));
+      }
+    }
+    return Status::OK();
+  }
+
+  Status MakeAutomobiles() {
+    static const Oid kEngineClasses[] = {
+        fig1::TurboEngine(), fig1::DieselEngine(), fig1::TwoStrokeEngine()};
+    for (size_t i = 0; i < params_.automobiles; ++i) {
+      std::string tag = std::to_string(i);
+      Oid engine = A("eng" + tag);
+      XSQL_RETURN_IF_ERROR(db_->NewObject(
+          engine, {kEngineClasses[rng_.Uniform(std::size(kEngineClasses))]}));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(engine, A("HPpower"),
+                                          Oid::Int(rng_.Range(60, 600))));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(engine, A("CCsize"),
+                                          Oid::Int(rng_.Range(900, 6000))));
+      XSQL_RETURN_IF_ERROR(
+          db_->SetScalar(engine, A("CylinderN"), Oid::Int(rng_.Range(2, 12))));
+
+      Oid drivetrain = A("dt" + tag);
+      XSQL_RETURN_IF_ERROR(
+          db_->NewObject(drivetrain, {fig1::VehicleDrivetrain()}));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(drivetrain, A("Engine"), engine));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(
+          drivetrain, A("Transmission"),
+          S(kTransmissions[rng_.Uniform(std::size(kTransmissions))])));
+
+      Oid body = A("body" + tag);
+      XSQL_RETURN_IF_ERROR(db_->NewObject(body, {fig1::AutoBody()}));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(body, A("Chassis"), S("steel")));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(body, A("Interior"), S("cloth")));
+      XSQL_RETURN_IF_ERROR(
+          db_->SetScalar(body, A("Doors"), Oid::Int(rng_.Range(2, 5))));
+
+      Oid automobile = A("auto" + tag);
+      XSQL_RETURN_IF_ERROR(db_->NewObject(automobile, {fig1::Automobile()}));
+      XSQL_RETURN_IF_ERROR(
+          db_->SetScalar(automobile, A("Model"), S("model" + tag)));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(
+          automobile, A("Color"),
+          S(kColors[rng_.Uniform(std::size(kColors))])));
+      if (!companies_.empty()) {
+        XSQL_RETURN_IF_ERROR(db_->SetScalar(
+            automobile, A("Manufacturer"),
+            companies_[i % companies_.size()]));
+      }
+      XSQL_RETURN_IF_ERROR(
+          db_->SetScalar(automobile, A("Drivetrain"), drivetrain));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(automobile, A("Body"), body));
+      automobiles_.push_back(automobile);
+      ++stats_.automobiles;
+    }
+    return Status::OK();
+  }
+
+  Status AssignOwnership() {
+    if (automobiles_.empty()) return Status::OK();
+    std::vector<Oid> owners = employees_;
+    owners.insert(owners.end(), persons_.begin(), persons_.end());
+    for (const Oid& owner : owners) {
+      size_t n = rng_.Uniform(params_.max_owned + 1);
+      OidSet owned;
+      for (size_t i = 0; i < n; ++i) {
+        owned.Insert(automobiles_[rng_.Uniform(automobiles_.size())]);
+      }
+      if (!owned.empty()) {
+        XSQL_RETURN_IF_ERROR(db_->SetSet(owner, A("OwnedVehicles"), owned));
+      }
+    }
+    // Make the §3.2 containsEq query satisfiable: company0's president
+    // is young and owns a blue and a red vehicle.
+    if (!presidents_.empty() && automobiles_.size() >= 2) {
+      const Oid& president = presidents_[0];
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(president, A("Age"), Oid::Int(28)));
+      Oid blue = automobiles_[0];
+      Oid red = automobiles_[1 % automobiles_.size()];
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(blue, A("Color"), S("blue")));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(red, A("Color"), S("red")));
+      OidSet owned;
+      owned.Insert(blue);
+      owned.Insert(red);
+      XSQL_RETURN_IF_ERROR(
+          db_->SetSet(president, A("OwnedVehicles"), owned));
+    }
+    return Status::OK();
+  }
+
+  Status MakeNamedIndividuals() {
+    // mary123: the §3.1 running example; lives in New York.
+    Oid mary = A("mary123");
+    XSQL_RETURN_IF_ERROR(MakePerson(mary, fig1::Person(), "mary"));
+    Oid mary_addr = A("addr_mary123");
+    XSQL_RETURN_IF_ERROR(db_->NewObject(mary_addr, {fig1::Address()}));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(mary_addr, A("Street"),
+                                        S("5 park ave")));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(mary_addr, A("City"), S("newyork")));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(mary_addr, A("State"), S("ny")));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(mary, A("Residence"), mary_addr));
+
+    // _john13: family members straddling age 20 (§3.2).
+    Oid john = A("_john13");
+    XSQL_RETURN_IF_ERROR(MakePerson(john, fig1::Employee(), "john"));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(john, A("Salary"), Oid::Int(48000)));
+    Oid kid = A("john_kid");
+    XSQL_RETURN_IF_ERROR(MakePerson(kid, fig1::Person(), "kid"));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(kid, A("Age"), Oid::Int(12)));
+    Oid spouse = A("john_spouse");
+    XSQL_RETURN_IF_ERROR(MakePerson(spouse, fig1::Person(), "spouse"));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(spouse, A("Age"), Oid::Int(42)));
+    OidSet family;
+    family.Insert(kid);
+    family.Insert(spouse);
+    XSQL_RETURN_IF_ERROR(db_->SetSet(john, A("FamMembers"), family));
+
+    // bigfam_emp: the §3.2 aggregate query's witness — more than 4
+    // family members, all sharing one residence, salary under 35000.
+    Oid bigfam = A("bigfam_emp");
+    XSQL_RETURN_IF_ERROR(MakePerson(bigfam, fig1::Employee(), "bigfam"));
+    XSQL_RETURN_IF_ERROR(
+        db_->SetScalar(bigfam, A("Salary"), Oid::Int(30000)));
+    const AttrValue* res = db_->GetAttribute(bigfam, A("Residence"));
+    Oid home = res->scalar();
+    OidSet big_family;
+    for (int i = 0; i < 5; ++i) {
+      Oid member = A("bigfam_m" + std::to_string(i));
+      XSQL_RETURN_IF_ERROR(MakePerson(member, fig1::Person(),
+                                      "bigfam_m" + std::to_string(i)));
+      XSQL_RETURN_IF_ERROR(db_->SetScalar(member, A("Residence"), home));
+      big_family.Insert(member);
+    }
+    XSQL_RETURN_IF_ERROR(db_->SetSet(bigfam, A("FamMembers"), big_family));
+
+    // uniSQL with a president whose family has names (§3.1).
+    Oid unisql = A("uniSQL");
+    XSQL_RETURN_IF_ERROR(db_->NewObject(unisql, {fig1::Company()}));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(unisql, A("Name"), S("UniSQL")));
+    Oid pres = A("unisql_pres");
+    XSQL_RETURN_IF_ERROR(MakePerson(pres, fig1::Employee(), "kim"));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(pres, A("Salary"), Oid::Int(90000)));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(unisql, A("President"), pres));
+    XSQL_RETURN_IF_ERROR(db_->SetSet(pres, A("FamMembers"), family));
+    OidSet unisql_divs;
+    Oid unisql_div = A("unisql_div0");
+    XSQL_RETURN_IF_ERROR(db_->NewObject(unisql_div, {fig1::Division()}));
+    XSQL_RETURN_IF_ERROR(
+        db_->SetScalar(unisql_div, A("Name"), S("engineering")));
+    XSQL_RETURN_IF_ERROR(db_->SetScalar(unisql_div, A("Manager"), pres));
+    OidSet unisql_emps;
+    unisql_emps.Insert(pres);
+    unisql_emps.Insert(john);
+    XSQL_RETURN_IF_ERROR(
+        db_->SetSet(unisql_div, A("Employees"), unisql_emps));
+    unisql_divs.Insert(unisql_div);
+    XSQL_RETURN_IF_ERROR(db_->SetSet(unisql, A("Divisions"), unisql_divs));
+
+    // OO_Forum: an association whose Member method maps a year to one of
+    // the member organizations (§6.2 fragment (19)).
+    Oid forum = A("OO_Forum");
+    XSQL_RETURN_IF_ERROR(db_->NewObject(forum, {fig1::Association()}));
+    std::vector<Oid> members = companies_;
+    members.push_back(unisql);
+    auto member_fn = [members](Database& db, const Oid& receiver,
+                               const std::vector<Oid>& args)
+        -> Result<OidSet> {
+      OidSet out;
+      if (args.size() == 1 && args[0].is_numeric() && !members.empty()) {
+        size_t index = static_cast<size_t>(args[0].numeric_value());
+        out.Insert(members[index % members.size()]);
+      }
+      return out;
+    };
+    XSQL_RETURN_IF_ERROR(db_->DefineMethod(
+        fig1::Association(), A("Member"), 1,
+        std::make_shared<NativeMethodBody>(1, /*set_valued=*/false,
+                                           member_fn)));
+    return Status::OK();
+  }
+
+  Database* db_;
+  const WorkloadParams& params_;
+  Rng rng_;
+  WorkloadStats stats_;
+  std::vector<Oid> persons_;
+  std::vector<Oid> employees_;
+  std::vector<Oid> companies_;
+  std::vector<Oid> presidents_;
+  std::vector<Oid> automobiles_;
+};
+
+}  // namespace
+
+Result<WorkloadStats> GenerateFig1Data(Database* db,
+                                       const WorkloadParams& params) {
+  Generator generator(db, params);
+  return generator.Run();
+}
+
+}  // namespace workload
+}  // namespace xsql

@@ -1,0 +1,56 @@
+#ifndef XSQL_WORKLOAD_GENERATOR_H_
+#define XSQL_WORKLOAD_GENERATOR_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "store/database.h"
+
+namespace xsql {
+namespace workload {
+
+/// Size and shape of a synthetic Figure-1 instance. Defaults produce a
+/// small database suitable for tests; benchmarks sweep `scale`.
+struct WorkloadParams {
+  uint64_t seed = 42;
+  size_t companies = 5;
+  size_t divisions_per_company = 3;
+  size_t employees_per_division = 4;
+  size_t extra_persons = 10;   // persons who are not employees
+  size_t automobiles = 20;
+  size_t max_family = 3;       // FamMembers per employee, 0..max
+  size_t max_owned = 2;        // OwnedVehicles per person, 0..max
+  /// Adds the named individuals the paper's examples rely on: mary123,
+  /// _john13, the company uniSQL (with president and divisions) and the
+  /// association OO_Forum.
+  bool include_named_individuals = true;
+
+  /// Multiplies the object counts uniformly.
+  WorkloadParams Scaled(size_t factor) const {
+    WorkloadParams p = *this;
+    p.companies *= factor;
+    p.automobiles *= factor;
+    p.extra_persons *= factor;
+    return p;
+  }
+};
+
+/// Counters describing the generated instance.
+struct WorkloadStats {
+  size_t persons = 0;
+  size_t employees = 0;
+  size_t companies = 0;
+  size_t divisions = 0;
+  size_t automobiles = 0;
+  size_t addresses = 0;
+};
+
+/// Populates a database (whose schema BuildFig1Schema installed) with a
+/// deterministic synthetic instance. Cities include 'newyork' and
+/// 'austin' so the paper's selection queries have non-trivial answers.
+Result<WorkloadStats> GenerateFig1Data(Database* db,
+                                       const WorkloadParams& params);
+
+}  // namespace workload
+}  // namespace xsql
+
+#endif  // XSQL_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,215 @@
+#include "workload/university.h"
+
+#include <string>
+
+#include "store/catalog.h"
+
+namespace xsql {
+namespace workload {
+
+namespace {
+
+Oid A(const std::string& s) { return Oid::Atom(s); }
+Oid S(const std::string& s) { return Oid::String(s); }
+
+Status BuildSchema(Session* session) {
+  Database* db = &session->db();
+  const Oid str = builtin::String();
+  const Oid num = builtin::Numeral();
+
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("Person")));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("Student"), {A("Person")}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("Employee"), {A("Person")}));
+  // §6.1's diamond: Workstudy under both Student and Employee.
+  XSQL_RETURN_IF_ERROR(
+      db->DeclareClass(A("Workstudy"), {A("Student"), A("Employee")}));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("Department")));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("Course")));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("Project")));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("Grade")));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("Pay")));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("Semester")));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("GradeRecord")));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("PayRecord")));
+  XSQL_RETURN_IF_ERROR(db->DeclareClass(A("WorkstudyRecord")));
+
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Person"), A("Name"), str,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Person"), A("Age"), num,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Student"), A("Enrolled"),
+                                            A("Course"), true));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(
+      A("Student"), A("GradeRecords"), A("GradeRecord"), true));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Employee"), A("Salary"), num,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Employee"), A("PayRecords"),
+                                            A("PayRecord"), true));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Department"), A("Name"), str,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(
+      A("Department"), A("WSRecords"), A("WorkstudyRecord"), true));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Course"), A("Title"), str,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Course"), A("Credits"), num,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Project"), A("Title"), str,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Project"), A("Budget"), num,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Grade"), A("Value"), num,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("Pay"), A("Value"), num,
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("GradeRecord"), A("Course"),
+                                            A("Course"), false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("GradeRecord"), A("Grade"),
+                                            A("Grade"), false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("PayRecord"), A("Project"),
+                                            A("Project"), false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("PayRecord"), A("Pay"),
+                                            A("Pay"), false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("WorkstudyRecord"),
+                                            A("Semester"), A("Semester"),
+                                            false));
+  XSQL_RETURN_IF_ERROR(db->DeclareAttribute(A("WorkstudyRecord"),
+                                            A("Member"), A("Workstudy"),
+                                            false));
+
+  // The paper's polymorphic earns, defined through the language itself.
+  XSQL_RETURN_IF_ERROR(
+      session->Execute("ALTER CLASS Student "
+                       "ADD SIGNATURE earns : Course => Grade "
+                       "SELECT (earns @ C) = G FROM Student X OID X "
+                       "WHERE X.GradeRecords[R] and R.Course[C] "
+                       "and R.Grade[G]")
+          .status());
+  XSQL_RETURN_IF_ERROR(
+      session->Execute("ALTER CLASS Employee "
+                       "ADD SIGNATURE earns : Project => Pay "
+                       "SELECT (earns @ P) = W FROM Employee X OID X "
+                       "WHERE X.PayRecords[R] and R.Project[P] "
+                       "and R.Pay[W]")
+          .status());
+  // [MEY88]: Workstudy resolves the behavioral diamond explicitly — by
+  // redefining earns to dispatch on the argument (structural
+  // inheritance keeps BOTH signatures regardless, §6.1).
+  XSQL_RETURN_IF_ERROR(
+      session->Execute("ALTER CLASS Workstudy "
+                       "SELECT (earns @ Arg) = V FROM Workstudy X OID X "
+                       "WHERE (X.GradeRecords[R] and R.Course[Arg] "
+                       "       and R.Grade[V]) "
+                       "or (X.PayRecords[R2] and R2.Project[Arg] "
+                       "    and R2.Pay[V])")
+          .status());
+  // §2's combined signature, expanded by the parser into two:
+  // workstudy : Semester =>> {Student, Employee}.
+  XSQL_RETURN_IF_ERROR(
+      session->Execute("ALTER CLASS Department "
+                       "ADD SIGNATURE workstudy : Semester =>> "
+                       "{Student, Employee} "
+                       "SELECT (workstudy @ Sem) = M FROM Department X "
+                       "OID X "
+                       "WHERE X.WSRecords[R] and R.Semester[Sem] "
+                       "and R.Member[M]")
+          .status());
+  return Status::OK();
+}
+
+Status BuildData(Database* db) {
+  // Semesters, courses, projects.
+  for (const char* sem : {"fall2026", "spring2027"}) {
+    XSQL_RETURN_IF_ERROR(db->NewObject(A(sem), {A("Semester")}));
+  }
+  struct CourseSpec {
+    const char* oid;
+    const char* title;
+    int credits;
+  };
+  for (const CourseSpec& c : {CourseSpec{"cs101", "databases", 4},
+                              CourseSpec{"cs202", "logic", 3},
+                              CourseSpec{"cs303", "objects", 3}}) {
+    XSQL_RETURN_IF_ERROR(db->NewObject(A(c.oid), {A("Course")}));
+    XSQL_RETURN_IF_ERROR(db->SetScalar(A(c.oid), A("Title"), S(c.title)));
+    XSQL_RETURN_IF_ERROR(
+        db->SetScalar(A(c.oid), A("Credits"), Oid::Int(c.credits)));
+  }
+  for (const char* p : {"proj_orion", "proj_lyra"}) {
+    XSQL_RETURN_IF_ERROR(db->NewObject(A(p), {A("Project")}));
+    XSQL_RETURN_IF_ERROR(db->SetScalar(A(p), A("Title"), S(p)));
+    XSQL_RETURN_IF_ERROR(
+        db->SetScalar(A(p), A("Budget"), Oid::Int(100000)));
+  }
+
+  // Grades and pays as first-class objects.
+  auto make_grade = [db](const std::string& oid, int value) -> Status {
+    XSQL_RETURN_IF_ERROR(db->NewObject(A(oid), {A("Grade")}));
+    return db->SetScalar(A(oid), A("Value"), Oid::Int(value));
+  };
+  auto make_pay = [db](const std::string& oid, int value) -> Status {
+    XSQL_RETURN_IF_ERROR(db->NewObject(A(oid), {A("Pay")}));
+    return db->SetScalar(A(oid), A("Value"), Oid::Int(value));
+  };
+
+  // A plain student with one grade.
+  XSQL_RETURN_IF_ERROR(db->NewObject(A("alice"), {A("Student")}));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("alice"), A("Name"), S("alice")));
+  XSQL_RETURN_IF_ERROR(make_grade("grade_a", 95));
+  XSQL_RETURN_IF_ERROR(db->NewObject(A("gr_alice"), {A("GradeRecord")}));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("gr_alice"), A("Course"), A("cs101")));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("gr_alice"), A("Grade"), A("grade_a")));
+  XSQL_RETURN_IF_ERROR(db->AddToSet(A("alice"), A("GradeRecords"),
+                                    A("gr_alice")));
+
+  // A plain employee with one pay record.
+  XSQL_RETURN_IF_ERROR(db->NewObject(A("bob"), {A("Employee")}));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("bob"), A("Name"), S("bob")));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("bob"), A("Salary"), Oid::Int(80000)));
+  XSQL_RETURN_IF_ERROR(make_pay("pay_b", 5000));
+  XSQL_RETURN_IF_ERROR(db->NewObject(A("pr_bob"), {A("PayRecord")}));
+  XSQL_RETURN_IF_ERROR(
+      db->SetScalar(A("pr_bob"), A("Project"), A("proj_orion")));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("pr_bob"), A("Pay"), A("pay_b")));
+  XSQL_RETURN_IF_ERROR(db->AddToSet(A("bob"), A("PayRecords"), A("pr_bob")));
+
+  // carol: the §6.1 workstudy — earns a grade in cs202 and a pay on
+  // proj_lyra, through ONE polymorphic method.
+  XSQL_RETURN_IF_ERROR(db->NewObject(A("carol"), {A("Workstudy")}));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("carol"), A("Name"), S("carol")));
+  XSQL_RETURN_IF_ERROR(
+      db->SetScalar(A("carol"), A("Salary"), Oid::Int(20000)));
+  XSQL_RETURN_IF_ERROR(make_grade("grade_c", 88));
+  XSQL_RETURN_IF_ERROR(db->NewObject(A("gr_carol"), {A("GradeRecord")}));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("gr_carol"), A("Course"), A("cs202")));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("gr_carol"), A("Grade"), A("grade_c")));
+  XSQL_RETURN_IF_ERROR(db->AddToSet(A("carol"), A("GradeRecords"),
+                                    A("gr_carol")));
+  XSQL_RETURN_IF_ERROR(make_pay("pay_c", 1500));
+  XSQL_RETURN_IF_ERROR(db->NewObject(A("pr_carol"), {A("PayRecord")}));
+  XSQL_RETURN_IF_ERROR(
+      db->SetScalar(A("pr_carol"), A("Project"), A("proj_lyra")));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("pr_carol"), A("Pay"), A("pay_c")));
+  XSQL_RETURN_IF_ERROR(db->AddToSet(A("carol"), A("PayRecords"),
+                                    A("pr_carol")));
+
+  // The department employing carol as workstudy in fall2026.
+  XSQL_RETURN_IF_ERROR(db->NewObject(A("cs_dept"), {A("Department")}));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("cs_dept"), A("Name"), S("cs")));
+  XSQL_RETURN_IF_ERROR(db->NewObject(A("ws_carol"), {A("WorkstudyRecord")}));
+  XSQL_RETURN_IF_ERROR(
+      db->SetScalar(A("ws_carol"), A("Semester"), A("fall2026")));
+  XSQL_RETURN_IF_ERROR(db->SetScalar(A("ws_carol"), A("Member"), A("carol")));
+  XSQL_RETURN_IF_ERROR(db->AddToSet(A("cs_dept"), A("WSRecords"),
+                                    A("ws_carol")));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BuildUniversity(Session* session) {
+  XSQL_RETURN_IF_ERROR(BuildSchema(session));
+  return BuildData(&session->db());
+}
+
+}  // namespace workload
+}  // namespace xsql

@@ -1,0 +1,34 @@
+#ifndef XSQL_WORKLOAD_UNIVERSITY_H_
+#define XSQL_WORKLOAD_UNIVERSITY_H_
+
+#include "common/status.h"
+#include "eval/session.h"
+#include "store/database.h"
+
+namespace xsql {
+namespace workload {
+
+/// The paper's *other* running domain: the university of §2 and §6.1.
+///
+/// Installs, schema-side:
+///  * Student and Employee under Person, and Workstudy under both —
+///    the multiple-inheritance diamond of §6.1;
+///  * the polymorphic method `earns` with the paper's two signatures,
+///    `earns : Course => Grade` (Student) and `earns : Project => Pay`
+///    (Employee), structurally inherited *together* by Workstudy;
+///  * the §2 combined signature `workstudy : Semester =>> {Student,
+///    Employee}` on Department (expanded to two signatures);
+///  * query-defined bodies for both `earns` definitions, and — the
+///    [MEY88] explicit resolution the paper adopts — a redefinition of
+///    `earns` on Workstudy that dispatches on the argument: grade
+///    records answer courses, pay records answer projects.
+///
+/// Data-side: departments, courses, projects, students with grade
+/// records, employees with pay records, and workstudy individuals
+/// carrying both.
+Status BuildUniversity(Session* session);
+
+}  // namespace workload
+}  // namespace xsql
+
+#endif  // XSQL_WORKLOAD_UNIVERSITY_H_

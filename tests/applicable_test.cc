@@ -1,0 +1,106 @@
+// The applicableTo predicate — §3.1's distinction between an attribute
+// being *defined* on an object (it has a value) and being *applicable*
+// (a signature covers the object's class; the value may be null). The
+// paper defers this to [KSK92]; here it is executable.
+#include <gtest/gtest.h>
+
+#include "eval/session.h"
+#include "parser/parser.h"
+#include "workload/fig1_schema.h"
+
+namespace xsql {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+class ApplicableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildFig1Schema(&db_).ok());
+    ASSERT_TRUE(workload::BuildNobelSchema(&db_).ok());
+    // curie: a Scientist who has NOT won (yet) — WonNobelPrize is
+    // applicable but undefined.
+    ASSERT_TRUE(db_.NewObject(A("curie"), {A("Scientist")}).ok());
+    ASSERT_TRUE(db_.SetScalar(A("curie"), A("Name"),
+                              Oid::String("curie")).ok());
+    // planck: a Scientist who has won.
+    ASSERT_TRUE(db_.NewObject(A("planck"), {A("Scientist")}).ok());
+    ASSERT_TRUE(db_.AddToSet(A("planck"), A("WonNobelPrize"),
+                             Oid::String("physics")).ok());
+    // An Address: WonNobelPrize is inapplicable there.
+    ASSERT_TRUE(db_.NewObject(A("addr1"), {A("Address")}).ok());
+    session_ = std::make_unique<Session>(&db_);
+  }
+
+  OidSet Column(const Relation& rel) {
+    OidSet out;
+    for (const auto& row : rel.rows()) out.Insert(row[0]);
+    return out;
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(ApplicableTest, DefinedVersusApplicable) {
+  // Defined: only the actual winner.
+  auto defined = session_->Query(
+      "SELECT X FROM Scientist X WHERE X.WonNobelPrize");
+  ASSERT_TRUE(defined.ok()) << defined.status().ToString();
+  EXPECT_TRUE(Column(*defined).Contains(A("planck")));
+  EXPECT_FALSE(Column(*defined).Contains(A("curie")));
+  // Applicable: every scientist, winner or not.
+  auto applicable = session_->Query(
+      "SELECT X FROM Scientist X WHERE WonNobelPrize applicableTo X");
+  ASSERT_TRUE(applicable.ok()) << applicable.status().ToString();
+  EXPECT_TRUE(Column(*applicable).Contains(A("planck")));
+  EXPECT_TRUE(Column(*applicable).Contains(A("curie")));
+}
+
+TEST_F(ApplicableTest, InapplicableIsExcluded) {
+  auto rel = session_->Query(
+      "SELECT X FROM Address X WHERE WonNobelPrize applicableTo X");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(rel->empty());
+}
+
+TEST_F(ApplicableTest, MethodVariableEnumeratesApplicableAttributes) {
+  // Which attributes are applicable to curie? Person's attributes plus
+  // WonNobelPrize — even though most are undefined on her.
+  auto rel = session_->Query(
+      "SELECT \"M WHERE \"M applicableTo curie");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  OidSet methods = Column(*rel);
+  EXPECT_TRUE(methods.Contains(A("WonNobelPrize")));
+  EXPECT_TRUE(methods.Contains(A("Age")));        // inherited from Person
+  EXPECT_TRUE(methods.Contains(A("Residence")));
+  EXPECT_FALSE(methods.Contains(A("Salary")));    // Employee-only
+  // The defined attributes are a subset of the applicable ones here.
+  auto defined = session_->Query("SELECT \"M WHERE curie.\"M");
+  ASSERT_TRUE(defined.ok());
+  EXPECT_TRUE(Column(*defined).Contains(A("Name")));
+}
+
+TEST_F(ApplicableTest, CombinesWithOtherConjuncts) {
+  // Scientists for whom the prize is applicable but not defined — the
+  // "could still win" query.
+  auto rel = session_->Query(
+      "SELECT X FROM Scientist X WHERE WonNobelPrize applicableTo X "
+      "and not X.WonNobelPrize");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_TRUE(Column(*rel).Contains(A("curie")));
+  EXPECT_FALSE(Column(*rel).Contains(A("planck")));
+}
+
+TEST_F(ApplicableTest, PrintsAndReparses) {
+  auto stmt = ParseAndResolve(
+      "SELECT X FROM Scientist X WHERE WonNobelPrize applicableTo X", db_);
+  ASSERT_TRUE(stmt.ok());
+  std::string printed = stmt->ToString();
+  EXPECT_NE(printed.find("applicableTo"), std::string::npos);
+  auto reparsed = ParseAndResolve(printed, db_);
+  ASSERT_TRUE(reparsed.ok()) << printed;
+}
+
+}  // namespace
+}  // namespace xsql

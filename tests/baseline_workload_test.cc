@@ -1,0 +1,175 @@
+// Baselines (GEM-style decomposition, relational flattening) must agree
+// with the XSQL evaluation on the same logical queries, and the workload
+// generator must produce the advertised shape.
+#include <gtest/gtest.h>
+
+#include "baseline/gem_path.h"
+#include "baseline/relational.h"
+#include "eval/session.h"
+#include "workload/fig1_schema.h"
+#include "workload/generator.h"
+
+namespace xsql {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildFig1Schema(&db_).ok());
+    workload::WorkloadParams params;
+    ASSERT_TRUE(workload::GenerateFig1Data(&db_, params).ok());
+    session_ = std::make_unique<Session>(&db_);
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(BaselineTest, OneSweepEqualsDecomposed) {
+  baseline::SimplePathQuery query;
+  query.start_class = A("Person");
+  query.attrs = {A("Residence"), A("City")};
+  size_t tuples = 0;
+  OidSet sweep = baseline::EvalOneSweep(db_, query);
+  OidSet decomposed = baseline::EvalDecomposed(db_, query, &tuples);
+  EXPECT_EQ(sweep, decomposed);
+  EXPECT_FALSE(sweep.empty());
+  // The decomposed evaluation materialized at least one tuple per hop.
+  EXPECT_GT(tuples, sweep.size());
+}
+
+TEST_F(BaselineTest, BaselineAgreesWithXsqlOnPathQuery) {
+  baseline::SimplePathQuery query;
+  query.start_class = A("Person");
+  query.attrs = {A("Residence"), A("City")};
+  OidSet sweep = baseline::EvalOneSweep(db_, query);
+  auto rel = session_->Query("SELECT C FROM Person X WHERE X.Residence.City[C]");
+  ASSERT_TRUE(rel.ok());
+  OidSet xsql_cities;
+  for (const auto& row : rel->rows()) xsql_cities.Insert(row[0]);
+  EXPECT_EQ(sweep, xsql_cities);
+}
+
+TEST_F(BaselineTest, FinalValueFilter) {
+  baseline::SimplePathQuery query;
+  query.start_class = A("Person");
+  query.attrs = {A("Residence"), A("City")};
+  query.final_value = Oid::String("newyork");
+  OidSet hit = baseline::EvalOneSweep(db_, query);
+  EXPECT_EQ(hit.size(), 1u);
+  EXPECT_TRUE(baseline::AnyPath(db_, query));
+  query.final_value = Oid::String("atlantis");
+  EXPECT_FALSE(baseline::AnyPath(db_, query));
+}
+
+TEST_F(BaselineTest, RelationalJoinAgreesWithSweep) {
+  baseline::RelationalDb rdb = baseline::RelationalDb::Flatten(db_);
+  baseline::SimplePathQuery query;
+  query.start_class = A("Employee");
+  query.attrs = {A("OwnedVehicles"), A("Drivetrain"), A("Engine")};
+  OidSet sweep = baseline::EvalOneSweep(db_, query);
+  size_t joined = 0;
+  OidSet via_joins =
+      rdb.EvalPathJoin(A("Employee"), query.attrs, std::nullopt, &joined);
+  EXPECT_EQ(sweep, via_joins);
+  EXPECT_GT(rdb.attribute_table_rows(), 0u);
+}
+
+TEST_F(BaselineTest, RelationalEqJoinMatchesExplicitJoinQuery) {
+  baseline::RelationalDb rdb = baseline::RelationalDb::Flatten(db_);
+  auto pairs = rdb.EqJoin(A("Company"), A("Name"), A("Employee"), A("Name"));
+  // Query (6) witness: comp0 and the employee named after it.
+  bool found = false;
+  for (const auto& [company, employee] : pairs) {
+    if (company == A("comp0") && employee == A("emp_0_0_1")) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BaselineTest, CatalogJoinMatchesSchemaQuery) {
+  baseline::RelationalDb rdb = baseline::RelationalDb::Flatten(db_);
+  // The §1 "engine types" question, relational style: transitive
+  // closure of ISA — must agree with the XSQL subclassOf query.
+  std::vector<Oid> supers = rdb.SuperclassesViaCatalog(A("TurboEngine"));
+  auto rel = session_->Query("SELECT $X WHERE TurboEngine subclassOf $X");
+  ASSERT_TRUE(rel.ok());
+  OidSet xsql_supers;
+  for (const auto& row : rel->rows()) xsql_supers.Insert(row[0]);
+  OidSet catalog_supers;
+  for (const Oid& cls : supers) catalog_supers.Insert(cls);
+  EXPECT_EQ(catalog_supers, xsql_supers);
+  // Attribute catalog.
+  std::vector<Oid> with_salary =
+      rdb.ClassesWithAttributeViaCatalog(A("Salary"));
+  ASSERT_EQ(with_salary.size(), 1u);
+  EXPECT_EQ(with_salary[0], A("Employee"));
+}
+
+TEST(WorkloadTest, StatsMatchParams) {
+  Database db;
+  ASSERT_TRUE(workload::BuildFig1Schema(&db).ok());
+  workload::WorkloadParams params;
+  params.companies = 3;
+  params.divisions_per_company = 2;
+  params.employees_per_division = 5;
+  params.extra_persons = 7;
+  params.automobiles = 11;
+  params.include_named_individuals = false;
+  auto stats = workload::GenerateFig1Data(&db, params);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->companies, 3u);
+  EXPECT_EQ(stats->divisions, 6u);
+  EXPECT_EQ(stats->employees, 30u);
+  EXPECT_EQ(stats->automobiles, 11u);
+  EXPECT_EQ(db.Extent(Oid::Atom("Company")).size(), 3u);
+  EXPECT_EQ(db.Extent(Oid::Atom("Employee")).size(), 30u);
+  // Persons include employees (IS-A).
+  EXPECT_EQ(db.Extent(Oid::Atom("Person")).size(), 37u);
+}
+
+TEST(WorkloadTest, DeterministicAcrossRuns) {
+  workload::WorkloadParams params;
+  params.seed = 7;
+  Database db1, db2;
+  ASSERT_TRUE(workload::BuildFig1Schema(&db1).ok());
+  ASSERT_TRUE(workload::BuildFig1Schema(&db2).ok());
+  ASSERT_TRUE(workload::GenerateFig1Data(&db1, params).ok());
+  ASSERT_TRUE(workload::GenerateFig1Data(&db2, params).ok());
+  ASSERT_EQ(db1.objects().size(), db2.objects().size());
+  for (const auto& [oid, object] : db1.objects()) {
+    const Object* other = db2.GetObject(oid);
+    ASSERT_NE(other, nullptr) << oid.ToString();
+    EXPECT_EQ(object.ToString(), other->ToString());
+  }
+}
+
+TEST(WorkloadTest, ScaledParams) {
+  workload::WorkloadParams params;
+  workload::WorkloadParams big = params.Scaled(3);
+  EXPECT_EQ(big.companies, params.companies * 3);
+  EXPECT_EQ(big.automobiles, params.automobiles * 3);
+}
+
+TEST(WorkloadTest, Fig1SchemaShape) {
+  Database db;
+  ASSERT_TRUE(workload::BuildFig1Schema(&db).ok());
+  // Spot-check the IS-A chain the paper's query (4) depends on.
+  EXPECT_TRUE(db.graph().IsStrictSubclass(A("TurboEngine"),
+                                          A("FourStrokeEngine")));
+  EXPECT_TRUE(
+      db.graph().IsStrictSubclass(A("TurboEngine"), A("PistonEngine")));
+  EXPECT_TRUE(db.graph().IsStrictSubclass(A("TurboEngine"), A("Object")));
+  EXPECT_FALSE(
+      db.graph().IsStrictSubclass(A("TurboEngine"), A("DieselEngine")));
+  // President is declared both on Company and Organization (§6.2 (20)).
+  EXPECT_EQ(db.signatures().Declared(A("Company"), A("President")).size(),
+            1u);
+  EXPECT_EQ(
+      db.signatures().Declared(A("Organization"), A("President")).size(),
+      1u);
+}
+
+}  // namespace
+}  // namespace xsql

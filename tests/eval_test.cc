@@ -1,0 +1,316 @@
+// Unit tests for the evaluation substrate: bindings, relations,
+// quantified and set comparators, aggregates, and path-expression
+// enumeration/valuation.
+#include <gtest/gtest.h>
+
+#include "eval/aggregate.h"
+#include "eval/comparator.h"
+#include "eval/evaluator.h"
+#include "eval/relation.h"
+#include "eval/session.h"
+#include "parser/parser.h"
+#include "workload/fig1_schema.h"
+
+namespace xsql {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+OidSet Ints(std::initializer_list<int64_t> values) {
+  OidSet out;
+  for (int64_t v : values) out.Insert(Oid::Int(v));
+  return out;
+}
+
+TEST(BindingTest, SetGetUnset) {
+  Binding binding;
+  Variable x{"X", VarSort::kIndividual};
+  EXPECT_FALSE(binding.Bound(x));
+  EXPECT_TRUE(binding.Set(x, Oid::Int(1)));
+  EXPECT_TRUE(binding.Bound(x));
+  EXPECT_EQ(binding.Get(x), Oid::Int(1));
+  // Rebinding to the same value is fine; to a new value is not.
+  EXPECT_TRUE(binding.Set(x, Oid::Int(1)));
+  EXPECT_FALSE(binding.Set(x, Oid::Int(2)));
+  EXPECT_EQ(binding.Get(x), Oid::Int(1));
+  binding.Unset(x);
+  EXPECT_FALSE(binding.Bound(x));
+  // Variables with the same name but different sorts are distinct.
+  Variable cx{"X", VarSort::kClass};
+  EXPECT_TRUE(binding.Set(x, Oid::Int(1)));
+  EXPECT_TRUE(binding.Set(cx, A("Person")));
+  EXPECT_EQ(binding.Get(cx), A("Person"));
+}
+
+TEST(BindingTest, ScopeRestoresOnExit) {
+  Binding binding;
+  Variable x{"X", VarSort::kIndividual};
+  {
+    BindScope scope(&binding, x, Oid::Int(1));
+    EXPECT_TRUE(scope.ok());
+    EXPECT_TRUE(binding.Bound(x));
+    {
+      BindScope conflict(&binding, x, Oid::Int(2));
+      EXPECT_FALSE(conflict.ok());
+    }
+    EXPECT_EQ(binding.Get(x), Oid::Int(1));  // conflict didn't clobber
+  }
+  EXPECT_FALSE(binding.Bound(x));
+}
+
+TEST(RelationTest, SetSemantics) {
+  Relation rel({"a", "b"});
+  ASSERT_TRUE(rel.AddRow({Oid::Int(1), Oid::Int(2)}).ok());
+  ASSERT_TRUE(rel.AddRow({Oid::Int(1), Oid::Int(2)}).ok());  // duplicate
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_FALSE(rel.AddRow({Oid::Int(1)}).ok());  // arity mismatch
+  EXPECT_TRUE(rel.ContainsRow({Oid::Int(1), Oid::Int(2)}));
+}
+
+TEST(RelationTest, SetOperators) {
+  Relation a({"x"});
+  Relation b({"x"});
+  ASSERT_TRUE(a.AddRow({Oid::Int(1)}).ok());
+  ASSERT_TRUE(a.AddRow({Oid::Int(2)}).ok());
+  ASSERT_TRUE(b.AddRow({Oid::Int(2)}).ok());
+  ASSERT_TRUE(b.AddRow({Oid::Int(3)}).ok());
+  auto uni = Relation::Union(a, b);
+  ASSERT_TRUE(uni.ok());
+  EXPECT_EQ(uni->size(), 3u);
+  auto minus = Relation::Minus(a, b);
+  ASSERT_TRUE(minus.ok());
+  EXPECT_EQ(minus->size(), 1u);
+  auto inter = Relation::Intersect(a, b);
+  ASSERT_TRUE(inter.ok());
+  EXPECT_EQ(inter->size(), 1u);
+  Relation wide({"x", "y"});
+  EXPECT_FALSE(Relation::Union(a, wide).ok());
+  auto as_set = a.AsSet();
+  ASSERT_TRUE(as_set.ok());
+  EXPECT_EQ(as_set->size(), 2u);
+  EXPECT_FALSE(wide.AsSet().ok());
+}
+
+TEST(ComparatorTest, CompareOids) {
+  EXPECT_EQ(*CompareOids(Oid::Int(1), Oid::Int(2)), -1);
+  EXPECT_EQ(*CompareOids(Oid::Int(2), Oid::Real(2.0)), 0);  // numeric mix
+  EXPECT_EQ(*CompareOids(Oid::String("b"), Oid::String("a")), 1);
+  EXPECT_FALSE(CompareOids(Oid::Int(1), Oid::String("1")).has_value());
+  EXPECT_FALSE(CompareOids(A("x"), A("y")).has_value());
+}
+
+TEST(ComparatorTest, OidsRelate) {
+  EXPECT_TRUE(OidsRelate(Oid::Int(1), CompOp::kLt, Oid::Int(2)));
+  EXPECT_TRUE(OidsRelate(A("x"), CompOp::kEq, A("x")));
+  EXPECT_TRUE(OidsRelate(A("x"), CompOp::kNe, A("y")));
+  // Ordered comparison of incomparables is simply not satisfied.
+  EXPECT_FALSE(OidsRelate(A("x"), CompOp::kLt, A("y")));
+}
+
+TEST(ComparatorTest, QuantifiedComparisons) {
+  OidSet ages = Ints({12, 42});
+  OidSet twenty = Ints({20});
+  // some>: one family member older than 20.
+  EXPECT_TRUE(EvalComparison(ages, Quant::kSome, CompOp::kGt, Quant::kNone,
+                             twenty));
+  // all>: not all are.
+  EXPECT_FALSE(
+      EvalComparison(ages, Quant::kAll, CompOp::kGt, Quant::kNone, twenty));
+  // all> over the empty set is vacuously true.
+  EXPECT_TRUE(EvalComparison(OidSet(), Quant::kAll, CompOp::kGt, Quant::kNone,
+                             twenty));
+  // some over the empty set is false.
+  EXPECT_FALSE(EvalComparison(OidSet(), Quant::kSome, CompOp::kGt,
+                              Quant::kNone, twenty));
+  // all<all: every lhs below every rhs.
+  EXPECT_TRUE(EvalComparison(Ints({1, 2}), Quant::kAll, CompOp::kLt,
+                             Quant::kAll, Ints({3, 4})));
+  EXPECT_FALSE(EvalComparison(Ints({1, 5}), Quant::kAll, CompOp::kLt,
+                              Quant::kAll, Ints({3, 4})));
+  // Unquantified sides require singletons.
+  EXPECT_FALSE(EvalComparison(Ints({1, 2}), Quant::kNone, CompOp::kEq,
+                              Quant::kNone, Ints({1})));
+  EXPECT_TRUE(EvalComparison(Ints({1}), Quant::kNone, CompOp::kEq,
+                             Quant::kNone, Ints({1})));
+  // =all: scalar lhs equal to every rhs element.
+  EXPECT_TRUE(EvalComparison(Ints({7}), Quant::kNone, CompOp::kEq,
+                             Quant::kAll, Ints({7})));
+  EXPECT_FALSE(EvalComparison(Ints({7}), Quant::kNone, CompOp::kEq,
+                              Quant::kAll, Ints({7, 8})));
+}
+
+TEST(ComparatorTest, SetComparators) {
+  OidSet small = Ints({1, 2});
+  OidSet big = Ints({1, 2, 3});
+  EXPECT_TRUE(EvalSetComparison(big, SetOp::kContains, small));
+  EXPECT_FALSE(EvalSetComparison(big, SetOp::kContains, big));  // strict
+  EXPECT_TRUE(EvalSetComparison(big, SetOp::kContainsEq, big));
+  EXPECT_TRUE(EvalSetComparison(small, SetOp::kSubset, big));
+  EXPECT_TRUE(EvalSetComparison(small, SetOp::kSubsetEq, small));
+  EXPECT_FALSE(EvalSetComparison(small, SetOp::kSubset, small));
+  EXPECT_TRUE(EvalSetComparison(small, SetOp::kSetEq, Ints({2, 1})));
+  EXPECT_FALSE(EvalSetComparison(small, SetOp::kSetEq, big));
+}
+
+TEST(AggregateTest, AllFunctions) {
+  OidSet values = Ints({1, 2, 3});
+  EXPECT_EQ(*EvalAggregate(AggFn::kCount, values), Oid::Int(3));
+  EXPECT_EQ(*EvalAggregate(AggFn::kSum, values), Oid::Int(6));
+  EXPECT_EQ(*EvalAggregate(AggFn::kAvg, values), Oid::Real(2.0));
+  EXPECT_EQ(*EvalAggregate(AggFn::kMin, values), Oid::Int(1));
+  EXPECT_EQ(*EvalAggregate(AggFn::kMax, values), Oid::Int(3));
+  // count works on anything; sum does not.
+  OidSet strings;
+  strings.Insert(Oid::String("a"));
+  EXPECT_EQ(*EvalAggregate(AggFn::kCount, strings), Oid::Int(1));
+  EXPECT_FALSE(EvalAggregate(AggFn::kSum, strings).ok());
+  // min/max over strings is fine; over mixed kinds it is not.
+  EXPECT_EQ(*EvalAggregate(AggFn::kMin, strings), Oid::String("a"));
+  OidSet mixed = strings;
+  mixed.Insert(Oid::Int(1));
+  EXPECT_FALSE(EvalAggregate(AggFn::kMax, mixed).ok());
+  // Edge cases.
+  EXPECT_EQ(*EvalAggregate(AggFn::kSum, OidSet()), Oid::Int(0));
+  EXPECT_FALSE(EvalAggregate(AggFn::kAvg, OidSet()).ok());
+  EXPECT_FALSE(EvalAggregate(AggFn::kMin, OidSet()).ok());
+}
+
+class PathEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildFig1Schema(&db_).ok());
+    ASSERT_TRUE(db_.NewObject(A("addr1"), {A("Address")}).ok());
+    ASSERT_TRUE(db_.SetScalar(A("addr1"), A("City"),
+                              Oid::String("austin")).ok());
+    ASSERT_TRUE(db_.NewObject(A("p1"), {A("Person")}).ok());
+    ASSERT_TRUE(db_.SetScalar(A("p1"), A("Residence"), A("addr1")).ok());
+    ASSERT_TRUE(db_.SetScalar(A("p1"), A("Age"), Oid::Int(30)).ok());
+    ASSERT_TRUE(db_.NewObject(A("p2"), {A("Person")}).ok());
+    ASSERT_TRUE(db_.AddToSet(A("p1"), A("Friends"), A("p2")).ok());
+    evaluator_ = std::make_unique<Evaluator>(&db_);
+  }
+
+  PathExpr ParsePath(const std::string& text) {
+    auto stmt = ParseAndResolve("SELECT X WHERE " + text, db_);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    return stmt->query->simple->where->path;
+  }
+
+  Database db_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(PathEvalTest, GroundValue) {
+  PathEvaluator pe(db_, evaluator_.get(), PathEvalOptions{});
+  Binding binding;
+  auto value = pe.Value(ParsePath("p1.Residence.City"), binding);
+  ASSERT_TRUE(value.ok());
+  ASSERT_EQ(value->size(), 1u);
+  EXPECT_TRUE(value->Contains(Oid::String("austin")));
+  // Undefined attribute: empty value, not an error.
+  auto undef = pe.Value(ParsePath("p2.Residence.City"), binding);
+  ASSERT_TRUE(undef.ok());
+  EXPECT_TRUE(undef->empty());
+}
+
+TEST_F(PathEvalTest, EnumerateBindsSelectors) {
+  PathEvaluator pe(db_, evaluator_.get(), PathEvalOptions{});
+  Binding binding;
+  // p1.Residence[Y] binds Y to addr1 exactly once.
+  PathExpr path = ParsePath("p1.Residence[Y]");
+  std::vector<Oid> tails;
+  ASSERT_TRUE(pe.Enumerate(path, &binding, [&](const Oid& tail) -> Status {
+                  tails.push_back(tail);
+                  Variable y{"Y", VarSort::kIndividual};
+                  EXPECT_TRUE(binding.Bound(y));
+                  EXPECT_EQ(binding.Get(y), tail);
+                  return Status::OK();
+                }).ok());
+  ASSERT_EQ(tails.size(), 1u);
+  EXPECT_EQ(tails[0], A("addr1"));
+  // Binding restored after enumeration.
+  EXPECT_FALSE(binding.Bound(Variable{"Y", VarSort::kIndividual}));
+}
+
+TEST_F(PathEvalTest, SelectorFiltering) {
+  PathEvaluator pe(db_, evaluator_.get(), PathEvalOptions{});
+  Binding binding;
+  auto hit = pe.Value(ParsePath("p1.Residence[addr1].City"), binding);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit->size(), 1u);
+  auto miss = pe.Value(ParsePath("p1.Residence[p2].City"), binding);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->empty());
+}
+
+TEST_F(PathEvalTest, IdTermEvaluation) {
+  PathEvaluator pe(db_, evaluator_.get(), PathEvalOptions{});
+  Binding binding;
+  Variable x{"X", VarSort::kIndividual};
+  binding.Set(x, Oid::Int(7));
+  auto value = pe.EvalIdTerm(IdTerm::Var(x), binding);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, Oid::Int(7));
+  auto unbound =
+      pe.EvalIdTerm(IdTerm::Var(Variable{"Z", VarSort::kIndividual}), binding);
+  EXPECT_FALSE(unbound.ok());
+  auto apply = pe.EvalIdTerm(
+      IdTerm::Apply("f", {IdTerm::Const(Oid::Int(1)), IdTerm::Var(x)}),
+      binding);
+  ASSERT_TRUE(apply.ok());
+  EXPECT_EQ(*apply, Oid::Term("f", {Oid::Int(1), Oid::Int(7)}));
+}
+
+TEST_F(PathEvalTest, MethodVariableEnumeration) {
+  PathEvaluator pe(db_, evaluator_.get(), PathEvalOptions{});
+  Binding binding;
+  // p1."M[addr1] — which attributes lead from p1 to addr1?
+  auto stmt = ParseAndResolve("SELECT \"M WHERE p1.\"M[addr1]", db_);
+  ASSERT_TRUE(stmt.ok());
+  const PathExpr& path = stmt->query->simple->where->path;
+  OidSet methods;
+  Variable m{"M", VarSort::kMethod};
+  ASSERT_TRUE(pe.Enumerate(path, &binding, [&](const Oid&) -> Status {
+                  methods.Insert(binding.Get(m));
+                  return Status::OK();
+                }).ok());
+  EXPECT_TRUE(methods.Contains(A("Residence")));
+  EXPECT_EQ(methods.size(), 1u);
+}
+
+TEST_F(PathEvalTest, NaiveAndSmartAgreeOnSmallQuery) {
+  auto stmt = ParseAndResolve(
+      "SELECT X FROM Person X WHERE X.Residence.City['austin']", db_);
+  ASSERT_TRUE(stmt.ok());
+  const Query& q = *stmt->query->simple;
+  auto smart = evaluator_->Run(q);
+  ASSERT_TRUE(smart.ok());
+  auto naive = evaluator_->RunNaive(q);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  EXPECT_EQ(smart->relation.rows(), naive->relation.rows());
+  EXPECT_EQ(smart->relation.size(), 1u);
+}
+
+TEST_F(PathEvalTest, ConjunctOrderDoesNotChangeAnswers) {
+  ASSERT_TRUE(db_.SetScalar(A("p2"), A("Residence"), A("addr1")).ok());
+  auto stmt = ParseAndResolve(
+      "SELECT X, Y FROM Person X, Person Y "
+      "WHERE X.Residence[R] and Y.Residence[R] and X.Age > 0",
+      db_);
+  ASSERT_TRUE(stmt.ok());
+  const Query& q = *stmt->query->simple;
+  EvalOptions base;
+  auto reference = evaluator_->Run(q, base);
+  ASSERT_TRUE(reference.ok());
+  // All 6 permutations of the three conjuncts give the same relation.
+  std::vector<size_t> order = {0, 1, 2};
+  do {
+    EvalOptions opts;
+    opts.conjunct_order = order;
+    auto out = evaluator_->Run(q, opts);
+    ASSERT_TRUE(out.ok()) << out.status().ToString();
+    EXPECT_EQ(out->relation.rows(), reference->relation.rows());
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+}  // namespace
+}  // namespace xsql

@@ -1,0 +1,147 @@
+// Theorem 3.1: the translation procedure P and the F-logic model
+// checker; translated queries must agree with the XSQL evaluators.
+#include <gtest/gtest.h>
+
+#include "eval/session.h"
+#include "flogic/flogic_eval.h"
+#include "flogic/translate.h"
+#include "parser/parser.h"
+#include "workload/fig1_schema.h"
+#include "workload/generator.h"
+
+namespace xsql {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+class FLogicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildFig1Schema(&db_).ok());
+    // Keep the instance tiny: the model checker is the *naive*
+    // semantics and quantifies over the whole active domain.
+    workload::WorkloadParams params;
+    params.companies = 1;
+    params.divisions_per_company = 1;
+    params.employees_per_division = 2;
+    params.extra_persons = 2;
+    params.automobiles = 2;
+    ASSERT_TRUE(workload::GenerateFig1Data(&db_, params).ok());
+    session_ = std::make_unique<Session>(&db_);
+  }
+
+  Query MustParseQuery(const std::string& text) {
+    auto stmt = ParseAndResolve(text, db_);
+    EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+    return *stmt->query->simple;
+  }
+
+  /// Sorted multiset of rows for order-insensitive comparison.
+  static std::multiset<std::vector<Oid>> Rows(const Relation& rel) {
+    return {rel.rows().begin(), rel.rows().end()};
+  }
+
+  void ExpectEquivalent(const std::string& text) {
+    Query q = MustParseQuery(text);
+    auto translated = flogic::TranslateToFLogic(q);
+    ASSERT_TRUE(translated.ok()) << text << "\n"
+                                 << translated.status().ToString();
+    auto flogic_answer = flogic::EvaluateFLogic(*translated, &db_);
+    ASSERT_TRUE(flogic_answer.ok()) << flogic_answer.status().ToString();
+    auto xsql_answer = session_->Query(text);
+    ASSERT_TRUE(xsql_answer.ok()) << xsql_answer.status().ToString();
+    EXPECT_EQ(Rows(*flogic_answer), Rows(*xsql_answer)) << text;
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(FLogicTest, TranslationShape) {
+  Query q = MustParseQuery(
+      "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']");
+  auto translated = flogic::TranslateToFLogic(q);
+  ASSERT_TRUE(translated.ok());
+  ASSERT_EQ(translated->answer_vars.size(), 1u);
+  EXPECT_EQ(translated->answer_vars[0].name, "Y");
+  std::string rendered = translated->ToString();
+  // FROM becomes an isa atom, the path becomes data molecules.
+  EXPECT_NE(rendered.find("X : Person"), std::string::npos);
+  EXPECT_NE(rendered.find("X[Residence ->> Y]"), std::string::npos);
+  EXPECT_NE(rendered.find("Y[City ->>"), std::string::npos);
+}
+
+TEST_F(FLogicTest, RejectsNonFirstOrderConstructs) {
+  EXPECT_FALSE(flogic::TranslateToFLogic(
+                   MustParseQuery("SELECT X FROM Employee X "
+                                  "WHERE count(X.FamMembers) > 4"))
+                   .ok());
+  EXPECT_FALSE(flogic::TranslateToFLogic(
+                   MustParseQuery("SELECT S = X.Name FROM Company X "
+                                  "OID FUNCTION OF X"))
+                   .ok());
+}
+
+TEST_F(FLogicTest, GroundPathEquivalence) {
+  ExpectEquivalent("SELECT C WHERE mary123.Residence.City[C]");
+}
+
+TEST_F(FLogicTest, SelectionEquivalence) {
+  ExpectEquivalent(
+      "SELECT Y FROM Person X WHERE X.Residence[Y].City['newyork']");
+}
+
+TEST_F(FLogicTest, MultiPathEquivalence) {
+  ExpectEquivalent(
+      "SELECT Z FROM Employee X, Automobile Y "
+      "WHERE X.OwnedVehicles[Y].Drivetrain.Engine[Z]");
+}
+
+TEST_F(FLogicTest, QuantifiedComparisonEquivalence) {
+  ExpectEquivalent(
+      "SELECT X FROM Employee X WHERE X.FamMembers.Age some> 20");
+  ExpectEquivalent(
+      "SELECT X FROM Person X WHERE X.Residence =all "
+      "X.FamMembers.Residence");
+}
+
+TEST_F(FLogicTest, SetComparatorEquivalence) {
+  ExpectEquivalent(
+      "SELECT X FROM Automobile Y WHERE Y.Manufacturer[X] and "
+      "X.President.OwnedVehicles.Color containsEq {'blue', 'red'}");
+}
+
+TEST_F(FLogicTest, SubclassOfEquivalence) {
+  ExpectEquivalent("SELECT $X WHERE TurboEngine subclassOf $X");
+}
+
+TEST_F(FLogicTest, DisjunctionAndJoinEquivalence) {
+  ExpectEquivalent(
+      "SELECT W FROM Company Y WHERE Y.Retirees[W] or "
+      "Y.Divisions.Employees.Dependents[W]");
+  ExpectEquivalent(
+      "SELECT X, Y FROM Company X "
+      "WHERE X.Name =some X.Divisions.Employees[Y].Name");
+}
+
+TEST_F(FLogicTest, MethodVariableEquivalence) {
+  ExpectEquivalent(
+      "SELECT \"Y FROM Person X WHERE X.\"Y.City['newyork']");
+}
+
+TEST_F(FLogicTest, FormulaToStringCoversConnectives) {
+  using flogic::Atom;
+  using flogic::Formula;
+  Atom isa;
+  isa.kind = Atom::Kind::kIsa;
+  isa.obj = IdTerm::Var(Variable{"X", VarSort::kIndividual});
+  isa.value = IdTerm::Const(A("Person"));
+  auto f = Formula::Exists(
+      Variable{"X", VarSort::kIndividual},
+      Formula::Not(Formula::Or({Formula::Make(isa), Formula::Make(isa)})));
+  EXPECT_EQ(f->ToString(),
+            "EXISTS X (NOT ((X : Person OR X : Person)))");
+}
+
+}  // namespace
+}  // namespace xsql

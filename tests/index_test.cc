@@ -1,0 +1,162 @@
+// [BERT89]-style path indexes: correctness against forward evaluation,
+// inheritance-awareness, staleness, and the evaluator's reverse-lookup
+// integration.
+#include <gtest/gtest.h>
+
+#include "eval/session.h"
+#include "parser/parser.h"
+#include "store/index.h"
+#include "workload/fig1_schema.h"
+#include "workload/generator.h"
+
+namespace xsql {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildFig1Schema(&db_).ok());
+    workload::WorkloadParams params;
+    ASSERT_TRUE(workload::GenerateFig1Data(&db_, params).ok());
+    session_ = std::make_unique<Session>(&db_);
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(IndexTest, AttributeIndexMatchesScan) {
+  PathIndex index(A("Person"), {A("Name")});
+  ASSERT_TRUE(index.Build(db_).ok());
+  EXPECT_GT(index.distinct_values(), 0u);
+  // Every person is found under their name; nothing else is.
+  for (const Oid& person : db_.Extent(A("Person"))) {
+    const AttrValue* name = db_.GetAttribute(person, A("Name"));
+    if (name == nullptr) continue;
+    EXPECT_TRUE(index.Lookup(name->scalar()).Contains(person))
+        << person.ToString();
+  }
+  EXPECT_TRUE(index.Lookup(Oid::String("no such name")).empty());
+}
+
+TEST_F(IndexTest, PathIndexMatchesQuery) {
+  PathIndex index(A("Person"), {A("Residence"), A("City")});
+  ASSERT_TRUE(index.Build(db_).ok());
+  auto rel = session_->Query(
+      "SELECT X FROM Person X WHERE X.Residence.City['newyork']");
+  ASSERT_TRUE(rel.ok());
+  OidSet expected;
+  for (const auto& row : rel->rows()) expected.Insert(row[0]);
+  EXPECT_EQ(index.Lookup(Oid::String("newyork")), expected);
+}
+
+TEST_F(IndexTest, IndexSeesInheritedDefaults) {
+  // A default value on the class-object must be indexed for instances
+  // that do not override it (§2 behavioral inheritance of defaults).
+  ASSERT_TRUE(db_.SetScalar(A("Person"), A("Planet"),
+                            Oid::String("earth")).ok());
+  ASSERT_TRUE(db_.NewObject(A("visitor"), {A("Person")}).ok());
+  PathIndex index(A("Person"), {A("Planet")});
+  ASSERT_TRUE(index.Build(db_).ok());
+  EXPECT_TRUE(index.Lookup(Oid::String("earth")).Contains(A("visitor")));
+}
+
+TEST_F(IndexTest, StalenessDetected) {
+  PathIndexSet indexes;
+  ASSERT_TRUE(indexes.Add(db_, A("Person"), {A("Name")}).ok());
+  ASSERT_NE(indexes.Find(db_, A("Person"), {A("Name")}), nullptr);
+  // Any mutation makes the snapshot stale; Find refuses to serve it.
+  ASSERT_TRUE(db_.SetScalar(A("mary123"), A("Name"),
+                            Oid::String("maria")).ok());
+  EXPECT_EQ(indexes.Find(db_, A("Person"), {A("Name")}), nullptr);
+  ASSERT_TRUE(indexes.Refresh(db_).ok());
+  const PathIndex* fresh = indexes.Find(db_, A("Person"), {A("Name")});
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_TRUE(fresh->Lookup(Oid::String("maria")).Contains(A("mary123")));
+}
+
+TEST_F(IndexTest, EvaluatorUsesIndexAndAgreesWithScan) {
+  PathIndexSet indexes;
+  ASSERT_TRUE(indexes.Add(db_, A("Person"), {A("Residence"), A("City")}).ok());
+  auto stmt = ParseAndResolve(
+      "SELECT X FROM Person X WHERE X.Residence.City['newyork']", db_);
+  ASSERT_TRUE(stmt.ok());
+  const Query& q = *stmt->query->simple;
+  Evaluator evaluator(&db_);
+  EvalOptions with_index;
+  with_index.indexes = &indexes;
+  auto indexed = evaluator.Run(q, with_index);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  auto scanned = evaluator.Run(q, EvalOptions{});
+  ASSERT_TRUE(scanned.ok());
+  EXPECT_EQ(indexed->relation.rows(), scanned->relation.rows());
+  EXPECT_FALSE(indexed->relation.empty());
+}
+
+TEST_F(IndexTest, StaleIndexIsIgnoredNotWrong) {
+  PathIndexSet indexes;
+  ASSERT_TRUE(indexes.Add(db_, A("Person"), {A("Residence"), A("City")}).ok());
+  // Move someone to New York *after* building; the stale index must not
+  // be consulted, so the new resident still shows up.
+  ASSERT_TRUE(db_.NewObject(A("addr_new"), {A("Address")}).ok());
+  ASSERT_TRUE(db_.SetScalar(A("addr_new"), A("City"),
+                            Oid::String("newyork")).ok());
+  ASSERT_TRUE(db_.NewObject(A("mover"), {A("Person")}).ok());
+  ASSERT_TRUE(db_.SetScalar(A("mover"), A("Residence"), A("addr_new")).ok());
+  auto stmt = ParseAndResolve(
+      "SELECT X FROM Person X WHERE X.Residence.City['newyork']", db_);
+  ASSERT_TRUE(stmt.ok());
+  Evaluator evaluator(&db_);
+  EvalOptions opts;
+  opts.indexes = &indexes;
+  auto out = evaluator.Run(*stmt->query->simple, opts);
+  ASSERT_TRUE(out.ok());
+  OidSet heads;
+  for (const auto& row : out->relation.rows()) heads.Insert(row[0]);
+  EXPECT_TRUE(heads.Contains(A("mover")));
+}
+
+TEST_F(IndexTest, NonMatchingShapesFallBack) {
+  PathIndexSet indexes;
+  ASSERT_TRUE(indexes.Add(db_, A("Person"), {A("Residence"), A("City")}).ok());
+  Evaluator evaluator(&db_);
+  EvalOptions opts;
+  opts.indexes = &indexes;
+  // Intermediate selector: not the indexed shape — must still be right.
+  auto stmt = ParseAndResolve(
+      "SELECT X, Y FROM Person X WHERE X.Residence[Y].City['newyork']",
+      db_);
+  ASSERT_TRUE(stmt.ok());
+  auto out = evaluator.Run(*stmt->query->simple, opts);
+  ASSERT_TRUE(out.ok());
+  auto reference = evaluator.Run(*stmt->query->simple, EvalOptions{});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(out->relation.rows(), reference->relation.rows());
+}
+
+TEST_F(IndexTest, SetValuedHopsAreIndexed) {
+  PathIndexSet indexes;
+  ASSERT_TRUE(indexes
+                  .Add(db_, A("Company"),
+                       {A("Divisions"), A("Employees"), A("Salary")})
+                  .ok());
+  const PathIndex* index = indexes.Find(
+      db_, A("Company"), {A("Divisions"), A("Employees"), A("Salary")});
+  ASSERT_NE(index, nullptr);
+  // Every (salary -> company) entry is witnessed by some employee.
+  EXPECT_GT(index->entries(), 0u);
+  auto rel = session_->Query(
+      "SELECT X.Name, W.Salary FROM Company X "
+      "WHERE X.Divisions.Employees[W]");
+  ASSERT_TRUE(rel.ok());
+}
+
+TEST_F(IndexTest, RejectsEmptyPath) {
+  PathIndexSet indexes;
+  EXPECT_FALSE(indexes.Add(db_, A("Person"), {}).ok());
+}
+
+}  // namespace
+}  // namespace xsql

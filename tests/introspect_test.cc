@@ -1,0 +1,100 @@
+// The catalog-as-methods interface: classes answer attributes /
+// superclasses / subclasses / instances as ordinary set-valued methods
+// (§2's catalog-in-the-hierarchy made executable).
+#include <gtest/gtest.h>
+
+#include "eval/introspect.h"
+#include "eval/session.h"
+#include "workload/fig1_schema.h"
+#include "workload/generator.h"
+
+namespace xsql {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+class IntrospectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildFig1Schema(&db_).ok());
+    workload::WorkloadParams params;
+    params.companies = 1;
+    ASSERT_TRUE(workload::GenerateFig1Data(&db_, params).ok());
+    session_ = std::make_unique<Session>(&db_);  // installs introspection
+  }
+
+  OidSet Column(const Relation& rel) {
+    OidSet out;
+    for (const auto& row : rel.rows()) out.Insert(row[0]);
+    return out;
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(IntrospectTest, AttributesMethod) {
+  auto rel = session_->Query("SELECT A WHERE Employee.attributes[A]");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  OidSet attrs = Column(*rel);
+  EXPECT_TRUE(attrs.Contains(A("Salary")));
+  EXPECT_TRUE(attrs.Contains(A("Name")));  // structurally inherited
+  EXPECT_FALSE(attrs.Contains(A("Divisions")));
+}
+
+TEST_F(IntrospectTest, SuperclassesMatchesSubclassOf) {
+  auto via_method =
+      session_->Query("SELECT S WHERE TurboEngine.superclasses[S]");
+  ASSERT_TRUE(via_method.ok()) << via_method.status().ToString();
+  auto via_predicate =
+      session_->Query("SELECT $S WHERE TurboEngine subclassOf $S");
+  ASSERT_TRUE(via_predicate.ok());
+  EXPECT_EQ(Column(*via_method), Column(*via_predicate));
+}
+
+TEST_F(IntrospectTest, SubclassesAreStrictDescendants) {
+  auto rel = session_->Query("SELECT S WHERE PistonEngine.subclasses[S]");
+  ASSERT_TRUE(rel.ok());
+  OidSet subs = Column(*rel);
+  EXPECT_TRUE(subs.Contains(A("TurboEngine")));
+  EXPECT_TRUE(subs.Contains(A("DieselEngine")));
+  EXPECT_TRUE(subs.Contains(A("FourStrokeEngine")));
+  EXPECT_FALSE(subs.Contains(A("PistonEngine")));  // strict
+}
+
+TEST_F(IntrospectTest, InstancesIsTheDeepExtent) {
+  auto rel = session_->Query("SELECT O WHERE Person.instances[O]");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(Column(*rel), db_.graph().Extent(A("Person")));
+}
+
+TEST_F(IntrospectTest, ComposesWithDataPaths) {
+  // Employees of the schema's Employee class earning over 0 — the
+  // introspection method feeds an ordinary data path.
+  auto rel = session_->Query(
+      "SELECT O WHERE Employee.instances[O] and O.Salary > 0");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->size(), db_.graph().Extent(A("Employee")).size());
+}
+
+TEST_F(IntrospectTest, WorksThroughClassVariables) {
+  // Which classes have an instance named 'mary'? — method variables on
+  // meta-level objects.
+  auto rel = session_->Query(
+      "SELECT $C FROM Class $C WHERE $C.instances[O] and O.Name['mary']");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  OidSet classes = Column(*rel);
+  EXPECT_TRUE(classes.Contains(A("Person")));
+  EXPECT_TRUE(classes.Contains(A("Object")));
+}
+
+TEST_F(IntrospectTest, InstallationIsIdempotent) {
+  EXPECT_TRUE(InstallIntrospection(&db_).ok());
+  EXPECT_TRUE(InstallIntrospection(&db_).ok());
+  auto rel = session_->Query("SELECT A WHERE Address.attributes[A]");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_TRUE(Column(*rel).Contains(A("City")));
+}
+
+}  // namespace
+}  // namespace xsql

@@ -1,0 +1,136 @@
+// The university domain (§2, §6.1): polymorphic `earns`, the Workstudy
+// multiple-inheritance diamond with explicit [MEY88] resolution, and
+// the combined `workstudy : Semester =>> {Student, Employee}` signature.
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "typing/type_checker.h"
+#include "typing/type_expr.h"
+#include "workload/university.h"
+
+namespace xsql {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+class UniversityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_TRUE(workload::BuildUniversity(session_.get()).ok());
+  }
+
+  OidSet Column(const Relation& rel) {
+    OidSet out;
+    for (const auto& row : rel.rows()) out.Insert(row[0]);
+    return out;
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(UniversityTest, DiamondHierarchy) {
+  EXPECT_TRUE(db_.graph().IsStrictSubclass(A("Workstudy"), A("Student")));
+  EXPECT_TRUE(db_.graph().IsStrictSubclass(A("Workstudy"), A("Employee")));
+  EXPECT_TRUE(db_.graph().IsStrictSubclass(A("Workstudy"), A("Person")));
+  // carol is in every extent along the diamond.
+  EXPECT_TRUE(db_.IsInstanceOf(A("carol"), A("Student")));
+  EXPECT_TRUE(db_.IsInstanceOf(A("carol"), A("Employee")));
+}
+
+TEST_F(UniversityTest, EarnsHasBothTypeExpressions) {
+  // §6.1: "earns has two type expressions, employee,project => pay and
+  // student,course => grade" — and Workstudy inherits both.
+  auto declared = DeclaredTypeExprs(db_, A("earns"));
+  EXPECT_EQ(declared.size(), 2u);
+  TypeExpr on_workstudy_course;
+  on_workstudy_course.receiver = A("Workstudy");
+  on_workstudy_course.args = {A("Course")};
+  on_workstudy_course.result = A("Grade");
+  EXPECT_TRUE(Possesses(db_, A("earns"), on_workstudy_course));
+  TypeExpr on_workstudy_project = on_workstudy_course;
+  on_workstudy_project.args = {A("Project")};
+  on_workstudy_project.result = A("Pay");
+  EXPECT_TRUE(Possesses(db_, A("earns"), on_workstudy_project));
+}
+
+TEST_F(UniversityTest, PolymorphicDispatchOnArgument) {
+  // §6.1: "in the class workstudy ... earns returns an object of class
+  // pay when passed a project; if the argument is a course the result
+  // is a grade."
+  auto grade = session_->Query("SELECT V WHERE carol.(earns @ cs202)[V]");
+  ASSERT_TRUE(grade.ok()) << grade.status().ToString();
+  ASSERT_EQ(grade->size(), 1u);
+  EXPECT_EQ(grade->rows()[0][0], A("grade_c"));
+  auto pay = session_->Query("SELECT V WHERE carol.(earns @ proj_lyra)[V]");
+  ASSERT_TRUE(pay.ok()) << pay.status().ToString();
+  ASSERT_EQ(pay->size(), 1u);
+  EXPECT_EQ(pay->rows()[0][0], A("pay_c"));
+  // A course carol never took yields nothing.
+  auto none = session_->Query("SELECT V WHERE carol.(earns @ cs101)[V]");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(UniversityTest, PlainClassesUseOwnDefinition) {
+  auto alice = session_->Query("SELECT V WHERE alice.(earns @ cs101)[V]");
+  ASSERT_TRUE(alice.ok()) << alice.status().ToString();
+  ASSERT_EQ(alice->size(), 1u);
+  EXPECT_EQ(alice->rows()[0][0], A("grade_a"));
+  auto bob = session_->Query("SELECT V WHERE bob.(earns @ proj_orion)[V]");
+  ASSERT_TRUE(bob.ok()) << bob.status().ToString();
+  ASSERT_EQ(bob->size(), 1u);
+  EXPECT_EQ(bob->rows()[0][0], A("pay_b"));
+}
+
+TEST_F(UniversityTest, CombinedWorkstudySignature) {
+  // §2: workstudy : semester =>> {student, employee} is two signatures.
+  EXPECT_EQ(db_.signatures().Declared(A("Department"), A("workstudy")).size(),
+            2u);
+  auto rel = session_->Query(
+      "SELECT M WHERE cs_dept.(workstudy @ fall2026)[M]");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  ASSERT_EQ(rel->size(), 1u);
+  EXPECT_EQ(rel->rows()[0][0], A("carol"));
+  auto empty = session_->Query(
+      "SELECT M WHERE cs_dept.(workstudy @ spring2027)[M]");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST_F(UniversityTest, StrictTypingPicksTheRightSignature) {
+  auto stmt = ParseAndResolve(
+      "SELECT W FROM Workstudy X, Project P WHERE X.(earns @ P)[W]", db_);
+  ASSERT_TRUE(stmt.ok());
+  TypeChecker checker(db_);
+  TypingResult strict =
+      checker.Check(*stmt->query->simple, TypingMode::kStrict);
+  ASSERT_TRUE(strict.well_typed) << strict.explanation;
+  EXPECT_EQ(strict.assignment[0][0].args[0], A("Project"));
+  EXPECT_EQ(strict.assignment[0][0].result, A("Pay"));
+  // Through the Course door the same method types to Grade.
+  auto stmt2 = ParseAndResolve(
+      "SELECT W FROM Workstudy X, Course C WHERE X.(earns @ C)[W]", db_);
+  ASSERT_TRUE(stmt2.ok());
+  TypingResult strict2 =
+      checker.Check(*stmt2->query->simple, TypingMode::kStrict);
+  ASSERT_TRUE(strict2.well_typed) << strict2.explanation;
+  EXPECT_EQ(strict2.assignment[0][0].result, A("Grade"));
+}
+
+TEST_F(UniversityTest, QueryAcrossTheDiamond) {
+  // Workstudy members whose pay on some project exceeds 1000 and who
+  // also hold a grade above 80 — exercising both parents' vocabulary
+  // in one query.
+  auto rel = session_->Query(
+      "SELECT X FROM Workstudy X WHERE "
+      "X.PayRecords.Pay.Value some> 1000 "
+      "and X.GradeRecords.Grade.Value some> 80");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  ASSERT_EQ(rel->size(), 1u);
+  EXPECT_EQ(rel->rows()[0][0], A("carol"));
+}
+
+}  // namespace
+}  // namespace xsql

@@ -1,0 +1,218 @@
+// §4.2 views (Q17/Q18 of DESIGN.md): CREATE VIEW, querying through view
+// id-terms, view-to-base update translation; plus UPDATE CLASS and
+// ALTER CLASS mechanics.
+#include <gtest/gtest.h>
+
+#include "eval/session.h"
+#include "workload/fig1_schema.h"
+#include "workload/generator.h"
+
+namespace xsql {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+class ViewTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildFig1Schema(&db_).ok());
+    workload::WorkloadParams params;
+    params.companies = 2;
+    params.divisions_per_company = 2;
+    params.employees_per_division = 2;
+    ASSERT_TRUE(workload::GenerateFig1Data(&db_, params).ok());
+    session_ = std::make_unique<Session>(&db_);
+    ASSERT_TRUE(session_->Execute(kCompSalariesView).ok());
+  }
+
+  static constexpr const char* kCompSalariesView =
+      "CREATE VIEW CompSalaries AS SUBCLASS OF Object "
+      "SIGNATURE CompName => String, DivName => String, Salary => Numeral "
+      "SELECT CompName = X.Name, DivName = Y.Name, Salary = W.Salary "
+      "FROM Company X OID FUNCTION OF X,W "
+      "WHERE X.Divisions[Y].Employees[W]";
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+// Q17a — the view is a class: declared, a subclass of Object, with its
+// signatures installed.
+TEST_F(ViewTest, ViewIsAClass) {
+  EXPECT_TRUE(db_.graph().IsClass(A("CompSalaries")));
+  EXPECT_TRUE(db_.graph().IsStrictSubclass(A("CompSalaries"), A("Object")));
+  auto sigs = db_.signatures().Declared(A("CompSalaries"), A("Salary"));
+  ASSERT_EQ(sigs.size(), 1u);
+  EXPECT_EQ(sigs[0].result, A("Numeral"));
+  EXPECT_TRUE(session_->views().IsView("CompSalaries"));
+}
+
+// Q17b — materialization: one view object per (company, employee), with
+// only the projected attributes (a security measure, §4.2).
+TEST_F(ViewTest, Materialization) {
+  ASSERT_TRUE(session_->views().Materialize("CompSalaries").ok());
+  OidSet extent = db_.Extent(A("CompSalaries"));
+  ASSERT_FALSE(extent.empty());
+  for (const Oid& oid : extent) {
+    ASSERT_TRUE(oid.is_term());
+    EXPECT_EQ(oid.term_fn(), "CompSalaries");
+    EXPECT_NE(db_.GetAttribute(oid, A("Salary")), nullptr);
+    EXPECT_NE(db_.GetAttribute(oid, A("CompName")), nullptr);
+    // The view hides everything else about the employee.
+    EXPECT_EQ(db_.GetAttribute(oid, A("FamMembers")), nullptr);
+  }
+}
+
+// Q17c — query (10): views and non-views mix in one query through the
+// id-term CompSalaries(X.Manufacturer, W); materialization is implicit.
+TEST_F(ViewTest, QueryThroughViewIdTerm) {
+  auto rel = session_->Query(
+      "SELECT X.Manufacturer.Name FROM Automobile X, Employee W "
+      "WHERE CompSalaries(X.Manufacturer, W).Salary > 35000");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_FALSE(rel->empty());
+  for (const auto& row : rel->rows()) {
+    EXPECT_TRUE(row[0].is_string());
+  }
+  // Tightening the threshold beyond every salary empties the answer.
+  auto none = session_->Query(
+      "SELECT X.Manufacturer.Name FROM Automobile X, Employee W "
+      "WHERE CompSalaries(X.Manufacturer, W).Salary > 100000000");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+// The view can also be queried as a plain class.
+TEST_F(ViewTest, ViewAsFromClass) {
+  ASSERT_TRUE(session_->views().Materialize("CompSalaries").ok());
+  auto rel = session_->Query(
+      "SELECT V.CompName, V.Salary FROM CompSalaries V "
+      "WHERE V.Salary > 0");
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_FALSE(rel->empty());
+}
+
+// Q18 — §4.2 view update translation: updating Salary through the view
+// updates the underlying employee (the OID FUNCTION variable W).
+TEST_F(ViewTest, UpdateThroughView) {
+  ASSERT_TRUE(session_->views().Materialize("CompSalaries").ok());
+  OidSet extent = db_.Extent(A("CompSalaries"));
+  ASSERT_FALSE(extent.empty());
+  Oid view_obj = *extent.begin();
+  const Oid& employee = view_obj.term_args()[1];
+  double old_salary =
+      db_.GetAttribute(employee, A("Salary"))->scalar().numeric_value();
+  Oid raised = Oid::Int(static_cast<int64_t>(old_salary * 1.10));
+  ASSERT_TRUE(session_->views()
+                  .UpdateThroughView(view_obj, A("Salary"), raised)
+                  .ok());
+  EXPECT_EQ(db_.GetAttribute(employee, A("Salary"))->scalar(), raised);
+  // The view object is kept in sync.
+  EXPECT_EQ(db_.GetAttribute(view_obj, A("Salary"))->scalar(), raised);
+}
+
+TEST_F(ViewTest, UpdateThroughViewRejectsNonUpdatable) {
+  ASSERT_TRUE(session_->views().Materialize("CompSalaries").ok());
+  OidSet extent = db_.Extent(A("CompSalaries"));
+  Oid view_obj = *extent.begin();
+  // DivName derives from Y, which is not an OID FUNCTION variable.
+  Status st = session_->views().UpdateThroughView(view_obj, A("DivName"),
+                                                  Oid::String("x"));
+  EXPECT_FALSE(st.ok());
+  // Unknown attribute.
+  EXPECT_FALSE(session_->views()
+                   .UpdateThroughView(view_obj, A("Nope"), Oid::Int(1))
+                   .ok());
+  // Unknown view.
+  EXPECT_FALSE(session_->views()
+                   .UpdateThroughView(Oid::Term("NoView", {}), A("Salary"),
+                                      Oid::Int(1))
+                   .ok());
+}
+
+TEST_F(ViewTest, RematerializationTracksBaseChanges) {
+  ASSERT_TRUE(session_->views().Materialize("CompSalaries").ok());
+  size_t before = db_.Extent(A("CompSalaries")).size();
+  // Hire someone new into comp0's first division.
+  ASSERT_TRUE(db_.NewObject(A("newbie"), {A("Employee")}).ok());
+  ASSERT_TRUE(db_.SetScalar(A("newbie"), A("Salary"), Oid::Int(50000)).ok());
+  const AttrValue* divs = db_.GetAttribute(A("comp0"), A("Divisions"));
+  Oid division = *divs->AsSet().begin();
+  ASSERT_TRUE(db_.AddToSet(division, A("Employees"), A("newbie")).ok());
+  ASSERT_TRUE(session_->views().EnsureMaterialized("CompSalaries").ok());
+  EXPECT_EQ(db_.Extent(A("CompSalaries")).size(), before + 1);
+}
+
+TEST_F(ViewTest, DuplicateViewRejected) {
+  auto again = session_->Execute(kCompSalariesView);
+  EXPECT_FALSE(again.ok());
+}
+
+TEST_F(ViewTest, ViewQueryRequiresOidFunction) {
+  auto bad = session_->Execute(
+      "CREATE VIEW Broken AS SUBCLASS OF Object "
+      "SIGNATURE N => String "
+      "SELECT N = X.Name FROM Company X");
+  EXPECT_FALSE(bad.ok());
+}
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildFig1Schema(&db_).ok());
+    workload::WorkloadParams params;
+    params.companies = 1;
+    ASSERT_TRUE(workload::GenerateFig1Data(&db_, params).ok());
+    session_ = std::make_unique<Session>(&db_);
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+// Standalone UPDATE CLASS with free variables enumerates targets.
+TEST_F(UpdateTest, StandaloneUpdate) {
+  auto out = session_->Execute(
+      "UPDATE CLASS Division SET div0_0.Function = 'mischief'");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(db_.GetAttribute(A("div0_0"), A("Function"))->scalar(),
+            Oid::String("mischief"));
+}
+
+TEST_F(UpdateTest, UpdateWithPathPrefix) {
+  // Set the City of mary123's residence through a path.
+  auto out = session_->Execute(
+      "UPDATE CLASS Address SET mary123.Residence.City = 'boston'");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(db_.GetAttribute(A("addr_mary123"), A("City"))->scalar(),
+            Oid::String("boston"));
+}
+
+TEST_F(UpdateTest, UpdateTargetMustBeAttribute) {
+  EXPECT_FALSE(session_->Execute("UPDATE CLASS Person SET mary123 = 5").ok());
+}
+
+TEST_F(UpdateTest, AlterClassAddsSignatures) {
+  auto out = session_->Execute(
+      "ALTER CLASS Employee ADD SIGNATURE "
+      "Bonus => Numeral, workstudy : String =>> {Person, Employee}");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(db_.signatures().Declared(A("Employee"), A("Bonus")).size(), 1u);
+  // The multi-result abbreviation expands to two signatures (§2).
+  EXPECT_EQ(db_.signatures().Declared(A("Employee"), A("workstudy")).size(),
+            2u);
+}
+
+TEST_F(UpdateTest, QueryMethodScalarityEnforced) {
+  // A "scalar" method whose body produces several values errors out.
+  ASSERT_TRUE(session_->Execute(
+      "ALTER CLASS Company ADD SIGNATURE AnySalary => Numeral "
+      "SELECT (AnySalary) = W FROM Company X OID X "
+      "WHERE X.Divisions.Employees.Salary[W]").ok());
+  auto rel = session_->Query("SELECT W WHERE comp0.AnySalary[W]");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kRuntimeError);
+}
+
+}  // namespace
+}  // namespace xsql
