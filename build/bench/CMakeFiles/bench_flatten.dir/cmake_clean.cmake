@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flatten.dir/bench_flatten.cc.o"
+  "CMakeFiles/bench_flatten.dir/bench_flatten.cc.o.d"
+  "bench_flatten"
+  "bench_flatten.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flatten.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schema_browsing.dir/bench_schema_browsing.cc.o"
+  "CMakeFiles/bench_schema_browsing.dir/bench_schema_browsing.cc.o.d"
+  "bench_schema_browsing"
+  "bench_schema_browsing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_browsing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typing_cost.dir/bench_typing_cost.cc.o"
+  "CMakeFiles/bench_typing_cost.dir/bench_typing_cost.cc.o.d"
+  "bench_typing_cost"
+  "bench_typing_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typing_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

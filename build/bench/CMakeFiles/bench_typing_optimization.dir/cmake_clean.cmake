@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_typing_optimization.dir/bench_typing_optimization.cc.o"
+  "CMakeFiles/bench_typing_optimization.dir/bench_typing_optimization.cc.o.d"
+  "bench_typing_optimization"
+  "bench_typing_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_typing_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_views.dir/company_views.cpp.o"
+  "CMakeFiles/company_views.dir/company_views.cpp.o.d"
+  "company_views"
+  "company_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

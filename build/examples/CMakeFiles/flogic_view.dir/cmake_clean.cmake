@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flogic_view.dir/flogic_view.cpp.o"
+  "CMakeFiles/flogic_view.dir/flogic_view.cpp.o.d"
+  "flogic_view"
+  "flogic_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flogic_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nobel_typing.dir/nobel_typing.cpp.o"
+  "CMakeFiles/nobel_typing.dir/nobel_typing.cpp.o.d"
+  "nobel_typing"
+  "nobel_typing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nobel_typing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_browser.dir/schema_browser.cpp.o"
+  "CMakeFiles/schema_browser.dir/schema_browser.cpp.o.d"
+  "schema_browser"
+  "schema_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsql_shell.dir/xsql_shell.cpp.o"
+  "CMakeFiles/xsql_shell.dir/xsql_shell.cpp.o.d"
+  "xsql_shell"
+  "xsql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

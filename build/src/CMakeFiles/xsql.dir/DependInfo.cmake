@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cc" "src/CMakeFiles/xsql.dir/ast/ast.cc.o" "gcc" "src/CMakeFiles/xsql.dir/ast/ast.cc.o.d"
+  "/root/repo/src/ast/printer.cc" "src/CMakeFiles/xsql.dir/ast/printer.cc.o" "gcc" "src/CMakeFiles/xsql.dir/ast/printer.cc.o.d"
+  "/root/repo/src/baseline/gem_path.cc" "src/CMakeFiles/xsql.dir/baseline/gem_path.cc.o" "gcc" "src/CMakeFiles/xsql.dir/baseline/gem_path.cc.o.d"
+  "/root/repo/src/baseline/relational.cc" "src/CMakeFiles/xsql.dir/baseline/relational.cc.o" "gcc" "src/CMakeFiles/xsql.dir/baseline/relational.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/xsql.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/xsql.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/xsql.dir/common/status.cc.o" "gcc" "src/CMakeFiles/xsql.dir/common/status.cc.o.d"
+  "/root/repo/src/common/str_util.cc" "src/CMakeFiles/xsql.dir/common/str_util.cc.o" "gcc" "src/CMakeFiles/xsql.dir/common/str_util.cc.o.d"
+  "/root/repo/src/eval/aggregate.cc" "src/CMakeFiles/xsql.dir/eval/aggregate.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/aggregate.cc.o.d"
+  "/root/repo/src/eval/binding.cc" "src/CMakeFiles/xsql.dir/eval/binding.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/binding.cc.o.d"
+  "/root/repo/src/eval/comparator.cc" "src/CMakeFiles/xsql.dir/eval/comparator.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/comparator.cc.o.d"
+  "/root/repo/src/eval/evaluator.cc" "src/CMakeFiles/xsql.dir/eval/evaluator.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/evaluator.cc.o.d"
+  "/root/repo/src/eval/introspect.cc" "src/CMakeFiles/xsql.dir/eval/introspect.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/introspect.cc.o.d"
+  "/root/repo/src/eval/oid_function.cc" "src/CMakeFiles/xsql.dir/eval/oid_function.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/oid_function.cc.o.d"
+  "/root/repo/src/eval/path_eval.cc" "src/CMakeFiles/xsql.dir/eval/path_eval.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/path_eval.cc.o.d"
+  "/root/repo/src/eval/relation.cc" "src/CMakeFiles/xsql.dir/eval/relation.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/relation.cc.o.d"
+  "/root/repo/src/eval/session.cc" "src/CMakeFiles/xsql.dir/eval/session.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/session.cc.o.d"
+  "/root/repo/src/eval/update.cc" "src/CMakeFiles/xsql.dir/eval/update.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/update.cc.o.d"
+  "/root/repo/src/eval/view.cc" "src/CMakeFiles/xsql.dir/eval/view.cc.o" "gcc" "src/CMakeFiles/xsql.dir/eval/view.cc.o.d"
+  "/root/repo/src/flogic/flogic_eval.cc" "src/CMakeFiles/xsql.dir/flogic/flogic_eval.cc.o" "gcc" "src/CMakeFiles/xsql.dir/flogic/flogic_eval.cc.o.d"
+  "/root/repo/src/flogic/formula.cc" "src/CMakeFiles/xsql.dir/flogic/formula.cc.o" "gcc" "src/CMakeFiles/xsql.dir/flogic/formula.cc.o.d"
+  "/root/repo/src/flogic/translate.cc" "src/CMakeFiles/xsql.dir/flogic/translate.cc.o" "gcc" "src/CMakeFiles/xsql.dir/flogic/translate.cc.o.d"
+  "/root/repo/src/oid/oid.cc" "src/CMakeFiles/xsql.dir/oid/oid.cc.o" "gcc" "src/CMakeFiles/xsql.dir/oid/oid.cc.o.d"
+  "/root/repo/src/parser/lexer.cc" "src/CMakeFiles/xsql.dir/parser/lexer.cc.o" "gcc" "src/CMakeFiles/xsql.dir/parser/lexer.cc.o.d"
+  "/root/repo/src/parser/parser.cc" "src/CMakeFiles/xsql.dir/parser/parser.cc.o" "gcc" "src/CMakeFiles/xsql.dir/parser/parser.cc.o.d"
+  "/root/repo/src/storage/snapshot.cc" "src/CMakeFiles/xsql.dir/storage/snapshot.cc.o" "gcc" "src/CMakeFiles/xsql.dir/storage/snapshot.cc.o.d"
+  "/root/repo/src/store/catalog.cc" "src/CMakeFiles/xsql.dir/store/catalog.cc.o" "gcc" "src/CMakeFiles/xsql.dir/store/catalog.cc.o.d"
+  "/root/repo/src/store/class_graph.cc" "src/CMakeFiles/xsql.dir/store/class_graph.cc.o" "gcc" "src/CMakeFiles/xsql.dir/store/class_graph.cc.o.d"
+  "/root/repo/src/store/database.cc" "src/CMakeFiles/xsql.dir/store/database.cc.o" "gcc" "src/CMakeFiles/xsql.dir/store/database.cc.o.d"
+  "/root/repo/src/store/index.cc" "src/CMakeFiles/xsql.dir/store/index.cc.o" "gcc" "src/CMakeFiles/xsql.dir/store/index.cc.o.d"
+  "/root/repo/src/store/method.cc" "src/CMakeFiles/xsql.dir/store/method.cc.o" "gcc" "src/CMakeFiles/xsql.dir/store/method.cc.o.d"
+  "/root/repo/src/store/object.cc" "src/CMakeFiles/xsql.dir/store/object.cc.o" "gcc" "src/CMakeFiles/xsql.dir/store/object.cc.o.d"
+  "/root/repo/src/store/signature.cc" "src/CMakeFiles/xsql.dir/store/signature.cc.o" "gcc" "src/CMakeFiles/xsql.dir/store/signature.cc.o.d"
+  "/root/repo/src/typing/plan.cc" "src/CMakeFiles/xsql.dir/typing/plan.cc.o" "gcc" "src/CMakeFiles/xsql.dir/typing/plan.cc.o.d"
+  "/root/repo/src/typing/range.cc" "src/CMakeFiles/xsql.dir/typing/range.cc.o" "gcc" "src/CMakeFiles/xsql.dir/typing/range.cc.o.d"
+  "/root/repo/src/typing/type_checker.cc" "src/CMakeFiles/xsql.dir/typing/type_checker.cc.o" "gcc" "src/CMakeFiles/xsql.dir/typing/type_checker.cc.o.d"
+  "/root/repo/src/typing/type_expr.cc" "src/CMakeFiles/xsql.dir/typing/type_expr.cc.o" "gcc" "src/CMakeFiles/xsql.dir/typing/type_expr.cc.o.d"
+  "/root/repo/src/workload/fig1_schema.cc" "src/CMakeFiles/xsql.dir/workload/fig1_schema.cc.o" "gcc" "src/CMakeFiles/xsql.dir/workload/fig1_schema.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/xsql.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/xsql.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/university.cc" "src/CMakeFiles/xsql.dir/workload/university.cc.o" "gcc" "src/CMakeFiles/xsql.dir/workload/university.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

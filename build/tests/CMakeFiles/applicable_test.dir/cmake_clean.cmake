@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/applicable_test.dir/applicable_test.cc.o"
+  "CMakeFiles/applicable_test.dir/applicable_test.cc.o.d"
+  "applicable_test"
+  "applicable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/applicable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

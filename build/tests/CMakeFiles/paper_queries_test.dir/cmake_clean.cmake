@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_queries_test.dir/paper_queries_test.cc.o"
+  "CMakeFiles/paper_queries_test.dir/paper_queries_test.cc.o.d"
+  "paper_queries_test"
+  "paper_queries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
