@@ -70,6 +70,31 @@ void PaperQueryArgs(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_PaperQuery)->Apply(PaperQueryArgs)->Unit(benchmark::kMicrosecond);
 
+// Same queries with every guardrail armed (deadline, row/step budgets,
+// cancel token): comparing against BM_PaperQuery gives the guardrail
+// overhead, which EXPERIMENTS.md records at under 2%.
+void BM_PaperQueryGuarded(benchmark::State& state) {
+  const NamedQuery& query = kQueries[state.range(0)];
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(1)));
+  state.SetLabel(query.id);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rel = scaled.guarded_session->Query(query.text);
+    if (!rel.ok()) {
+      state.SkipWithError(rel.status().ToString().c_str());
+      return;
+    }
+    rows = rel->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["persons"] = static_cast<double>(scaled.stats.persons);
+}
+
+BENCHMARK(BM_PaperQueryGuarded)
+    ->Apply(PaperQueryArgs)
+    ->Unit(benchmark::kMicrosecond);
+
 }  // namespace
 }  // namespace bench
 }  // namespace xsql

@@ -12,11 +12,25 @@
 namespace xsql {
 namespace bench {
 
+/// Session options with every guardrail armed at generous thresholds —
+/// what a defensive production deployment would run with. Used to
+/// measure guardrail overhead against the default (disarmed) session.
+inline SessionOptions GuardedSessionOptions() {
+  SessionOptions options;
+  options.limits.deadline_ms = 60'000;
+  options.limits.max_rows = 1ull << 40;
+  options.limits.max_steps = 1ull << 50;
+  options.cancel = std::make_shared<CancelToken>();
+  return options;
+}
+
 /// A cached Figure-1 instance at a given scale factor; benchmarks share
 /// instances so iteration time measures query work, not data loading.
 struct ScaledDb {
   std::unique_ptr<Database> db;
   std::unique_ptr<Session> session;
+  /// Same database, but with all execution guardrails armed.
+  std::unique_ptr<Session> guarded_session;
   workload::WorkloadStats stats;
 };
 
@@ -32,6 +46,8 @@ inline ScaledDb& GetScaledDb(size_t scale) {
     auto stats = workload::GenerateFig1Data(entry.db.get(), params);
     entry.stats = stats.ok() ? *stats : workload::WorkloadStats{};
     entry.session = std::make_unique<Session>(entry.db.get());
+    entry.guarded_session =
+        std::make_unique<Session>(entry.db.get(), GuardedSessionOptions());
     it = cache.emplace(scale, std::move(entry)).first;
   }
   return it->second;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: plain build + tests, then an ASan+UBSan build + tests.
+# Usage: ./ci.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-all}"
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@"
+  cmake --build "$dir" -j "$JOBS"
+  ctest --test-dir "$dir" -j "$JOBS" --output-on-failure
+}
+
+if [[ "$MODE" != "--sanitize-only" ]]; then
+  echo "==> plain build + tests"
+  run_suite build
+fi
+
+if [[ "$MODE" != "--plain-only" ]]; then
+  echo "==> ASan+UBSan build + tests"
+  run_suite build-asan -DXSQL_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+echo "==> CI OK"

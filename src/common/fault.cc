@@ -1,0 +1,89 @@
+#include "common/fault.h"
+
+namespace xsql {
+
+namespace {
+
+// splitmix64: tiny, seedable, and good enough for fault schedules.
+uint64_t NextRandom(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::ArmNth(Domain domain, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  domain_ = domain;
+  random_mode_ = false;
+  fail_at_ = n;
+  counts_[0] = counts_[1] = 0;
+  fired_ = false;
+  fired_site_.clear();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmRandom(Domain domain, uint64_t seed,
+                              uint32_t permille) {
+  std::lock_guard<std::mutex> lock(mu_);
+  domain_ = domain;
+  random_mode_ = true;
+  rng_state_ = seed;
+  permille_ = permille;
+  counts_[0] = counts_[1] = 0;
+  fired_ = false;
+  fired_site_.clear();
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  fail_at_ = 0;
+  permille_ = 0;
+  counts_[0] = counts_[1] = 0;
+  fired_ = false;
+  fired_site_.clear();
+}
+
+bool FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+std::string FaultInjector::fired_site() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_site_;
+}
+
+uint64_t FaultInjector::checks(Domain domain) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<int>(domain)];
+}
+
+Status FaultInjector::Check(Domain domain, const char* site) {
+  if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t count = ++counts_[static_cast<int>(domain)];
+  if (domain != domain_) return Status::OK();
+  bool fail;
+  if (random_mode_) {
+    fail = permille_ > 0 && NextRandom(&rng_state_) % 1000 < permille_;
+  } else {
+    fail = fail_at_ != 0 && count == fail_at_;
+  }
+  if (!fail) return Status::OK();
+  fired_ = true;
+  fired_site_ = site;
+  return Status::RuntimeError("injected fault at " + std::string(site) +
+                              " (check #" + std::to_string(count) + ")");
+}
+
+}  // namespace xsql

@@ -1,0 +1,83 @@
+#ifndef XSQL_COMMON_FAULT_H_
+#define XSQL_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace xsql {
+
+/// Deterministic fault injection for robustness testing.
+///
+/// Instrumented code calls `Check(domain, site)` at every point where a
+/// failure could realistically occur. In production the injector is
+/// disarmed and a check is a single relaxed atomic load. Tests arm it
+/// in one of two modes:
+///  * `ArmNth(domain, n)` — the n-th check (1-based) in that domain
+///    fails; sweeping n over 1,2,3,... visits *every* injection point of
+///    a scenario in turn, which is how the atomicity property test
+///    proves statement rollback at each mutation point;
+///  * `ArmRandom(domain, seed, permille)` — each check fails with the
+///    given per-mille probability from a seeded deterministic stream.
+///
+/// Two domains exist so a test can target the storage layer without
+/// also tripping the evaluator's guard checks (and vice versa):
+///  * `kMutation` — every `Database` mutator entry plus selected
+///    mid-operation points (partial-state hazards);
+///  * `kGuard` — every `ExecutionContext` budget/deadline check.
+///
+/// The injector is a process-wide singleton (tests own the process);
+/// state is mutex-guarded once armed.
+class FaultInjector {
+ public:
+  enum class Domain { kMutation = 0, kGuard = 1 };
+
+  static FaultInjector& Global();
+
+  /// Arms the injector: the `n`-th Check in `domain` (1-based) fails.
+  void ArmNth(Domain domain, uint64_t n);
+
+  /// Arms seeded probabilistic failure: each Check in `domain` fails
+  /// with probability `permille`/1000.
+  void ArmRandom(Domain domain, uint64_t seed, uint32_t permille);
+
+  /// Disarms and resets counters/fired state.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Whether an injected fault has fired since the last Arm*.
+  bool fired() const;
+
+  /// Injection site of the last fired fault ("" when none).
+  std::string fired_site() const;
+
+  /// Number of checks seen in `domain` since the last Arm*.
+  uint64_t checks(Domain domain) const;
+
+  /// The instrumentation hook: returns an injected RuntimeError when
+  /// the armed schedule says this check fails, OK otherwise. Disarmed
+  /// cost: one relaxed atomic load.
+  Status Check(Domain domain, const char* site);
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  Domain domain_ = Domain::kMutation;
+  bool random_mode_ = false;
+  uint64_t fail_at_ = 0;       // ArmNth target
+  uint64_t rng_state_ = 0;     // ArmRandom stream
+  uint32_t permille_ = 0;
+  uint64_t counts_[2] = {0, 0};
+  bool fired_ = false;
+  std::string fired_site_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_COMMON_FAULT_H_

@@ -21,6 +21,8 @@ enum class StatusCode {
   kNotFound,          // unknown oid/class/method
   kRuntimeError,      // §4.1 ill-defined query, OID conflicts, etc.
   kUnimplemented,
+  kResourceExhausted, // an execution guardrail tripped (budget/deadline)
+  kCancelled,         // cooperative cancellation was requested
 };
 
 /// Exception-free error propagation, RocksDB/Arrow style.
@@ -51,6 +53,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

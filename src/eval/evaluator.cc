@@ -13,8 +13,6 @@ namespace xsql {
 
 namespace {
 
-constexpr int kMaxMethodDepth = 64;
-
 void Flatten(const Condition* cond, std::vector<const Condition*>* out) {
   if (cond->kind == Condition::Kind::kAnd) {
     for (const auto& child : cond->children) Flatten(child.get(), out);
@@ -209,6 +207,7 @@ class ConjunctDriver {
         if (it != opts_->ranges->end()) range = &it->second;
       }
       for (const Oid& oid : db->Extent(cls)) {
+        XSQL_RETURN_IF_ERROR(ev_->ctx_->Step());
         if (range != nullptr && !range->Within(*db, oid)) continue;
         BindScope scope(binding, entry.var, oid);
         XSQL_RETURN_IF_ERROR(next());
@@ -219,6 +218,7 @@ class ConjunctDriver {
       const Variable& cvar = entry.cls.var;
       if (binding->Bound(cvar)) return with_class(binding->Get(cvar));
       for (const Oid& cls : db->graph().Extent(builtin::MetaClass())) {
+        XSQL_RETURN_IF_ERROR(ev_->ctx_->Step());
         BindScope scope(binding, cvar, cls);
         XSQL_RETURN_IF_ERROR(with_class(cls));
       }
@@ -347,7 +347,7 @@ class ConjunctDriver {
         if (const PathIndex* index = IndexFor(cond, *binding)) {
           // Reverse evaluation via the [BERT89] path index: bind the
           // head variable to each object reaching the terminal value.
-          PathEvaluator pe(*ev_->db(), ev_, PathEvalOptions{});
+          PathEvaluator pe(*ev_->db(), ev_, PathEvalOptions{ev_->ctx_});
           const IdTerm& sel = *cond->path.steps.back().selector;
           XSQL_ASSIGN_OR_RETURN(Oid value, pe.EvalIdTerm(sel, *binding));
           for (const Oid& head : index->Lookup(value)) {
@@ -424,7 +424,7 @@ class ConjunctDriver {
         }
         return Status::OK();
       }
-      PathEvaluator pe(db, ev_, PathEvalOptions{});
+      PathEvaluator pe(db, ev_, PathEvalOptions{ev_->ctx_});
       XSQL_ASSIGN_OR_RETURN(Oid obj, pe.EvalIdTerm(target, *binding));
       return test(obj);
     };
@@ -437,7 +437,7 @@ class ConjunctDriver {
       }
       return Status::OK();
     }
-    PathEvaluator pe(db, ev_, PathEvalOptions{});
+    PathEvaluator pe(db, ev_, PathEvalOptions{ev_->ctx_});
     XSQL_ASSIGN_OR_RETURN(Oid method, pe.EvalIdTerm(method_term, *binding));
     return with_object(method);
   }
@@ -454,7 +454,7 @@ class ConjunctDriver {
         }
         return Status::OK();
       }
-      PathEvaluator pe(db, ev_, PathEvalOptions{});
+      PathEvaluator pe(db, ev_, PathEvalOptions{ev_->ctx_});
       XSQL_ASSIGN_OR_RETURN(Oid value, pe.EvalIdTerm(term, *binding));
       return body(value);
     };
@@ -482,7 +482,7 @@ class ConjunctDriver {
 
 PathEvaluator Evaluator::MakePathEvaluator(const EvalOptions& opts) {
   PathEvalOptions peo;
-  peo.max_path_var_len = opts.max_path_var_len;
+  peo.ctx = ctx_;
   if (opts.use_range_pruning && opts.ranges != nullptr) {
     // Theorem 6.1(2): restrict instantiations of each v-selector X to
     // oids within A(X). Candidates are cached per variable.
@@ -513,6 +513,7 @@ std::vector<Oid> Evaluator::ClassesForInvoke(const Oid& oid) const {
 
 Result<OidSet> Evaluator::Invoke(const Oid& receiver, const Oid& method,
                                  const std::vector<Oid>& args) {
+  XSQL_RETURN_IF_ERROR(ctx_->Step());
   if (args.empty()) {
     // Stored attribute value (with behavioral inheritance of defaults).
     if (const AttrValue* value = db_->GetAttribute(receiver, method)) {
@@ -571,19 +572,12 @@ Result<Oid> Evaluator::ResolveIdFunction(const std::string& fn,
 Result<OidSet> Evaluator::InvokeQueryMethod(const QueryMethodBody& body,
                                             const Oid& receiver,
                                             const std::vector<Oid>& args) {
-  if (method_depth_ >= kMaxMethodDepth) {
-    return Status::RuntimeError("method recursion limit reached invoking " +
-                                body.method().ToString());
-  }
+  RecursionScope depth(ctx_, "query method " + body.method().ToString());
+  XSQL_RETURN_IF_ERROR(depth.status());
   if (args.size() != body.params().size()) {
     return Status::RuntimeError("arity mismatch invoking " +
                                 body.method().ToString());
   }
-  ++method_depth_;
-  struct DepthGuard {
-    int* depth;
-    ~DepthGuard() { --*depth; }
-  } guard{&method_depth_};
 
   Binding binding;
   binding.Set(body.receiver_var(), receiver);
@@ -654,6 +648,7 @@ Status Evaluator::ForEachSolution(const std::vector<FromEntry>& from,
         if (it != opts.ranges->end()) range = &it->second;
       }
       for (const Oid& oid : extent) {
+        XSQL_RETURN_IF_ERROR(ctx_->Step());
         if (range != nullptr && !range->Within(*db_, oid)) continue;
         BindScope scope(binding, entry.var, oid);
         XSQL_RETURN_IF_ERROR(from_loop(idx + 1));
@@ -723,6 +718,7 @@ Result<EvalOutput> Evaluator::Run(const Query& query, const EvalOptions& opts,
   };
 
   auto emit = [&]() -> Status {
+    XSQL_RETURN_IF_ERROR(ctx_->ChargeRow());
     if (creates_objects) {
       std::vector<Oid> fn_args;
       for (const Variable& v : *query.oid_function_of) {
@@ -914,6 +910,7 @@ Result<EvalOutput> Evaluator::RunNaive(const Query& query) {
         XSQL_ASSIGN_OR_RETURN(truth, TestCondition(*query.where, &binding));
       }
       if (!truth) return Status::OK();
+      XSQL_RETURN_IF_ERROR(ctx_->ChargeRow());
       if (creates_objects) {
         std::vector<Oid> fn_args;
         for (const Variable& v : *query.oid_function_of) {
@@ -964,6 +961,7 @@ Result<EvalOutput> Evaluator::RunNaive(const Query& query) {
       return cartesian(0);
     }
     for (const Oid& candidate : domains[idx]) {
+      XSQL_RETURN_IF_ERROR(ctx_->Step());
       BindScope scope(&binding, vars[idx], candidate);
       XSQL_RETURN_IF_ERROR(loop(idx + 1));
     }

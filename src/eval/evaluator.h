@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "eval/binding.h"
 #include "eval/path_eval.h"
@@ -101,7 +102,6 @@ struct EvalOptions {
   /// queries); defaults to the builtin Object class, views pass their
   /// view class.
   std::optional<Oid> result_class;
-  size_t max_path_var_len = 3;
   /// Optional [BERT89]-style path indexes. A conjunct of the shape
   /// `X.a1...an[value]` whose head variable is FROM-declared with a
   /// matching fresh index is answered by reverse lookup instead of a
@@ -128,8 +128,18 @@ struct EvalOutput {
 /// for differential testing.
 class Evaluator : public MethodInvoker {
  public:
-  explicit Evaluator(Database* db, ViewResolver* views = nullptr)
-      : db_(db), views_(views) {}
+  explicit Evaluator(Database* db, ViewResolver* views = nullptr,
+                     ExecutionContext* ctx = nullptr)
+      : db_(db),
+        views_(views),
+        ctx_(ctx != nullptr ? ctx : ExecutionContext::Unlimited()) {}
+
+  /// Rebinds the guardrail context (null restores Unlimited()). The
+  /// Session points a long-lived evaluator at each statement's context.
+  void set_exec_context(ExecutionContext* ctx) {
+    ctx_ = ctx != nullptr ? ctx : ExecutionContext::Unlimited();
+  }
+  ExecutionContext* exec_context() { return ctx_; }
 
   /// Evaluates a query; `outer` supplies bindings of correlated
   /// variables (subqueries, method bodies).
@@ -188,7 +198,7 @@ class Evaluator : public MethodInvoker {
 
   Database* db_;
   ViewResolver* views_;
-  int method_depth_ = 0;
+  ExecutionContext* ctx_;
   int next_query_id_ = 0;
 };
 

@@ -81,6 +81,7 @@ Status PathEvaluator::StartFrom(const PathExpr& path, const Oid& head,
 Status PathEvaluator::Walk(const PathExpr& path, size_t step_index,
                            const Oid& obj, Binding* binding,
                            const TailCallback& cb) {
+  XSQL_RETURN_IF_ERROR(ctx_->Step());
   if (step_index == path.steps.size()) return cb(obj);
   const PathStep& step = path.steps[step_index];
 
@@ -148,7 +149,9 @@ Status PathEvaluator::WalkPathVar(const PathExpr& path, size_t step_index,
                                   path.steps[step_index].selector, binding,
                                   cb));
   }
-  if (depth >= opts_.max_path_var_len) return Status::OK();
+  // The length cap is a language-semantics policy (a path variable
+  // matches sequences up to this length), so truncation is silent.
+  if (depth >= ctx_->limits().max_path_var_len) return Status::OK();
   for (const Oid& attr : invoker_->MethodsOn(obj, 0)) {
     XSQL_ASSIGN_OR_RETURN(OidSet values, invoker_->Invoke(obj, attr, {}));
     for (const Oid& next : values) {

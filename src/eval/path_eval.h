@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "ast/ast.h"
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "eval/binding.h"
 #include "oid/oid.h"
@@ -40,8 +41,10 @@ class MethodInvoker {
 
 /// Tuning knobs for path evaluation.
 struct PathEvalOptions {
-  /// Maximum attribute-sequence length a path variable `*Y` may match.
-  size_t max_path_var_len = 3;
+  /// Guardrails (step budget, deadline, cancellation, and the
+  /// path-variable length policy). Null falls back to
+  /// ExecutionContext::Unlimited().
+  ExecutionContext* ctx = nullptr;
   /// Candidate oids for an unbound head variable; when unset the
   /// database's active domain is used. The Theorem 6.1(2) optimization
   /// plugs range-restricted candidates in here.
@@ -61,7 +64,11 @@ class PathEvaluator {
  public:
   PathEvaluator(const Database& db, MethodInvoker* invoker,
                 PathEvalOptions opts)
-      : db_(db), invoker_(invoker), opts_(std::move(opts)) {}
+      : db_(db),
+        invoker_(invoker),
+        opts_(std::move(opts)),
+        ctx_(opts_.ctx != nullptr ? opts_.ctx
+                                  : ExecutionContext::Unlimited()) {}
 
   /// Callback receives the tail object of one satisfying database path;
   /// the binding (as extended for that path) is visible during the call.
@@ -97,6 +104,7 @@ class PathEvaluator {
   const Database& db_;
   MethodInvoker* invoker_;
   PathEvalOptions opts_;
+  ExecutionContext* ctx_;
 };
 
 }  // namespace xsql

@@ -7,7 +7,50 @@
 
 namespace xsql {
 
+namespace {
+
+/// Arms the evaluator and the view manager with a statement's context
+/// for the duration of one Execute call.
+class ScopedExecContext {
+ public:
+  ScopedExecContext(Evaluator* evaluator, ViewManager* views,
+                    ExecutionContext* ctx)
+      : evaluator_(evaluator), views_(views) {
+    evaluator_->set_exec_context(ctx);
+    views_->set_exec_context(ctx);
+  }
+  ~ScopedExecContext() {
+    evaluator_->set_exec_context(nullptr);
+    views_->set_exec_context(nullptr);
+  }
+
+ private:
+  Evaluator* evaluator_;
+  ViewManager* views_;
+};
+
+}  // namespace
+
 Result<EvalOutput> Session::Execute(const std::string& text) {
+  // One guardrail context per statement: the deadline countdown starts
+  // here and budgets reset.
+  ExecutionContext ctx(options_.limits, options_.cancel);
+  ScopedExecContext scoped(&evaluator_, &views_, &ctx);
+  // Statement-level atomicity: unless an enclosing transaction (atomic
+  // ExecuteScript) is already recording, this statement records its own
+  // undo log and rolls back on any failure.
+  UndoLog undo;
+  const bool own_txn = !db_->undo_active();
+  if (own_txn) db_->BeginUndo(&undo);
+  Result<EvalOutput> out = ExecuteStatement(text);
+  if (own_txn) {
+    db_->EndUndo();
+    if (!out.ok()) db_->Rollback(&undo);
+  }
+  return out;
+}
+
+Result<EvalOutput> Session::ExecuteStatement(const std::string& text) {
   XSQL_ASSIGN_OR_RETURN(Statement stmt, ParseAndResolve(text, *db_));
   switch (stmt.kind) {
     case Statement::Kind::kQuery: {
@@ -61,7 +104,24 @@ Result<EvalOutput> Session::Execute(const std::string& text) {
   return Status::RuntimeError("unknown statement kind");
 }
 
-Result<EvalOutput> Session::ExecuteScript(const std::string& script) {
+Result<EvalOutput> Session::ExecuteScript(const std::string& script,
+                                          bool atomic) {
+  if (atomic) {
+    if (db_->undo_active()) {
+      return Status::InvalidArgument(
+          "nested script transaction (atomic ExecuteScript inside an "
+          "active transaction)");
+    }
+    // Script-level transaction: one undo log spans every statement;
+    // per-statement Execute sees undo_active() and does not roll back
+    // individually.
+    UndoLog undo;
+    db_->BeginUndo(&undo);
+    Result<EvalOutput> out = ExecuteScript(script, /*atomic=*/false);
+    db_->EndUndo();
+    if (!out.ok()) db_->Rollback(&undo);
+    return out;
+  }
   EvalOutput last;
   std::string current;
   bool in_string = false;

@@ -1,8 +1,10 @@
 #ifndef XSQL_EVAL_SESSION_H_
 #define XSQL_EVAL_SESSION_H_
 
+#include <memory>
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "eval/evaluator.h"
 #include "eval/introspect.h"
@@ -26,6 +28,13 @@ struct SessionOptions {
   bool use_range_pruning = true;
   /// §6.2 exemptions (the middle ground between liberal and strict).
   ExemptionSet exemptions;
+  /// Execution guardrails, applied per statement: deadline, row/step
+  /// budgets, recursion-depth policy (see ExecLimits). Defaults have no
+  /// budgets armed.
+  ExecLimits limits;
+  /// Cooperative cancellation: any thread holding the token can abort
+  /// the running statement. Null means not cancellable.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// The top-level API a user of the library drives: text in, relations
@@ -43,13 +52,18 @@ class Session {
     (void)InstallIntrospection(db);
   }
 
-  /// Parses and executes one statement (query or DDL/DML).
+  /// Parses and executes one statement (query or DDL/DML) under the
+  /// session's guardrails. Statements are *atomic*: on any failure —
+  /// including a tripped guardrail — every mutation the statement made
+  /// is rolled back before the error is returned.
   Result<EvalOutput> Execute(const std::string& text);
 
   /// Executes a `;`-separated script (quotes respected, `--` comments
   /// stripped by the lexer). Stops at the first error; returns the last
-  /// statement's output.
-  Result<EvalOutput> ExecuteScript(const std::string& script);
+  /// statement's output. With `atomic` set the whole script is one
+  /// transaction: a failure anywhere rolls back every statement.
+  Result<EvalOutput> ExecuteScript(const std::string& script,
+                                   bool atomic = false);
 
   /// Convenience: execute and return just the relation.
   Result<Relation> Query(const std::string& text);
@@ -70,6 +84,9 @@ class Session {
   SessionOptions& mutable_options() { return options_; }
 
  private:
+  /// The pre-wrap body of Execute: parse, type-check, dispatch.
+  Result<EvalOutput> ExecuteStatement(const std::string& text);
+
   Database* db_;
   SessionOptions options_;
   ViewManager views_;

@@ -41,18 +41,30 @@ Status ViewManager::Materialize(const std::string& name) {
   auto it = views_.find(name);
   if (it == views_.end()) return Status::NotFound("no view " + name);
   ViewDef& def = it->second;
-  // Detach the previous materialization from the view class.
-  for (const Oid& oid : def.created) {
-    db_->mutable_graph().RemoveInstance(oid, def.name);
-  }
+  ExecutionContext* ctx =
+      ctx_ != nullptr ? ctx_ : ExecutionContext::Unlimited();
+  RecursionScope depth(ctx, "view expansion " + def.name.ToString());
+  XSQL_RETURN_IF_ERROR(depth.status());
+  // Detach the previous materialization from the view class (undoable:
+  // a failed statement re-attaches them, so keep `created` in sync by
+  // restoring it on any failure path).
+  std::vector<Oid> previous = std::move(def.created);
   def.created.clear();
+  auto fail = [&](Status st) {
+    def.created = std::move(previous);
+    return st;
+  };
+  for (const Oid& oid : previous) {
+    Status st = db_->RemoveInstanceOf(oid, def.name);
+    if (!st.ok()) return fail(std::move(st));
+  }
   materializing_ = true;
-  Evaluator evaluator(db_, this);
+  Evaluator evaluator(db_, this, ctx);
   EvalOptions opts;
   opts.result_class = def.name;
   Result<EvalOutput> out = evaluator.Run(def.query, opts);
   materializing_ = false;
-  if (!out.ok()) return out.status();
+  if (!out.ok()) return fail(out.status());
   def.created = out->created;
   def.materialized_at = db_->version();
   return Status::OK();

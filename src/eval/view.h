@@ -38,6 +38,11 @@ class ViewManager : public ViewResolver {
  public:
   explicit ViewManager(Database* db) : db_(db) {}
 
+  /// Guardrail context applied to view materialization (the defining
+  /// query runs under it, and nested view expansion counts against the
+  /// recursion-depth policy). Null restores unlimited execution.
+  void set_exec_context(ExecutionContext* ctx) { ctx_ = ctx; }
+
   /// Declares the view class (a subclass of the given superclass), adds
   /// its signatures, and registers the defining query.
   Status Create(const CreateViewStmt& stmt);
@@ -71,6 +76,7 @@ class ViewManager : public ViewResolver {
 
  private:
   Database* db_;
+  ExecutionContext* ctx_ = nullptr;
   std::map<std::string, ViewDef> views_;
   bool materializing_ = false;
 };

@@ -14,7 +14,10 @@ namespace {
 
 class ModelChecker {
  public:
-  explicit ModelChecker(Database* db) : db_(db), evaluator_(db) {}
+  ModelChecker(Database* db, ExecutionContext* ctx)
+      : db_(db),
+        ctx_(ctx != nullptr ? ctx : ExecutionContext::Unlimited()),
+        evaluator_(db, nullptr, ctx_) {}
 
   Result<Relation> Run(const FLogicQuery& query) {
     std::vector<std::string> columns;
@@ -28,6 +31,7 @@ class ModelChecker {
           XSQL_ASSIGN_OR_RETURN(truth, Eval(*query.body, &binding));
         }
         if (truth) {
+          XSQL_RETURN_IF_ERROR(ctx_->ChargeRow());
           std::vector<Oid> row;
           for (const Variable& v : query.answer_vars) {
             row.push_back(binding.Get(v));
@@ -45,6 +49,7 @@ class ModelChecker {
       }
       const OidSet& domain = support.has_value() ? *support : DomainFor(var);
       for (const Oid& candidate : domain) {
+        XSQL_RETURN_IF_ERROR(ctx_->Step());
         BindScope scope(&binding, var, candidate);
         XSQL_RETURN_IF_ERROR(loop(idx + 1));
       }
@@ -93,7 +98,11 @@ class ModelChecker {
   std::optional<OidSet> ExistsSupport(const Formula& formula,
                                       const Variable& var, Binding* binding,
                                       int depth) {
-    if (depth > 16) return std::nullopt;
+    // Beyond the recursion-depth policy the derivation gives up and the
+    // caller falls back to a full domain scan — sound, just slower.
+    if (depth > static_cast<int>(ctx_->limits().max_recursion_depth)) {
+      return std::nullopt;
+    }
     switch (formula.kind) {
       case Formula::Kind::kAtom: {
         const Atom& atom = formula.atom;
@@ -295,6 +304,7 @@ class ModelChecker {
         const OidSet& domain =
             support.has_value() ? *support : DomainFor(formula.var);
         for (const Oid& candidate : domain) {
+          XSQL_RETURN_IF_ERROR(ctx_->Step());
           BindScope scope(binding, formula.var, candidate);
           XSQL_ASSIGN_OR_RETURN(bool truth,
                                 Eval(*formula.children[0], binding));
@@ -310,6 +320,7 @@ class ModelChecker {
         const OidSet& domain =
             support.has_value() ? *support : DomainFor(formula.var);
         for (const Oid& candidate : domain) {
+          XSQL_RETURN_IF_ERROR(ctx_->Step());
           BindScope scope(binding, formula.var, candidate);
           XSQL_ASSIGN_OR_RETURN(bool truth,
                                 Eval(*formula.children[0], binding));
@@ -322,13 +333,15 @@ class ModelChecker {
   }
 
   Database* db_;
+  ExecutionContext* ctx_;
   Evaluator evaluator_;
 };
 
 }  // namespace
 
-Result<Relation> EvaluateFLogic(const FLogicQuery& query, Database* db) {
-  ModelChecker checker(db);
+Result<Relation> EvaluateFLogic(const FLogicQuery& query, Database* db,
+                                ExecutionContext* ctx) {
+  ModelChecker checker(db, ctx);
   return checker.Run(query);
 }
 

@@ -1,6 +1,7 @@
 #ifndef XSQL_FLOGIC_FLOGIC_EVAL_H_
 #define XSQL_FLOGIC_FLOGIC_EVAL_H_
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "eval/relation.h"
 #include "flogic/formula.h"
@@ -19,7 +20,11 @@ namespace flogic {
 /// Theorem 3.1: for any query q in the covered fragment,
 /// `EvaluateFLogic(TranslateToFLogic(q))` must agree with the XSQL
 /// evaluators.
-Result<Relation> EvaluateFLogic(const FLogicQuery& query, Database* db);
+/// `ctx` carries the execution guardrails (budgets, deadline,
+/// cancellation, and the support-derivation depth policy); null means
+/// unlimited.
+Result<Relation> EvaluateFLogic(const FLogicQuery& query, Database* db,
+                                ExecutionContext* ctx = nullptr);
 
 }  // namespace flogic
 }  // namespace xsql

@@ -1,5 +1,6 @@
 #include "storage/snapshot.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cinttypes>
 #include <cmath>
@@ -13,11 +14,53 @@ namespace storage {
 
 namespace {
 
-constexpr const char* kHeader = "XSQL-SNAPSHOT 1";
+// Version 2 escapes newlines/backslashes in payloads; version 1 (no
+// escaping, could not represent embedded newlines) is still loadable.
+constexpr const char* kHeader = "XSQL-SNAPSHOT 2";
+constexpr const char* kHeaderV1 = "XSQL-SNAPSHOT 1";
 
 Status Malformed(const std::string& what, size_t pos) {
   return Status::InvalidArgument("malformed snapshot: " + what +
                                  " at offset " + std::to_string(pos));
+}
+
+// Payload escaping keeps the format line-oriented: `\` -> `\\` and
+// newline -> `\n`. The length prefix counts *escaped* bytes, so the
+// payload remains self-delimiting.
+void EscapeInto(const std::string& raw, std::string* out) {
+  for (char c : raw) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+std::string Unescape(const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size());
+  for (size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] == '\\' && i + 1 < payload.size()) {
+      char next = payload[i + 1];
+      if (next == '\\') {
+        out.push_back('\\');
+        ++i;
+        continue;
+      }
+      if (next == 'n') {
+        out.push_back('\n');
+        ++i;
+        continue;
+      }
+    }
+    // Lone backslashes pass through, so v1 payloads (no escaping) that
+    // contain a backslash not followed by `\` or `n` still load.
+    out.push_back(payload[i]);
+  }
+  return out;
 }
 
 }  // namespace
@@ -43,17 +86,22 @@ void EncodeOid(const Oid& oid, std::string* out) {
       break;
     }
     case OidKind::kString:
-    case OidKind::kAtom:
+    case OidKind::kAtom: {
+      std::string escaped;
+      EscapeInto(oid.str(), &escaped);
       out->push_back(oid.is_string() ? 's' : 'a');
-      out->append(std::to_string(oid.str().size()));
+      out->append(std::to_string(escaped.size()));
       out->push_back(':');
-      out->append(oid.str());
+      out->append(escaped);
       break;
+    }
     case OidKind::kTerm: {
+      std::string escaped;
+      EscapeInto(oid.term_fn(), &escaped);
       out->push_back('t');
-      out->append(std::to_string(oid.term_fn().size()));
+      out->append(std::to_string(escaped.size()));
       out->push_back(':');
-      out->append(oid.term_fn());
+      out->append(escaped);
       out->append(std::to_string(oid.term_args().size()));
       out->push_back(';');
       for (const Oid& arg : oid.term_args()) EncodeOid(arg, out);
@@ -87,7 +135,7 @@ Result<std::string> DecodePayload(const std::string& text, size_t* pos) {
   }
   std::string payload = text.substr(*pos, static_cast<size_t>(len));
   *pos += static_cast<size_t>(len);
-  return payload;
+  return Unescape(payload);
 }
 
 }  // namespace
@@ -168,7 +216,12 @@ std::string SaveSnapshot(const Database& db) {
       out += '\n';
     }
   }
-  for (const Oid& cls : db.signatures().DeclaringClasses()) {
+  // SIG/INST/OBJ/ATTR sections come from unordered maps; emit them in
+  // sorted order so equal databases produce byte-identical snapshots
+  // (CLASS and ISA already iterate stable declaration-order vectors).
+  std::vector<Oid> sig_classes = db.signatures().DeclaringClasses();
+  std::sort(sig_classes.begin(), sig_classes.end());
+  for (const Oid& cls : sig_classes) {
     for (const Oid& method : db.signatures().DeclaredMethods(cls)) {
       for (const Signature& sig : db.signatures().Declared(cls, method)) {
         out += "SIG ";
@@ -188,14 +241,23 @@ std::string SaveSnapshot(const Database& db) {
       }
     }
   }
-  for (const auto& [obj, cls] : db.graph().AllInstancePairs()) {
+  std::vector<std::pair<Oid, Oid>> inst = db.graph().AllInstancePairs();
+  std::sort(inst.begin(), inst.end());
+  for (const auto& [obj, cls] : inst) {
     out += "INST ";
     emit_oid(obj);
     out += ' ';
     emit_oid(cls);
     out += '\n';
   }
-  for (const auto& [oid, object] : db.objects()) {
+  std::vector<const Oid*> object_oids;
+  object_oids.reserve(db.objects().size());
+  for (const auto& [oid, object] : db.objects()) object_oids.push_back(&oid);
+  std::sort(object_oids.begin(), object_oids.end(),
+            [](const Oid* a, const Oid* b) { return *a < *b; });
+  for (const Oid* oid_ptr : object_oids) {
+    const Oid& oid = *oid_ptr;
+    const Object& object = db.objects().at(oid);
     out += "OBJ ";
     emit_oid(oid);
     out += '\n';
@@ -269,7 +331,7 @@ class LineCursor {
 Status LoadSnapshot(const std::string& text, Database* db) {
   std::istringstream in(text);
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) {
+  if (!std::getline(in, line) || (line != kHeader && line != kHeaderV1)) {
     return Status::InvalidArgument("not an XSQL snapshot (bad header)");
   }
   size_t line_no = 1;

@@ -19,9 +19,15 @@ namespace storage {
 /// Not persisted (by design, documented): method *bodies* (native
 /// functions cannot be serialized; query-defined methods and views are
 /// re-installed by replaying their DDL, which callers own) and the
-/// version counter (a loaded database starts fresh). Limitation: string
-/// and atom payloads containing a newline are not representable in the
-/// line-oriented format.
+/// version counter (a loaded database starts fresh).
+///
+/// Format version 2: payloads escape `\` as `\\` and newline as `\n`
+/// (length prefixes count escaped bytes), so strings and atoms with
+/// embedded newlines round-trip. Version-1 snapshots still load. Output
+/// is canonical — sections backed by unordered containers are emitted
+/// in sorted oid order — so two equal databases (and a database before
+/// a statement vs. after that statement rolled back) snapshot to
+/// byte-identical text.
 
 /// Serializes the database.
 std::string SaveSnapshot(const Database& db);

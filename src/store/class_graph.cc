@@ -69,6 +69,48 @@ void ClassGraph::RemoveInstance(const Oid& obj, const Oid& cls) {
   }
 }
 
+void ClassGraph::RemoveClass(const Oid& cls) {
+  auto it = nodes_.find(cls);
+  if (it == nodes_.end()) return;
+  for (const Oid& super : it->second.supers) {
+    if (Node* n = FindMutable(super)) {
+      auto pos = std::find(n->subs.begin(), n->subs.end(), cls);
+      if (pos != n->subs.end()) n->subs.erase(pos);
+    }
+  }
+  for (const Oid& sub : it->second.subs) {
+    if (Node* n = FindMutable(sub)) {
+      auto pos = std::find(n->supers.begin(), n->supers.end(), cls);
+      if (pos != n->supers.end()) n->supers.erase(pos);
+    }
+  }
+  nodes_.erase(it);
+  auto pos = std::find(class_list_.begin(), class_list_.end(), cls);
+  if (pos != class_list_.end()) class_list_.erase(pos);
+  // Drop dangling direct-instance memberships of the vanished class.
+  for (auto mi = instance_of_.begin(); mi != instance_of_.end();) {
+    auto& classes = mi->second;
+    auto cp = std::find(classes.begin(), classes.end(), cls);
+    if (cp != classes.end()) classes.erase(cp);
+    if (classes.empty()) {
+      mi = instance_of_.erase(mi);
+    } else {
+      ++mi;
+    }
+  }
+}
+
+void ClassGraph::RemoveSubclassEdge(const Oid& sub, const Oid& super) {
+  if (Node* s = FindMutable(sub)) {
+    auto pos = std::find(s->supers.begin(), s->supers.end(), super);
+    if (pos != s->supers.end()) s->supers.erase(pos);
+  }
+  if (Node* p = FindMutable(super)) {
+    auto pos = std::find(p->subs.begin(), p->subs.end(), sub);
+    if (pos != p->subs.end()) p->subs.erase(pos);
+  }
+}
+
 bool ClassGraph::IsClass(const Oid& oid) const { return nodes_.contains(oid); }
 
 bool ClassGraph::IsStrictSubclass(const Oid& sub, const Oid& super) const {

@@ -35,6 +35,14 @@ class ClassGraph {
   /// Removes `obj` from the direct extent of `cls`.
   void RemoveInstance(const Oid& obj, const Oid& cls);
 
+  /// Undo primitive: unregisters a class declared by mistake (unlinks
+  /// its IS-A edges and drops any direct-instance memberships). No-op
+  /// for undeclared classes.
+  void RemoveClass(const Oid& cls);
+
+  /// Undo primitive: removes a single IS-A edge. No-op when absent.
+  void RemoveSubclassEdge(const Oid& sub, const Oid& super);
+
   bool IsClass(const Oid& oid) const;
 
   /// The paper's `subclassOf` is *strict*: `C subclassOf C` is false.

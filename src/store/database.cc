@@ -1,7 +1,9 @@
 #include "store/database.h"
 
+#include <algorithm>
 #include <deque>
 
+#include "common/fault.h"
 #include "store/catalog.h"
 
 namespace xsql {
@@ -23,30 +25,33 @@ Database::Database() {
 }
 
 Status Database::DeclareClass(const Oid& cls, const std::vector<Oid>& supers) {
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::DeclareClass"));
   if (!cls.is_atom()) {
     return Status::InvalidArgument("class oid must be an atom: " +
                                    cls.ToString());
   }
-  XSQL_RETURN_IF_ERROR(graph_.DeclareClass(cls));
+  XSQL_RETURN_IF_ERROR(GraphDeclareClass(cls));
   if (supers.empty()) {
-    XSQL_RETURN_IF_ERROR(graph_.AddSubclass(cls, builtin::Object()));
+    XSQL_RETURN_IF_ERROR(GraphAddSubclass(cls, builtin::Object()));
   } else {
     for (const Oid& super : supers) {
-      XSQL_RETURN_IF_ERROR(graph_.AddSubclass(cls, super));
+      XSQL_RETURN_IF_ERROR(FaultCheck("Database::DeclareClass#super"));
+      XSQL_RETURN_IF_ERROR(GraphAddSubclass(cls, super));
     }
   }
   // Classes are objects: register in the meta-class and give them a
   // (possibly empty) tuple-object record.
-  XSQL_RETURN_IF_ERROR(graph_.AddInstance(cls, builtin::MetaClass()));
+  XSQL_RETURN_IF_ERROR(GraphAddInstance(cls, builtin::MetaClass()));
   GetOrCreate(cls);
   Touch();
   return Status::OK();
 }
 
 Status Database::AddSubclass(const Oid& sub, const Oid& super) {
-  XSQL_RETURN_IF_ERROR(graph_.AddSubclass(sub, super));
-  XSQL_RETURN_IF_ERROR(graph_.AddInstance(sub, builtin::MetaClass()));
-  XSQL_RETURN_IF_ERROR(graph_.AddInstance(super, builtin::MetaClass()));
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::AddSubclass"));
+  XSQL_RETURN_IF_ERROR(GraphAddSubclass(sub, super));
+  XSQL_RETURN_IF_ERROR(GraphAddInstance(sub, builtin::MetaClass()));
+  XSQL_RETURN_IF_ERROR(GraphAddInstance(super, builtin::MetaClass()));
   Touch();
   return Status::OK();
 }
@@ -61,10 +66,17 @@ Status Database::DeclareAttribute(const Oid& cls, const Oid& attr,
 }
 
 Status Database::DeclareSignature(const Oid& cls, Signature sig) {
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::DeclareSignature"));
   if (!graph_.IsClass(cls)) {
     XSQL_RETURN_IF_ERROR(DeclareClass(cls));
   }
   XSQL_RETURN_IF_ERROR(RegisterMethodObject(sig.method));
+  if (undo_ != nullptr && !signatures_.Has(cls, sig)) {
+    Signature saved = sig;
+    undo_->Record([cls, saved](Database* db) {
+      db->signatures_.Remove(cls, saved);
+    });
+  }
   XSQL_RETURN_IF_ERROR(signatures_.Add(cls, std::move(sig)));
   Touch();
   return Status::OK();
@@ -72,7 +84,15 @@ Status Database::DeclareSignature(const Oid& cls, Signature sig) {
 
 Status Database::DefineMethod(const Oid& cls, const Oid& method, int arity,
                               std::shared_ptr<const MethodBody> body) {
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::DefineMethod"));
   XSQL_RETURN_IF_ERROR(RegisterMethodObject(method));
+  if (undo_ != nullptr) {
+    std::shared_ptr<const MethodBody> prior =
+        methods_.Definition(cls, method, arity);
+    undo_->Record([cls, method, arity, prior](Database* db) {
+      db->methods_.Restore(cls, method, arity, prior);
+    });
+  }
   XSQL_RETURN_IF_ERROR(methods_.Define(cls, method, arity, std::move(body)));
   Touch();
   return Status::OK();
@@ -80,58 +100,103 @@ Status Database::DefineMethod(const Oid& cls, const Oid& method, int arity,
 
 Status Database::ResolveMethodConflict(const Oid& cls, const Oid& method,
                                        const Oid& from_super) {
-  return methods_.ResolveConflict(cls, method, from_super);
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::ResolveMethodConflict"));
+  if (undo_ != nullptr) {
+    std::optional<Oid> prior = methods_.ConflictChoice(cls, method);
+    undo_->Record([cls, method, prior](Database* db) {
+      db->methods_.RestoreConflictChoice(cls, method, prior);
+    });
+  }
+  XSQL_RETURN_IF_ERROR(methods_.ResolveConflict(cls, method, from_super));
+  Touch();
+  return Status::OK();
 }
 
 Status Database::NewObject(const Oid& oid, const std::vector<Oid>& classes) {
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::NewObject"));
   GetOrCreate(oid);
   for (const Oid& cls : classes) {
+    XSQL_RETURN_IF_ERROR(FaultCheck("Database::NewObject#class"));
     if (!graph_.IsClass(cls)) {
       return Status::NotFound("unknown class " + cls.ToString());
     }
-    XSQL_RETURN_IF_ERROR(graph_.AddInstance(oid, cls));
+    XSQL_RETURN_IF_ERROR(GraphAddInstance(oid, cls));
   }
   Touch();
   return Status::OK();
 }
 
 Status Database::AddInstanceOf(const Oid& oid, const Oid& cls) {
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::AddInstanceOf"));
   if (!graph_.IsClass(cls)) {
     return Status::NotFound("unknown class " + cls.ToString());
   }
   GetOrCreate(oid);
-  XSQL_RETURN_IF_ERROR(graph_.AddInstance(oid, cls));
+  XSQL_RETURN_IF_ERROR(GraphAddInstance(oid, cls));
   Touch();
   return Status::OK();
 }
 
 Status Database::SetScalar(const Oid& obj, const Oid& attr, const Oid& value) {
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::SetScalar"));
   XSQL_RETURN_IF_ERROR(RegisterMethodObject(attr));
+  RecordUndoAttr(obj, attr);
   GetOrCreate(obj).SetScalar(attr, value);
   Touch();
   return Status::OK();
 }
 
 Status Database::SetSet(const Oid& obj, const Oid& attr, OidSet values) {
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::SetSet"));
   XSQL_RETURN_IF_ERROR(RegisterMethodObject(attr));
+  RecordUndoAttr(obj, attr);
   GetOrCreate(obj).SetSet(attr, std::move(values));
   Touch();
   return Status::OK();
 }
 
 Status Database::AddToSet(const Oid& obj, const Oid& attr, const Oid& value) {
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::AddToSet"));
   XSQL_RETURN_IF_ERROR(RegisterMethodObject(attr));
+  RecordUndoAttr(obj, attr);
   XSQL_RETURN_IF_ERROR(GetOrCreate(obj).AddToSet(attr, value));
   Touch();
   return Status::OK();
 }
 
 Status Database::ClearAttribute(const Oid& obj, const Oid& attr) {
-  Object* o = GetMutableObject(obj);
-  if (o == nullptr) return Status::NotFound("no object " + obj.ToString());
-  o->Remove(attr);
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::ClearAttribute"));
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    return Status::NotFound("no object " + obj.ToString());
+  }
+  RecordUndoAttr(obj, attr);
+  it->second.Remove(attr);
   Touch();
   return Status::OK();
+}
+
+Status Database::RemoveInstanceOf(const Oid& oid, const Oid& cls) {
+  XSQL_RETURN_IF_ERROR(FaultCheck("Database::RemoveInstanceOf"));
+  if (undo_ != nullptr) {
+    std::vector<Oid> classes = graph_.DirectClassesOf(oid);
+    if (std::find(classes.begin(), classes.end(), cls) != classes.end()) {
+      undo_->Record([oid, cls](Database* db) {
+        (void)db->graph_.AddInstance(oid, cls);
+      });
+    }
+  }
+  graph_.RemoveInstance(oid, cls);
+  Touch();
+  return Status::OK();
+}
+
+void Database::Rollback(UndoLog* log) {
+  UndoLog* saved = undo_;
+  undo_ = nullptr;  // inverses go through raw primitives; never re-record
+  log->Rollback(this);
+  undo_ = saved;
+  Touch();
 }
 
 const Object* Database::GetObject(const Oid& oid) const {
@@ -246,15 +311,95 @@ Status Database::RegisterMethodObject(const Oid& attr) {
     return Status::InvalidArgument("attribute/method name must be an atom: " +
                                    attr.ToString());
   }
-  return graph_.AddInstance(attr, builtin::MetaMethod());
+  return GraphAddInstance(attr, builtin::MetaMethod());
 }
 
 Object& Database::GetOrCreate(const Oid& oid) {
   auto it = objects_.find(oid);
   if (it == objects_.end()) {
+    if (undo_ != nullptr) {
+      undo_->Record([oid](Database* db) { db->objects_.erase(oid); });
+    }
     it = objects_.emplace(oid, Object(oid)).first;
   }
   return it->second;
+}
+
+Status Database::FaultCheck(const char* site) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (!fi.armed()) return Status::OK();
+  return fi.Check(FaultInjector::Domain::kMutation, site);
+}
+
+Status Database::GraphDeclareClass(const Oid& cls) {
+  if (undo_ != nullptr && !graph_.IsClass(cls)) {
+    undo_->Record([cls](Database* db) { db->graph_.RemoveClass(cls); });
+  }
+  return graph_.DeclareClass(cls);
+}
+
+Status Database::GraphAddSubclass(const Oid& sub, const Oid& super) {
+  if (undo_ != nullptr) {
+    // AddSubclass auto-declares both endpoints before its cycle check can
+    // fail, so the declarations must be undoable even on failure.
+    if (!graph_.IsClass(sub)) {
+      undo_->Record([sub](Database* db) { db->graph_.RemoveClass(sub); });
+    }
+    if (!graph_.IsClass(super)) {
+      undo_->Record([super](Database* db) { db->graph_.RemoveClass(super); });
+    }
+    std::vector<Oid> supers = graph_.DirectSuperclasses(sub);
+    if (std::find(supers.begin(), supers.end(), super) == supers.end()) {
+      undo_->Record([sub, super](Database* db) {
+        db->graph_.RemoveSubclassEdge(sub, super);
+      });
+    }
+  }
+  return graph_.AddSubclass(sub, super);
+}
+
+Status Database::GraphAddInstance(const Oid& obj, const Oid& cls) {
+  if (undo_ != nullptr) {
+    if (!graph_.IsClass(cls)) {
+      undo_->Record([cls](Database* db) { db->graph_.RemoveClass(cls); });
+    }
+    std::vector<Oid> classes = graph_.DirectClassesOf(obj);
+    if (std::find(classes.begin(), classes.end(), cls) == classes.end()) {
+      undo_->Record([obj, cls](Database* db) {
+        db->graph_.RemoveInstance(obj, cls);
+      });
+    }
+  }
+  return graph_.AddInstance(obj, cls);
+}
+
+void Database::RecordUndoAttr(const Oid& obj, const Oid& attr) {
+  if (undo_ == nullptr) return;
+  auto it = objects_.find(obj);
+  if (it == objects_.end()) {
+    // The whole object record is about to be created; GetOrCreate records
+    // its erasure, which discards any attribute written to it.
+    return;
+  }
+  const AttrValue* prior = it->second.Get(attr);
+  if (prior == nullptr) {
+    undo_->Record([obj, attr](Database* db) {
+      auto oi = db->objects_.find(obj);
+      if (oi != db->objects_.end()) oi->second.Remove(attr);
+    });
+  } else if (prior->set_valued()) {
+    OidSet saved = prior->set();
+    undo_->Record([obj, attr, saved](Database* db) {
+      auto oi = db->objects_.find(obj);
+      if (oi != db->objects_.end()) oi->second.SetSet(attr, saved);
+    });
+  } else {
+    Oid saved = prior->scalar();
+    undo_->Record([obj, attr, saved](Database* db) {
+      auto oi = db->objects_.find(obj);
+      if (oi != db->objects_.end()) oi->second.SetScalar(attr, saved);
+    });
+  }
 }
 
 }  // namespace xsql

@@ -12,6 +12,7 @@
 #include "store/method.h"
 #include "store/object.h"
 #include "store/signature.h"
+#include "store/undo_log.h"
 
 namespace xsql {
 
@@ -84,6 +85,23 @@ class Database {
   /// Removes an attribute from an object (making it undefined there).
   Status ClearAttribute(const Oid& obj, const Oid& attr);
 
+  /// Removes `oid` from the direct extent of `cls` (undoable, unlike the
+  /// raw `mutable_graph().RemoveInstance` escape hatch).
+  Status RemoveInstanceOf(const Oid& oid, const Oid& cls);
+
+  // ---- Statement atomicity ------------------------------------------
+
+  /// Starts recording inverse mutations into `log`. Every public mutator
+  /// called until EndUndo records enough to restore the pre-statement
+  /// state; see UndoLog for the protocol. `log` must outlive recording.
+  void BeginUndo(UndoLog* log) { undo_ = log; }
+  void EndUndo() { undo_ = nullptr; }
+  bool undo_active() const { return undo_ != nullptr; }
+
+  /// Applies `log` in reverse. Recording is suspended while rolling back
+  /// (inverses must not record further inverses or trip fault checks).
+  void Rollback(UndoLog* log);
+
   // ---- Lookup -------------------------------------------------------
 
   bool HasObject(const Oid& oid) const { return objects_.contains(oid); }
@@ -134,10 +152,25 @@ class Database {
   Object& GetOrCreate(const Oid& oid);
   void Touch() { ++version_; active_domain_dirty_ = true; }
 
+  /// Fault-injection hook for the mutation domain (see common/fault.h).
+  static Status FaultCheck(const char* site);
+
+  // Undo-recording wrappers around the raw graph primitives: they save
+  // the inverse (only when the forward call would actually change state)
+  // before delegating.
+  Status GraphDeclareClass(const Oid& cls);
+  Status GraphAddSubclass(const Oid& sub, const Oid& super);
+  Status GraphAddInstance(const Oid& obj, const Oid& cls);
+
+  /// Saves the current value of (`obj`, `attr`) into the undo log before
+  /// an attribute write/clear.
+  void RecordUndoAttr(const Oid& obj, const Oid& attr);
+
   ClassGraph graph_;
   SignatureStore signatures_;
   MethodRegistry methods_;
   std::unordered_map<Oid, Object, OidHash> objects_;
+  UndoLog* undo_ = nullptr;
   uint64_t version_ = 0;
 
   mutable OidSet active_domain_;

@@ -1,0 +1,12 @@
+#include "store/undo_log.h"
+
+namespace xsql {
+
+void UndoLog::Rollback(Database* db) {
+  for (auto it = actions_.rbegin(); it != actions_.rend(); ++it) {
+    (*it)(db);
+  }
+  actions_.clear();
+}
+
+}  // namespace xsql

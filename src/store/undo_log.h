@@ -1,0 +1,46 @@
+#ifndef XSQL_STORE_UNDO_LOG_H_
+#define XSQL_STORE_UNDO_LOG_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace xsql {
+
+class Database;
+
+/// A statement-scoped undo log: the inverse of every primitive mutation
+/// a statement performs, recorded *before* the mutation is applied
+/// (record-before-mutate). If the statement fails at any point —
+/// including an injected fault mid-operation — applying the log in
+/// reverse order restores the database to its pre-statement state.
+///
+/// Invariants (see docs/ROBUSTNESS.md):
+///  * entries are recorded before the corresponding mutation, so the log
+///    may contain inverses for mutations that never happened; every
+///    inverse therefore tolerates absent state (no-op when the forward
+///    mutation did not apply);
+///  * Rollback applies inverses strictly last-recorded-first, through
+///    raw store primitives that neither re-record undo entries nor hit
+///    fault-injection checks;
+///  * a log is single-use: Rollback clears it.
+class UndoLog {
+ public:
+  using Action = std::function<void(Database*)>;
+
+  void Record(Action action) { actions_.push_back(std::move(action)); }
+
+  /// Applies all recorded inverses in reverse order, then clears the log.
+  void Rollback(Database* db);
+
+  size_t size() const { return actions_.size(); }
+  bool empty() const { return actions_.empty(); }
+  void Clear() { actions_.clear(); }
+
+ private:
+  std::vector<Action> actions_;
+};
+
+}  // namespace xsql
+
+#endif  // XSQL_STORE_UNDO_LOG_H_

@@ -1,0 +1,266 @@
+// Execution guardrails: deadline, row/step budgets, cooperative
+// cancellation, the unified recursion-depth policy, and the path-var
+// length knob. Every tripped guard must report WHICH guard fired via
+// the machine-checkable `(guard: <name>)` marker and the dedicated
+// status codes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/exec_context.h"
+#include "eval/session.h"
+#include "workload/fig1_schema.h"
+#include "workload/generator.h"
+
+namespace xsql {
+namespace {
+
+Oid A(const char* s) { return Oid::Atom(s); }
+
+bool GuardIs(const Status& st, const char* name) {
+  return st.message().find(std::string("(guard: ") + name + ")") !=
+         std::string::npos;
+}
+
+TEST(GuardStatusTest, DedicatedCodesAndNames) {
+  Status re = Status::ResourceExhausted("x");
+  EXPECT_EQ(re.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(re.ToString(), "ResourceExhausted: x");
+  Status ca = Status::Cancelled("y");
+  EXPECT_EQ(ca.code(), StatusCode::kCancelled);
+  EXPECT_EQ(ca.ToString(), "Cancelled: y");
+}
+
+TEST(ExecutionContextTest, StepBudgetTripsAndReportsGuard) {
+  ExecLimits limits;
+  limits.max_steps = 5;
+  ExecutionContext ctx(limits);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(ctx.Step().ok());
+  Status st = ctx.Step();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(GuardIs(st, "step-budget")) << st.ToString();
+}
+
+TEST(ExecutionContextTest, RowBudgetTripsAndReportsGuard) {
+  ExecLimits limits;
+  limits.max_rows = 3;
+  ExecutionContext ctx(limits);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ctx.ChargeRow().ok());
+  Status st = ctx.ChargeRow();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(GuardIs(st, "row-budget")) << st.ToString();
+}
+
+TEST(ExecutionContextTest, ExpiredDeadlineFiresOnFirstStep) {
+  ExecLimits limits;
+  limits.deadline_ms = 1;
+  ExecutionContext ctx(limits);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Status st = ctx.Step();  // the first step polls the clock
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(GuardIs(st, "deadline")) << st.ToString();
+}
+
+TEST(ExecutionContextTest, RecursionDepthPolicyReportsActivity) {
+  ExecLimits limits;
+  limits.max_recursion_depth = 2;
+  ExecutionContext ctx(limits);
+  ASSERT_TRUE(ctx.EnterRecursion("outer").ok());
+  ASSERT_TRUE(ctx.EnterRecursion("middle").ok());
+  Status st = ctx.EnterRecursion("view expansion V");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(GuardIs(st, "recursion-depth")) << st.ToString();
+  EXPECT_NE(st.message().find("view expansion V"), std::string::npos);
+  ctx.LeaveRecursion();
+  ctx.LeaveRecursion();
+  EXPECT_EQ(ctx.recursion_depth(), 0u);
+}
+
+TEST(ExecutionContextTest, CancellationSharedAcrossThreads) {
+  auto token = std::make_shared<CancelToken>();
+  ExecutionContext ctx(ExecLimits{}, token);
+  ASSERT_TRUE(ctx.Step().ok());
+  std::thread canceller([token] { token->RequestCancel(); });
+  canceller.join();
+  Status st = ctx.Step();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(GuardIs(st, "cancellation")) << st.ToString();
+}
+
+class GuardrailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(workload::BuildFig1Schema(&db_).ok());
+    workload::WorkloadParams params;
+    params.companies = 3;
+    ASSERT_TRUE(workload::GenerateFig1Data(&db_, params).ok());
+  }
+
+  std::unique_ptr<Session> MakeSession(const ExecLimits& limits,
+                                       std::shared_ptr<CancelToken> cancel =
+                                           nullptr) {
+    SessionOptions options;
+    options.limits = limits;
+    options.cancel = std::move(cancel);
+    return std::make_unique<Session>(&db_, options);
+  }
+
+  Database db_;
+};
+
+TEST_F(GuardrailTest, RowBudgetExhaustedOnCrossProduct) {
+  ExecLimits limits;
+  limits.max_rows = 10;
+  auto session = MakeSession(limits);
+  auto rel = session->Query("SELECT X, Y FROM Person X, Person Y");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(GuardIs(rel.status(), "row-budget"))
+      << rel.status().ToString();
+  // The budget applies per statement: a cheap follow-up query succeeds.
+  auto cheap = session->Query("SELECT X FROM Company X WHERE X.Name");
+  EXPECT_TRUE(cheap.ok()) << cheap.status().ToString();
+}
+
+TEST_F(GuardrailTest, StepBudgetExhaustedMidEvaluation) {
+  ExecLimits limits;
+  limits.max_steps = 50;
+  auto session = MakeSession(limits);
+  auto rel = session->Query(
+      "SELECT X, Y FROM Person X, Person Y WHERE X.Age = Y.Age");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(GuardIs(rel.status(), "step-budget"))
+      << rel.status().ToString();
+}
+
+TEST_F(GuardrailTest, DeadlineExpiresMidPathWalk) {
+  ExecLimits limits;
+  limits.deadline_ms = 1;
+  auto session = MakeSession(limits);
+  // Three-way product over path predicates: far more than a
+  // millisecond of candidate probes, so the 16-step clock poll trips.
+  auto rel = session->Query(
+      "SELECT X, Y, Z FROM Person X, Person Y, Person Z "
+      "WHERE X.Residence.City = Y.Residence.City and "
+      "Y.Residence.City = Z.Residence.City");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(GuardIs(rel.status(), "deadline")) << rel.status().ToString();
+}
+
+TEST_F(GuardrailTest, PreCancelledStatementAborts) {
+  auto token = std::make_shared<CancelToken>();
+  token->RequestCancel();
+  auto session = MakeSession(ExecLimits{}, token);
+  auto rel = session->Query("SELECT X FROM Person X WHERE X.Name");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(GuardIs(rel.status(), "cancellation"))
+      << rel.status().ToString();
+  // Resetting the token re-enables the session.
+  token->Reset();
+  auto rel2 = session->Query("SELECT X FROM Person X WHERE X.Name");
+  EXPECT_TRUE(rel2.ok()) << rel2.status().ToString();
+}
+
+TEST_F(GuardrailTest, CancellationFromAnotherThread) {
+  auto token = std::make_shared<CancelToken>();
+  auto session = MakeSession(ExecLimits{}, token);
+  // A four-way cross product runs for a long time unless cancelled.
+  std::thread canceller([token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token->RequestCancel();
+  });
+  auto rel = session->Query(
+      "SELECT W, X, Y, Z FROM Person W, Person X, Person Y, Person Z");
+  canceller.join();
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(GuardIs(rel.status(), "cancellation"))
+      << rel.status().ToString();
+}
+
+TEST_F(GuardrailTest, MethodRecursionUsesConfiguredDepth) {
+  ExecLimits limits;
+  limits.max_recursion_depth = 4;
+  auto session = MakeSession(limits);
+  ASSERT_TRUE(db_.NewObject(A("loopco"), {A("Company")}).ok());
+  ASSERT_TRUE(session->Execute(
+      "ALTER CLASS Company ADD SIGNATURE Loop => Numeral "
+      "SELECT (Loop) = W FROM Company X OID X WHERE X.Loop[W]").ok());
+  auto rel = session->Query("SELECT W WHERE loopco.Loop[W]");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(GuardIs(rel.status(), "recursion-depth"))
+      << rel.status().ToString();
+  EXPECT_NE(rel.status().message().find("query method"), std::string::npos);
+}
+
+TEST_F(GuardrailTest, PathVarLengthIsAPolicyKnobNotAnError) {
+  ASSERT_TRUE(db_.NewObject(A("p1"), {A("Person")}).ok());
+  ASSERT_TRUE(db_.NewObject(A("p2"), {A("Person")}).ok());
+  ASSERT_TRUE(db_.NewObject(A("p3"), {A("Person")}).ok());
+  ASSERT_TRUE(db_.AddToSet(A("p1"), A("FamMembers"), A("p2")).ok());
+  ASSERT_TRUE(db_.AddToSet(A("p2"), A("FamMembers"), A("p3")).ok());
+  ASSERT_TRUE(
+      db_.SetScalar(A("p3"), A("Name"), Oid::String("zfar")).ok());
+  const char* query = "SELECT X FROM Person X WHERE X.*P.Name['zfar']";
+  ExecLimits deep;
+  deep.max_path_var_len = 3;
+  auto far = MakeSession(deep)->Query(query);
+  ASSERT_TRUE(far.ok()) << far.status().ToString();
+  ExecLimits shallow;
+  shallow.max_path_var_len = 1;
+  auto near = MakeSession(shallow)->Query(query);
+  ASSERT_TRUE(near.ok()) << near.status().ToString();
+  // Truncation is silent — shorter horizon, fewer matches, no error.
+  EXPECT_LT(near->size(), far->size());
+}
+
+TEST_F(GuardrailTest, ExplainAndTypeCheckAreNeverBudgetGated) {
+  ExecLimits strangling;
+  strangling.max_steps = 1;
+  strangling.max_rows = 1;
+  strangling.deadline_ms = 1;
+  auto token = std::make_shared<CancelToken>();
+  token->RequestCancel();
+  auto session = MakeSession(strangling, token);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const char* query =
+      "SELECT X, Y FROM Person X, Person Y WHERE X.Age = Y.Age";
+  auto explain = session->Explain(query);
+  EXPECT_TRUE(explain.ok()) << explain.status().ToString();
+  auto typing = session->TypeCheck(query, TypingMode::kStrict);
+  EXPECT_TRUE(typing.ok()) << typing.status().ToString();
+}
+
+TEST_F(GuardrailTest, TrippedBudgetLeavesNoPartialMutation) {
+  ExecLimits limits;
+  limits.max_steps = 5;
+  auto session = MakeSession(limits);
+  // A view materialization that exhausts the step budget mid-way must
+  // roll its created objects back (statement atomicity).
+  ASSERT_TRUE(session
+                  ->Execute("CREATE VIEW CoNames AS SUBCLASS OF Object "
+                            "SIGNATURE TheName => String "
+                            "SELECT TheName = X.Name FROM Company X "
+                            "OID FUNCTION OF X")
+                  .ok());
+  size_t objects_before = db_.objects().size();
+  // The id-term CoNames(X) forces implicit materialization mid-query.
+  auto rel = session->Query(
+      "SELECT X FROM Company X WHERE CoNames(X).TheName");
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(db_.objects().size(), objects_before);
+}
+
+}  // namespace
+}  // namespace xsql

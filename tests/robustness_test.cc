@@ -104,7 +104,7 @@ TEST_F(RobustnessTest, MethodRecursionLimit) {
       "SELECT (Loop) = W FROM Company X OID X WHERE X.Loop[W]").ok());
   auto rel = session_->Query("SELECT W WHERE c.Loop[W]");
   ASSERT_FALSE(rel.ok());
-  EXPECT_EQ(rel.status().code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(rel.status().code(), StatusCode::kResourceExhausted);
   EXPECT_NE(rel.status().message().find("recursion"), std::string::npos);
 }
 
