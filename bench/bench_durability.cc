@@ -1,0 +1,154 @@
+// Durability costs: what a per-statement WAL fsync adds to mutation
+// latency, what raw record appends cost, how recovery time scales with
+// WAL length, and what a checkpoint rotation costs. Companion numbers
+// live in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <string>
+
+#include "eval/session.h"
+#include "storage/file.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+#include "store/database.h"
+
+namespace xsql {
+namespace bench {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("xsql_bench_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// A durable database only ever holds statement-built state (recovery
+// replays statements), so benchmarks prime it through Execute.
+void Prime(storage::DurableDatabase* dd) {
+  const char* prelude[] = {
+      "ALTER CLASS Person ADD SIGNATURE Name => String",
+      "ALTER CLASS Person ADD SIGNATURE Salary => Numeral",
+      "UPDATE CLASS Person SET mary.Name = 'mary'",
+  };
+  for (const char* stmt : prelude) (void)dd->Execute(stmt);
+}
+
+const char kUpdate[] = "UPDATE CLASS Person SET mary.Salary = 100";
+
+// Baseline: the same statement through a plain in-memory session.
+void BM_UpdatePlain(benchmark::State& state) {
+  Database db;
+  Session session(&db);
+  (void)session.Execute("ALTER CLASS Person ADD SIGNATURE Name => String");
+  (void)session.Execute("ALTER CLASS Person ADD SIGNATURE Salary => Numeral");
+  (void)session.Execute("UPDATE CLASS Person SET mary.Name = 'mary'");
+  for (auto _ : state) {
+    auto out = session.Execute(kUpdate);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_UpdatePlain)->Unit(benchmark::kMicrosecond);
+
+// The durable path: statement + WAL append + fsync before the ack.
+void BM_UpdateDurable(benchmark::State& state) {
+  std::string dir = FreshDir("update_durable");
+  auto dd = storage::DurableDatabase::Open(dir);
+  if (!dd.ok()) {
+    state.SkipWithError(dd.status().ToString().c_str());
+    return;
+  }
+  Prime(dd->get());
+  for (auto _ : state) {
+    auto out = (*dd)->Execute(kUpdate);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+  }
+  state.counters["wal_bytes"] =
+      static_cast<double>((*dd)->wal_bytes());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_UpdateDurable)->Unit(benchmark::kMicrosecond);
+
+// Raw WAL record append + fsync, isolating the log from the executor.
+void BM_WalAppendRaw(benchmark::State& state) {
+  std::string dir = FreshDir("wal_raw");
+  (void)storage::File::EnsureDir(dir);
+  std::string path = dir + "/bench.wal";
+  (void)storage::Wal::Create(path);
+  auto wal = storage::Wal::OpenAppender(
+      path, sizeof(storage::Wal::kMagic) - 1);
+  if (!wal.ok()) {
+    state.SkipWithError(wal.status().ToString().c_str());
+    return;
+  }
+  const std::string payload(static_cast<size_t>(state.range(0)), 's');
+  for (auto _ : state) {
+    Status st = wal->Append(payload);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(payload.size() + storage::Wal::kRecordHeader));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WalAppendRaw)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+// Recovery latency against WAL length: open a directory whose log
+// holds `records` unreplayed statements.
+void BM_Recovery(benchmark::State& state) {
+  const int64_t records = state.range(0);
+  std::string dir =
+      FreshDir("recovery_" + std::to_string(records));
+  {
+    auto dd = storage::DurableDatabase::Open(dir);
+    if (!dd.ok()) {
+      state.SkipWithError(dd.status().ToString().c_str());
+      return;
+    }
+    Prime(dd->get());
+    for (int64_t i = 0; i < records; ++i) {
+      auto out = (*dd)->Execute(
+          "UPDATE CLASS Person SET mary.Salary = " + std::to_string(i));
+      if (!out.ok()) {
+        state.SkipWithError(out.status().ToString().c_str());
+        return;
+      }
+    }
+  }
+  for (auto _ : state) {
+    auto dd = storage::DurableDatabase::Open(dir);
+    if (!dd.ok()) state.SkipWithError(dd.status().ToString().c_str());
+    benchmark::DoNotOptimize(dd);
+  }
+  state.counters["replayed"] = static_cast<double>(records);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_Recovery)
+    ->Arg(0)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// A checkpoint rotation (write snapshot + DDL log + WAL, flip
+// CURRENT). Each iteration rotates to a fresh generation.
+void BM_Checkpoint(benchmark::State& state) {
+  std::string dir = FreshDir("checkpoint");
+  auto dd = storage::DurableDatabase::Open(dir);
+  if (!dd.ok()) {
+    state.SkipWithError(dd.status().ToString().c_str());
+    return;
+  }
+  Prime(dd->get());
+  for (auto _ : state) {
+    Status st = (*dd)->Checkpoint();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_Checkpoint)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xsql

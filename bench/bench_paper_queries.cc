@@ -4,7 +4,10 @@
 // with the data they touch, not with the whole database.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "bench_util.h"
+#include "storage/recovery.h"
 
 namespace xsql {
 namespace bench {
@@ -94,6 +97,53 @@ void BM_PaperQueryGuarded(benchmark::State& state) {
 BENCHMARK(BM_PaperQueryGuarded)
     ->Apply(PaperQueryArgs)
     ->Unit(benchmark::kMicrosecond);
+
+// The workload's mutation statement in memory, as a baseline for the
+// durable variant below: their gap is the price of a checksummed WAL
+// append + fsync per acknowledged statement (see bench_durability for
+// the decomposition, EXPERIMENTS.md for recorded numbers).
+void BM_PaperMutation(benchmark::State& state) {
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto out = scaled.session->Execute(
+        "UPDATE CLASS Division SET div0_0.Function = 'ops'");
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+  }
+}
+BENCHMARK(BM_PaperMutation)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+// The same statement through a durable session: every iteration
+// appends one WAL record and fsyncs it before the ack.
+void BM_PaperMutationDurable(benchmark::State& state) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "xsql_bench_paper_mutation")
+                        .string();
+  std::filesystem::remove_all(dir);
+  auto dd = storage::DurableDatabase::Open(dir);
+  if (!dd.ok()) {
+    state.SkipWithError(dd.status().ToString().c_str());
+    return;
+  }
+  auto prime = (*dd)->Execute(
+      "ALTER CLASS Division ADD SIGNATURE Function => String");
+  if (!prime.ok()) {
+    state.SkipWithError(prime.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto out = (*dd)->Execute(
+        "UPDATE CLASS Division SET div0_0.Function = 'ops'");
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      return;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_PaperMutationDurable)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 }  // namespace bench

@@ -12,6 +12,11 @@ run_suite() {
   cmake -B "$dir" -S . "$@"
   cmake --build "$dir" -j "$JOBS"
   ctest --test-dir "$dir" -j "$JOBS" --output-on-failure
+  # The crash-recovery suite again, serially and by name: the crash
+  # injector is process-global state, so this run proves the durability
+  # properties hold without test-level parallelism in the mix.
+  echo "==> crash-recovery suite ($dir)"
+  ctest --test-dir "$dir" -L durability --output-on-failure
 }
 
 if [[ "$MODE" != "--sanitize-only" ]]; then

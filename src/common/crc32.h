@@ -1,0 +1,20 @@
+#ifndef XSQL_COMMON_CRC32_H_
+#define XSQL_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace xsql {
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial 0xEDB88320), table-driven.
+/// Used by the write-ahead log to detect torn or corrupted records.
+uint32_t Crc32(const void* data, size_t len);
+
+inline uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+}  // namespace xsql
+
+#endif  // XSQL_COMMON_CRC32_H_

@@ -43,14 +43,64 @@ void FaultInjector::ArmRandom(Domain domain, uint64_t seed,
   armed_.store(true, std::memory_order_relaxed);
 }
 
+void FaultInjector::ArmCrashAtByte(uint64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_budget_ = k;
+  crash_consumed_ = 0;
+  crashed_.store(false, std::memory_order_relaxed);
+  crash_armed_.store(true, std::memory_order_relaxed);
+}
+
 void FaultInjector::Disarm() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.store(false, std::memory_order_relaxed);
   fail_at_ = 0;
   permille_ = 0;
-  counts_[0] = counts_[1] = 0;
+  counts_[0] = counts_[1] = counts_[2] = 0;
   fired_ = false;
   fired_site_.clear();
+  crash_armed_.store(false, std::memory_order_relaxed);
+  crashed_.store(false, std::memory_order_relaxed);
+  crash_budget_ = 0;
+  crash_consumed_ = 0;
+}
+
+bool FaultInjector::crash_armed() const {
+  return crash_armed_.load(std::memory_order_relaxed);
+}
+
+bool FaultInjector::crashed() const {
+  return crashed_.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::crash_units_consumed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_consumed_;
+}
+
+uint64_t FaultInjector::ConsumePersistBudget(uint64_t want) {
+  if (!crash_armed_.load(std::memory_order_relaxed)) return want;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_.load(std::memory_order_relaxed)) return 0;
+  if (want < crash_budget_) {
+    crash_budget_ -= want;
+    crash_consumed_ += want;
+    return want;
+  }
+  // The crash point falls inside (or exactly at the end of) this
+  // operation: grant the torn prefix and die.
+  uint64_t allowed = crash_budget_;
+  crash_consumed_ += allowed;
+  crash_budget_ = 0;
+  crashed_.store(true, std::memory_order_relaxed);
+  fired_ = true;
+  fired_site_ = "io-crash";
+  return allowed;
+}
+
+Status FaultInjector::CrashedStatus(const char* site) {
+  return Status::RuntimeError("simulated crash (io) at " +
+                              std::string(site));
 }
 
 bool FaultInjector::fired() const {

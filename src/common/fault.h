@@ -23,17 +23,30 @@ namespace xsql {
 ///  * `ArmRandom(domain, seed, permille)` — each check fails with the
 ///    given per-mille probability from a seeded deterministic stream.
 ///
-/// Two domains exist so a test can target the storage layer without
-/// also tripping the evaluator's guard checks (and vice versa):
+/// Three domains exist so a test can target one layer without also
+/// tripping the others:
 ///  * `kMutation` — every `Database` mutator entry plus selected
 ///    mid-operation points (partial-state hazards);
-///  * `kGuard` — every `ExecutionContext` budget/deadline check.
+///  * `kGuard` — every `ExecutionContext` budget/deadline check;
+///  * `kIo` — every durable-I/O operation in `storage::File` (open,
+///    sync, rename); an injected failure there models a short write or
+///    a failed fsync that the process survives.
+///
+/// Orthogonal to the per-check schedules, `ArmCrashAtByte(k)` simulates
+/// a *process kill* at an exact point in the durable-I/O byte stream:
+/// the next `k` persistence units (one unit per byte fsynced, one per
+/// metadata operation such as rename) succeed, the unit after that is
+/// cut short, and from then on every `storage::File` operation fails
+/// with "simulated crash" — nothing further reaches disk, exactly as if
+/// the process had died. Sweeping k over 1,2,3,... drives a crash
+/// through every byte boundary of a durable operation; tests then
+/// reopen the on-disk state to prove recovery.
 ///
 /// The injector is a process-wide singleton (tests own the process);
 /// state is mutex-guarded once armed.
 class FaultInjector {
  public:
-  enum class Domain { kMutation = 0, kGuard = 1 };
+  enum class Domain { kMutation = 0, kGuard = 1, kIo = 2 };
 
   static FaultInjector& Global();
 
@@ -43,6 +56,11 @@ class FaultInjector {
   /// Arms seeded probabilistic failure: each Check in `domain` fails
   /// with probability `permille`/1000.
   void ArmRandom(Domain domain, uint64_t seed, uint32_t permille);
+
+  /// Arms the simulated process kill: after `k` further persistence
+  /// units (bytes fsynced / metadata ops) the crash fires. Coexists
+  /// with the per-check schedules; `Disarm` clears both.
+  void ArmCrashAtByte(uint64_t k);
 
   /// Disarms and resets counters/fired state.
   void Disarm();
@@ -63,6 +81,29 @@ class FaultInjector {
   /// cost: one relaxed atomic load.
   Status Check(Domain domain, const char* site);
 
+  // ---- Crash simulation (storage::File is the only caller) ----------
+
+  /// Whether ArmCrashAtByte is in effect (crashed or not).
+  bool crash_armed() const;
+
+  /// Whether the simulated kill has fired: the process is "dead" and
+  /// every subsequent durable-I/O operation must fail without effect.
+  bool crashed() const;
+
+  /// Persistence units consumed since ArmCrashAtByte (or process start
+  /// when unarmed). Running a scenario once with a huge budget yields
+  /// its total unit count, which bounds the sweep.
+  uint64_t crash_units_consumed() const;
+
+  /// Asks permission to persist `want` units. Returns how many may
+  /// reach disk: `want` normally; fewer (the torn prefix) when the
+  /// crash point falls inside this operation, marking the process
+  /// crashed; 0 once crashed. Unarmed, always grants `want`.
+  uint64_t ConsumePersistBudget(uint64_t want);
+
+  /// The status every File operation returns once crashed.
+  static Status CrashedStatus(const char* site);
+
  private:
   FaultInjector() = default;
 
@@ -73,9 +114,16 @@ class FaultInjector {
   uint64_t fail_at_ = 0;       // ArmNth target
   uint64_t rng_state_ = 0;     // ArmRandom stream
   uint32_t permille_ = 0;
-  uint64_t counts_[2] = {0, 0};
+  uint64_t counts_[3] = {0, 0, 0};
   bool fired_ = false;
   std::string fired_site_;
+
+  // Crash-at-byte state. `crash_armed_` is its own atomic so the
+  // disarmed fast path of ConsumePersistBudget stays lock-free.
+  std::atomic<bool> crash_armed_{false};
+  std::atomic<bool> crashed_{false};
+  uint64_t crash_budget_ = 0;
+  uint64_t crash_consumed_ = 0;
 };
 
 }  // namespace xsql

@@ -47,6 +47,13 @@ class ViewManager : public ViewResolver {
   /// its signatures, and registers the defining query.
   Status Create(const CreateViewStmt& stmt);
 
+  /// Unregisters a view definition. The database-side state (the view
+  /// class, signatures, any materialized objects) is *not* touched —
+  /// callers that need it gone roll it back through the undo log. Used
+  /// by the durability layer when a CREATE VIEW executed in memory but
+  /// its WAL record could not be made durable.
+  void Drop(const std::string& name) { views_.erase(name); }
+
   bool IsView(const std::string& fn) const override {
     return views_.contains(fn);
   }

@@ -1,0 +1,261 @@
+#include "storage/file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/fault.h"
+
+namespace xsql {
+namespace storage {
+
+namespace {
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::RuntimeError(what + " " + path + ": " +
+                              std::strerror(errno));
+}
+
+std::string ParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+// Writes all of `data` to `fd`, looping over partial writes.
+Status WriteFully(int fd, const char* data, size_t len,
+                  const std::string& path) {
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::write(fd, data + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+// Fsyncs the directory containing `path` so a just-renamed entry is
+// durable. Consumes no budget of its own: it is part of the rename (or
+// the atomic-write) metadata unit.
+Status SyncParentDir(const std::string& path) {
+  std::string dir = ParentDir(path);
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoError("open dir", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoError("fsync dir", dir);
+  return Status::OK();
+}
+
+}  // namespace
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      buffer_(std::move(other.buffer_)),
+      synced_bytes_(other.synced_bytes_) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    synced_bytes_ = other.synced_bytes_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+File::~File() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<File> File::Create(const std::string& path) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.crashed()) return FaultInjector::CrashedStatus("File::Create");
+  XSQL_RETURN_IF_ERROR(fi.Check(FaultInjector::Domain::kIo, "io-create"));
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoError("create", path);
+  return File(fd, path);
+}
+
+Result<File> File::OpenAppend(const std::string& path) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.crashed()) return FaultInjector::CrashedStatus("File::OpenAppend");
+  XSQL_RETURN_IF_ERROR(fi.Check(FaultInjector::Domain::kIo, "io-open-append"));
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("cannot open " + path);
+    return ErrnoError("open append", path);
+  }
+  return File(fd, path);
+}
+
+Status File::Write(const std::string& data) {
+  if (fd_ < 0) return Status::RuntimeError("write on closed file " + path_);
+  if (FaultInjector::Global().crashed()) {
+    return FaultInjector::CrashedStatus("File::Write");
+  }
+  buffer_.append(data);
+  return Status::OK();
+}
+
+Status File::Sync() {
+  if (fd_ < 0) return Status::RuntimeError("sync on closed file " + path_);
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.crashed()) return FaultInjector::CrashedStatus("File::Sync");
+  Status injected = fi.Check(FaultInjector::Domain::kIo, "io-sync");
+  if (!injected.ok()) {
+    // Transient fault: model a short write — half the pending bytes
+    // land, no fsync, the buffer stays pending. The caller owns repair.
+    size_t half = buffer_.size() / 2;
+    (void)WriteFully(fd_, buffer_.data(), half, path_);
+    return injected;
+  }
+  uint64_t allowed = fi.ConsumePersistBudget(buffer_.size());
+  if (allowed < buffer_.size() || (fi.crash_armed() && fi.crashed())) {
+    // Crash mid-sync: the granted torn prefix reaches the file (and is
+    // treated as durable — the sweep relies on exact byte placement),
+    // then the process is dead.
+    (void)WriteFully(fd_, buffer_.data(), static_cast<size_t>(allowed),
+                     path_);
+    (void)::fsync(fd_);
+    if (allowed == buffer_.size()) {
+      // Boundary case: every byte persisted, then the process died
+      // before acknowledging. Account them as synced.
+      synced_bytes_ += allowed;
+      buffer_.clear();
+    }
+    return FaultInjector::CrashedStatus("File::Sync");
+  }
+  XSQL_RETURN_IF_ERROR(WriteFully(fd_, buffer_.data(), buffer_.size(),
+                                  path_));
+  if (::fsync(fd_) != 0) return ErrnoError("fsync", path_);
+  synced_bytes_ += buffer_.size();
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status File::Close() {
+  if (fd_ < 0) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+  if (rc != 0) return ErrnoError("close", path_);
+  return Status::OK();
+}
+
+Result<std::string> File::ReadAll(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("cannot open " + path);
+    return ErrnoError("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoError("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status File::WriteAtomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  auto cleanup = [&tmp]() {
+    if (!FaultInjector::Global().crashed()) (void)::unlink(tmp.c_str());
+  };
+  Result<File> file = Create(tmp);
+  if (!file.ok()) {
+    cleanup();
+    return file.status();
+  }
+  Status st = file->Write(data);
+  if (st.ok()) st = file->Sync();
+  if (st.ok()) st = file->Close();
+  if (st.ok()) st = Rename(tmp, path);
+  if (!st.ok()) cleanup();
+  return st;
+}
+
+Status File::Rename(const std::string& from, const std::string& to) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.crashed()) return FaultInjector::CrashedStatus("File::Rename");
+  XSQL_RETURN_IF_ERROR(fi.Check(FaultInjector::Domain::kIo, "io-rename"));
+  if (fi.ConsumePersistBudget(1) < 1) {
+    // Crash on the metadata unit: the rename never happened.
+    return FaultInjector::CrashedStatus("File::Rename");
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoError("rename " + from + " ->", to);
+  }
+  return SyncParentDir(to);
+}
+
+Status File::Truncate(const std::string& path, uint64_t size) {
+  FaultInjector& fi = FaultInjector::Global();
+  if (fi.crashed()) return FaultInjector::CrashedStatus("File::Truncate");
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return ErrnoError("truncate", path);
+  }
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return ErrnoError("open", path);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoError("fsync", path);
+  return Status::OK();
+}
+
+bool File::Exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<uint64_t> File::Size(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file " + path);
+    return ErrnoError("stat", path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Status File::Remove(const std::string& path) {
+  if (FaultInjector::Global().crashed()) {
+    return FaultInjector::CrashedStatus("File::Remove");
+  }
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoError("unlink", path);
+  }
+  return Status::OK();
+}
+
+Status File::EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoError("mkdir", dir);
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace xsql

@@ -1,0 +1,110 @@
+#ifndef XSQL_STORAGE_FILE_H_
+#define XSQL_STORAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace xsql {
+namespace storage {
+
+/// The single gateway for durable file I/O. Every byte the durability
+/// layer writes — snapshots, WAL records, the CURRENT pointer — goes
+/// through this class, which is what lets `FaultInjector`'s `kIo`
+/// domain inject the three storage failure modes deterministically:
+///
+///  * transient faults (`ArmNth`/`ArmRandom` on `Domain::kIo`): the
+///    n-th I/O operation fails and the process lives. A failed Sync
+///    models a short write — half the pending bytes reach the file
+///    before the error — so callers must repair (truncate) or abandon
+///    (temp file) the partial state;
+///  * simulated crash (`ArmCrashAtByte(k)`): writes are buffered in
+///    user space and only reach the file during `Sync`, which charges
+///    the byte count against the crash budget. When the budget runs
+///    out mid-sync, only the granted prefix lands (a torn write) and
+///    from then on every File operation fails without touching disk —
+///    the moral equivalent of `kill -9` plus loss of the page cache.
+///    Metadata operations (`Rename`, `Sync` of a directory) charge one
+///    unit each, so a crash can also land *between* file operations.
+///
+/// Unsynced buffered data is deliberately dropped on Close: durability
+/// is only ever claimed for bytes that survived a `Sync`.
+class File {
+ public:
+  /// An empty (closed) handle, so File can travel through Result<>.
+  File() = default;
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  ~File();
+
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// Creates/truncates `path` for writing.
+  static Result<File> Create(const std::string& path);
+
+  /// Opens `path` for appending (must exist).
+  static Result<File> OpenAppend(const std::string& path);
+
+  /// Buffers `data`; nothing reaches the file until Sync.
+  Status Write(const std::string& data);
+
+  /// Flushes the buffer to the file and fsyncs. All injection happens
+  /// here: a transient fault writes half the buffer and errors; a
+  /// crash writes the budget-granted prefix and errors.
+  Status Sync();
+
+  /// Closes the descriptor, dropping any unsynced buffered bytes.
+  Status Close();
+
+  /// Bytes successfully synced through this handle.
+  uint64_t synced_bytes() const { return synced_bytes_; }
+
+  // ---- Whole-file and metadata helpers ------------------------------
+
+  /// Reads the full contents. NotFound when the file does not exist;
+  /// RuntimeError (with errno detail) for any other failure, including
+  /// unreadable files and directories.
+  static Result<std::string> ReadAll(const std::string& path);
+
+  /// Crash-safe whole-file replacement: write `path`.tmp, Sync, rename
+  /// over `path`, fsync the parent directory. A crash at any byte
+  /// leaves either the old complete file or the new complete file.
+  static Status WriteAtomic(const std::string& path,
+                            const std::string& data);
+
+  /// Atomically renames `from` onto `to` and fsyncs the parent
+  /// directory (one metadata unit against the crash budget).
+  static Status Rename(const std::string& from, const std::string& to);
+
+  /// Truncates `path` to `size` bytes and fsyncs. Used to repair a
+  /// torn tail; only the crashed check applies (no transient fault, so
+  /// the repair path itself stays reliable under Nth sweeps).
+  static Status Truncate(const std::string& path, uint64_t size);
+
+  static bool Exists(const std::string& path);
+  static Result<uint64_t> Size(const std::string& path);
+
+  /// Best-effort delete; fails only when crashed (a dead process
+  /// removes nothing).
+  static Status Remove(const std::string& path);
+
+  /// Creates `dir` if missing (single level).
+  static Status EnsureDir(const std::string& dir);
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  std::string buffer_;
+  uint64_t synced_bytes_ = 0;
+};
+
+}  // namespace storage
+}  // namespace xsql
+
+#endif  // XSQL_STORAGE_FILE_H_

@@ -1,0 +1,256 @@
+#include "storage/recovery.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/fault.h"
+#include "parser/parser.h"
+#include "storage/file.h"
+#include "storage/snapshot.h"
+
+namespace xsql {
+namespace storage {
+
+namespace {
+
+/// How a statement interacts with the durability layer: definition
+/// statements install state (view definitions, query-defined method
+/// bodies) that snapshots cannot carry, so they are carried forward in
+/// the per-generation DDL log and replayed on open.
+struct StatementClass {
+  bool is_definition = false;
+  bool is_create_view = false;
+  std::string view_name;
+};
+
+StatementClass Classify(const std::string& text, const Database& db) {
+  StatementClass out;
+  Result<Statement> parsed = ParseAndResolve(text, db);
+  if (!parsed.ok()) return out;  // unparseable cannot execute either
+  switch (parsed->kind) {
+    case Statement::Kind::kCreateView:
+      out.is_definition = true;
+      out.is_create_view = true;
+      out.view_name = parsed->create_view->name.str();
+      break;
+    case Statement::Kind::kAlterClass:
+      // Plain ADD SIGNATURE is fully captured by the snapshot's SIG
+      // section; only a method-defining SELECT needs DDL replay.
+      out.is_definition = parsed->alter_class->method_def.has_value();
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+Status WedgedStatus() {
+  return Status::RuntimeError(
+      "durable database crashed; reopen the directory to recover");
+}
+
+}  // namespace
+
+std::string DurableDatabase::CurrentPath(const std::string& dir) {
+  return dir + "/CURRENT";
+}
+std::string DurableDatabase::SnapshotPath(const std::string& dir,
+                                          uint64_t gen) {
+  return dir + "/snapshot-" + std::to_string(gen) + ".db";
+}
+std::string DurableDatabase::DdlPath(const std::string& dir, uint64_t gen) {
+  return dir + "/ddl-" + std::to_string(gen) + ".log";
+}
+std::string DurableDatabase::WalPath(const std::string& dir, uint64_t gen) {
+  return dir + "/wal-" + std::to_string(gen) + ".log";
+}
+
+Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
+    const std::string& dir, DurableOptions options) {
+  std::unique_ptr<DurableDatabase> db(
+      new DurableDatabase(dir, std::move(options)));
+  XSQL_RETURN_IF_ERROR(db->Recover());
+  return db;
+}
+
+Status DurableDatabase::InitializeFreshDir() {
+  // Generation 1 of an empty database. CURRENT is written last: a
+  // crash mid-initialization leaves stray generation files that the
+  // next open simply overwrites.
+  Database fresh;
+  XSQL_RETURN_IF_ERROR(
+      File::WriteAtomic(SnapshotPath(dir_, 1), SaveSnapshot(fresh)));
+  XSQL_RETURN_IF_ERROR(File::WriteAtomic(DdlPath(dir_, 1), Wal::kMagic));
+  XSQL_RETURN_IF_ERROR(File::WriteAtomic(WalPath(dir_, 1), Wal::kMagic));
+  return File::WriteAtomic(CurrentPath(dir_), "1\n");
+}
+
+Status DurableDatabase::Recover() {
+  XSQL_RETURN_IF_ERROR(File::EnsureDir(dir_));
+  if (!File::Exists(CurrentPath(dir_))) {
+    XSQL_RETURN_IF_ERROR(InitializeFreshDir());
+  }
+  XSQL_ASSIGN_OR_RETURN(std::string current,
+                        File::ReadAll(CurrentPath(dir_)));
+  errno = 0;
+  char* stop = nullptr;
+  uint64_t gen = std::strtoull(current.c_str(), &stop, 10);
+  if (errno != 0 || stop == current.c_str() || gen == 0) {
+    return Status::InvalidArgument("corrupt CURRENT file in " + dir_ +
+                                   ": '" + current + "'");
+  }
+
+  db_ = std::make_unique<Database>();
+  XSQL_ASSIGN_OR_RETURN(std::string snapshot,
+                        File::ReadAll(SnapshotPath(dir_, gen)));
+  XSQL_RETURN_IF_ERROR(LoadSnapshot(snapshot, db_.get()));
+  session_ = std::make_unique<Session>(db_.get(), options_.session);
+
+  // Re-install view definitions and query-defined method bodies: the
+  // snapshot holds their *data* (classes, signatures, materialized
+  // objects) but not their executable definitions.
+  XSQL_ASSIGN_OR_RETURN(Wal::Scan ddl, Wal::ScanFile(DdlPath(dir_, gen)));
+  if (ddl.torn) {
+    // The DDL log is replaced atomically at checkpoint, never appended
+    // to, so a torn tail means real corruption, not a crash artifact.
+    return Status::InvalidArgument("corrupt DDL log " + DdlPath(dir_, gen) +
+                                   ": " + ddl.torn_detail);
+  }
+  for (size_t i = 0; i < ddl.records.size(); ++i) {
+    Result<EvalOutput> replay = session_->Execute(ddl.records[i]);
+    if (!replay.ok()) {
+      return Status::InvalidArgument(
+          "DDL replay failed at record " + std::to_string(i) + " ('" +
+          ddl.records[i] + "'): " + replay.status().ToString());
+    }
+    ddl_statements_.push_back(ddl.records[i]);
+  }
+
+  // Replay the WAL tail; a torn last record (crash mid-append) is
+  // truncated away — it was never acknowledged.
+  XSQL_ASSIGN_OR_RETURN(Wal::Scan scan, Wal::ScanFile(WalPath(dir_, gen)));
+  recovered_torn_tail_ = scan.torn;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    const std::string& stmt = scan.records[i];
+    StatementClass cls = Classify(stmt, *db_);
+    Result<EvalOutput> replay = session_->Execute(stmt);
+    if (!replay.ok()) {
+      return Status::InvalidArgument(
+          "WAL replay failed at record " + std::to_string(i) + " ('" +
+          stmt + "'): " + replay.status().ToString());
+    }
+    if (cls.is_definition) ddl_statements_.push_back(stmt);
+  }
+  replayed_statements_ = scan.records.size();
+
+  XSQL_ASSIGN_OR_RETURN(Wal appender,
+                        Wal::OpenAppender(WalPath(dir_, gen),
+                                          scan.valid_size));
+  wal_ = std::make_unique<Wal>(std::move(appender));
+  generation_ = gen;
+  return Status::OK();
+}
+
+Result<EvalOutput> DurableDatabase::Execute(const std::string& text) {
+  if (wedged_) return WedgedStatus();
+  StatementClass cls = Classify(text, *db_);
+  const bool view_existed =
+      cls.is_create_view && session_->views().IsView(cls.view_name);
+
+  // Run the statement atomically in memory, holding the undo log open
+  // past Session::Execute so the effect can still be withdrawn if the
+  // WAL append fails: acknowledged ⇒ durable, failed ⇒ no trace.
+  const uint64_t version_before = db_->version();
+  UndoLog undo;
+  db_->BeginUndo(&undo);
+  Result<EvalOutput> out = session_->Execute(text);
+  db_->EndUndo();
+  auto withdraw = [&]() {
+    db_->Rollback(&undo);
+    if (cls.is_create_view && !view_existed) {
+      session_->views().Drop(cls.view_name);
+    }
+  };
+  if (!out.ok()) {
+    withdraw();
+    return out;
+  }
+  if (db_->version() == version_before) return out;  // read-only
+
+  Status append = wal_->Append(text);
+  if (!append.ok()) {
+    withdraw();
+    if (FaultInjector::Global().crashed()) wedged_ = true;
+    return append;
+  }
+  ++records_since_checkpoint_;
+  if (cls.is_definition) ddl_statements_.push_back(text);
+
+  if (options_.checkpoint_every != 0 &&
+      records_since_checkpoint_ >= options_.checkpoint_every) {
+    // The statement is already durable in the current generation; a
+    // failed rotation only matters if the process died.
+    Status rotated = Checkpoint();
+    (void)rotated;
+  }
+  return out;
+}
+
+Result<Relation> DurableDatabase::Query(const std::string& text) {
+  XSQL_ASSIGN_OR_RETURN(EvalOutput out, Execute(text));
+  return std::move(out.relation);
+}
+
+Status DurableDatabase::Checkpoint() {
+  if (wedged_) return WedgedStatus();
+  const uint64_t next = generation_ + 1;
+  auto fail = [&](Status st) {
+    if (FaultInjector::Global().crashed()) {
+      wedged_ = true;
+    } else {
+      // The rotation never committed; drop the half-built generation.
+      (void)File::Remove(SnapshotPath(dir_, next));
+      (void)File::Remove(DdlPath(dir_, next));
+      (void)File::Remove(WalPath(dir_, next));
+    }
+    return st;
+  };
+
+  Status st = File::WriteAtomic(SnapshotPath(dir_, next),
+                                SaveSnapshot(*db_));
+  if (!st.ok()) return fail(std::move(st));
+  std::string ddl(Wal::kMagic);
+  for (const std::string& stmt : ddl_statements_) {
+    ddl += Wal::EncodeRecord(stmt);
+  }
+  st = File::WriteAtomic(DdlPath(dir_, next), ddl);
+  if (!st.ok()) return fail(std::move(st));
+  st = File::WriteAtomic(WalPath(dir_, next), Wal::kMagic);
+  if (!st.ok()) return fail(std::move(st));
+  // The commit point: flipping CURRENT atomically adopts the new
+  // generation. Before this rename, recovery uses the old files (all
+  // untouched); after it, the new ones.
+  st = File::WriteAtomic(CurrentPath(dir_), std::to_string(next) + "\n");
+  if (!st.ok()) return fail(std::move(st));
+
+  const uint64_t old = generation_;
+  generation_ = next;
+  records_since_checkpoint_ = 0;
+  Result<Wal> appender =
+      Wal::OpenAppender(WalPath(dir_, next), sizeof(Wal::kMagic) - 1);
+  if (!appender.ok()) {
+    // Rotation committed but the appender could not bind; state on
+    // disk is consistent, so force a reopen rather than limp on.
+    wedged_ = true;
+    return appender.status();
+  }
+  wal_ = std::make_unique<Wal>(std::move(*appender));
+  // Best-effort cleanup; stray old-generation files are harmless.
+  (void)File::Remove(SnapshotPath(dir_, old));
+  (void)File::Remove(DdlPath(dir_, old));
+  (void)File::Remove(WalPath(dir_, old));
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace xsql

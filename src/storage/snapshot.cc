@@ -6,8 +6,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
+
+#include "storage/file.h"
 
 namespace xsql {
 namespace storage {
@@ -317,6 +318,17 @@ class LineCursor {
     return line_.substr(start, pos_ - start);
   }
 
+  /// A record must consume its whole line: trailing garbage would load
+  /// "successfully" while silently dropping data, so reject it.
+  Status ExpectEnd() {
+    SkipSpace();
+    if (pos_ < line_.size()) {
+      return Malformed("trailing garbage '" + line_.substr(pos_) + "'",
+                       pos_);
+    }
+    return Status::OK();
+  }
+
  private:
   void SkipSpace() {
     while (pos_ < line_.size() && line_[pos_] == ' ') ++pos_;
@@ -325,6 +337,81 @@ class LineCursor {
   std::string line_;
   size_t pos_ = 0;
 };
+
+}  // namespace
+
+namespace {
+
+/// Parses and applies one snapshot record line (sans the leading record
+/// word). Every error is InvalidArgument; the caller stamps the line
+/// number on.
+Status ApplyLine(const std::string& record, LineCursor* cursor,
+                 Database* db) {
+  if (record == "CLASS") {
+    XSQL_ASSIGN_OR_RETURN(Oid cls, cursor->NextOid());
+    XSQL_RETURN_IF_ERROR(cursor->ExpectEnd());
+    return db->mutable_graph().DeclareClass(cls);
+  }
+  if (record == "ISA") {
+    XSQL_ASSIGN_OR_RETURN(Oid sub, cursor->NextOid());
+    XSQL_ASSIGN_OR_RETURN(Oid super, cursor->NextOid());
+    XSQL_RETURN_IF_ERROR(cursor->ExpectEnd());
+    return db->mutable_graph().AddSubclass(sub, super);
+  }
+  if (record == "SIG") {
+    XSQL_ASSIGN_OR_RETURN(Oid cls, cursor->NextOid());
+    Signature sig;
+    XSQL_ASSIGN_OR_RETURN(sig.method, cursor->NextOid());
+    XSQL_ASSIGN_OR_RETURN(int64_t argc, cursor->NextCount());
+    if (argc < 0) return Malformed("negative SIG arity", 0);
+    for (int64_t i = 0; i < argc; ++i) {
+      XSQL_ASSIGN_OR_RETURN(Oid arg, cursor->NextOid());
+      sig.args.push_back(std::move(arg));
+    }
+    XSQL_ASSIGN_OR_RETURN(sig.result, cursor->NextOid());
+    XSQL_ASSIGN_OR_RETURN(std::string kind, cursor->NextWord());
+    if (kind != "set" && kind != "scalar") {
+      return Malformed("bad SIG kind '" + kind + "'", 0);
+    }
+    sig.set_valued = kind == "set";
+    XSQL_RETURN_IF_ERROR(cursor->ExpectEnd());
+    return db->DeclareSignature(cls, std::move(sig));
+  }
+  if (record == "INST") {
+    XSQL_ASSIGN_OR_RETURN(Oid obj, cursor->NextOid());
+    XSQL_ASSIGN_OR_RETURN(Oid cls, cursor->NextOid());
+    XSQL_RETURN_IF_ERROR(cursor->ExpectEnd());
+    return db->mutable_graph().AddInstance(obj, cls);
+  }
+  if (record == "OBJ") {
+    XSQL_ASSIGN_OR_RETURN(Oid oid, cursor->NextOid());
+    XSQL_RETURN_IF_ERROR(cursor->ExpectEnd());
+    return db->NewObject(oid, {});
+  }
+  if (record == "ATTR") {
+    XSQL_ASSIGN_OR_RETURN(Oid oid, cursor->NextOid());
+    XSQL_ASSIGN_OR_RETURN(Oid attr, cursor->NextOid());
+    XSQL_ASSIGN_OR_RETURN(std::string kind, cursor->NextWord());
+    if (kind == "scalar") {
+      XSQL_ASSIGN_OR_RETURN(Oid value, cursor->NextOid());
+      XSQL_RETURN_IF_ERROR(cursor->ExpectEnd());
+      return db->SetScalar(oid, attr, value);
+    }
+    if (kind == "set") {
+      XSQL_ASSIGN_OR_RETURN(int64_t count, cursor->NextCount());
+      if (count < 0) return Malformed("negative set count", 0);
+      OidSet values;
+      for (int64_t i = 0; i < count; ++i) {
+        XSQL_ASSIGN_OR_RETURN(Oid value, cursor->NextOid());
+        values.Insert(value);
+      }
+      XSQL_RETURN_IF_ERROR(cursor->ExpectEnd());
+      return db->SetSet(oid, attr, std::move(values));
+    }
+    return Malformed("bad ATTR kind '" + kind + "'", 0);
+  }
+  return Malformed("unknown record '" + record + "'", 0);
+}
 
 }  // namespace
 
@@ -340,79 +427,33 @@ Status LoadSnapshot(const std::string& text, Database* db) {
     if (line.empty()) continue;
     size_t space = line.find(' ');
     if (space == std::string::npos) {
-      return Malformed("record without payload (line " +
+      return Malformed("record '" + line + "' without payload (line " +
                        std::to_string(line_no) + ")", 0);
     }
     std::string record = line.substr(0, space);
     LineCursor cursor(line.substr(space + 1));
-    if (record == "CLASS") {
-      XSQL_ASSIGN_OR_RETURN(Oid cls, cursor.NextOid());
-      XSQL_RETURN_IF_ERROR(db->mutable_graph().DeclareClass(cls));
-    } else if (record == "ISA") {
-      XSQL_ASSIGN_OR_RETURN(Oid sub, cursor.NextOid());
-      XSQL_ASSIGN_OR_RETURN(Oid super, cursor.NextOid());
-      XSQL_RETURN_IF_ERROR(db->mutable_graph().AddSubclass(sub, super));
-    } else if (record == "SIG") {
-      XSQL_ASSIGN_OR_RETURN(Oid cls, cursor.NextOid());
-      Signature sig;
-      XSQL_ASSIGN_OR_RETURN(sig.method, cursor.NextOid());
-      XSQL_ASSIGN_OR_RETURN(int64_t argc, cursor.NextCount());
-      for (int64_t i = 0; i < argc; ++i) {
-        XSQL_ASSIGN_OR_RETURN(Oid arg, cursor.NextOid());
-        sig.args.push_back(std::move(arg));
-      }
-      XSQL_ASSIGN_OR_RETURN(sig.result, cursor.NextOid());
-      XSQL_ASSIGN_OR_RETURN(std::string kind, cursor.NextWord());
-      sig.set_valued = kind == "set";
-      XSQL_RETURN_IF_ERROR(db->DeclareSignature(cls, std::move(sig)));
-    } else if (record == "INST") {
-      XSQL_ASSIGN_OR_RETURN(Oid obj, cursor.NextOid());
-      XSQL_ASSIGN_OR_RETURN(Oid cls, cursor.NextOid());
-      XSQL_RETURN_IF_ERROR(db->mutable_graph().AddInstance(obj, cls));
-    } else if (record == "OBJ") {
-      XSQL_ASSIGN_OR_RETURN(Oid oid, cursor.NextOid());
-      XSQL_RETURN_IF_ERROR(db->NewObject(oid, {}));
-    } else if (record == "ATTR") {
-      XSQL_ASSIGN_OR_RETURN(Oid oid, cursor.NextOid());
-      XSQL_ASSIGN_OR_RETURN(Oid attr, cursor.NextOid());
-      XSQL_ASSIGN_OR_RETURN(std::string kind, cursor.NextWord());
-      if (kind == "scalar") {
-        XSQL_ASSIGN_OR_RETURN(Oid value, cursor.NextOid());
-        XSQL_RETURN_IF_ERROR(db->SetScalar(oid, attr, value));
-      } else if (kind == "set") {
-        XSQL_ASSIGN_OR_RETURN(int64_t count, cursor.NextCount());
-        OidSet values;
-        for (int64_t i = 0; i < count; ++i) {
-          XSQL_ASSIGN_OR_RETURN(Oid value, cursor.NextOid());
-          values.Insert(value);
-        }
-        XSQL_RETURN_IF_ERROR(db->SetSet(oid, attr, std::move(values)));
-      } else {
-        return Malformed("bad ATTR kind '" + kind + "'", 0);
-      }
-    } else {
-      return Malformed("unknown record '" + record + "' (line " +
-                       std::to_string(line_no) + ")", 0);
+    Status st = ApplyLine(record, &cursor, db);
+    if (!st.ok()) {
+      // Offsets inside messages are relative to the line's payload;
+      // stamp the line number so corrupt files pinpoint themselves.
+      return Status(st.code(),
+                    st.message() + " (line " + std::to_string(line_no) + ")");
     }
   }
   return Status::OK();
 }
 
 Status SaveSnapshotToFile(const Database& db, const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::InvalidArgument("cannot open " + path);
-  std::string text = SaveSnapshot(db);
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  if (!out) return Status::RuntimeError("write failed: " + path);
-  return Status::OK();
+  // Crash-safe replacement: the snapshot lands in a temp file in the
+  // same directory, is fsynced, and only then renamed over the target.
+  // A crash at any point leaves either the old or the new snapshot
+  // complete — never a truncated hybrid.
+  return File::WriteAtomic(path, SaveSnapshot(db));
 }
 
 Status LoadSnapshotFromFile(const std::string& path, Database* db) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::NotFound("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return LoadSnapshot(buffer.str(), db);
+  XSQL_ASSIGN_OR_RETURN(std::string text, File::ReadAll(path));
+  return LoadSnapshot(text, db);
 }
 
 }  // namespace storage

@@ -1,0 +1,130 @@
+#include "storage/wal.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "storage/file.h"
+
+namespace xsql {
+namespace storage {
+
+namespace {
+
+constexpr uint64_t kMagicLen = sizeof(Wal::kMagic) - 1;  // strip the NUL
+
+void PutU32(uint32_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+}  // namespace
+
+std::string Wal::EncodeRecord(const std::string& payload) {
+  std::string out;
+  out.reserve(kRecordHeader + payload.size());
+  PutU32(static_cast<uint32_t>(payload.size()), &out);
+  PutU32(Crc32(payload), &out);
+  out.append(payload);
+  return out;
+}
+
+Result<Wal::Scan> Wal::ScanContents(const std::string& contents) {
+  if (contents.size() < kMagicLen ||
+      contents.compare(0, kMagicLen, kMagic) != 0) {
+    return Status::InvalidArgument(
+        "not an XSQL WAL (bad or truncated magic header)");
+  }
+  Scan scan;
+  uint64_t pos = kMagicLen;
+  while (pos < contents.size()) {
+    uint64_t remaining = contents.size() - pos;
+    if (remaining < kRecordHeader) {
+      scan.torn = true;
+      scan.torn_detail = "torn record header at offset " +
+                         std::to_string(pos) + " (" +
+                         std::to_string(remaining) + " bytes)";
+      break;
+    }
+    uint32_t len = GetU32(contents.data() + pos);
+    uint32_t crc = GetU32(contents.data() + pos + 4);
+    if (len > kMaxRecordLen || remaining - kRecordHeader < len) {
+      scan.torn = true;
+      scan.torn_detail = "torn record payload at offset " +
+                         std::to_string(pos) + " (length " +
+                         std::to_string(len) + ", " +
+                         std::to_string(remaining - kRecordHeader) +
+                         " bytes remain)";
+      break;
+    }
+    std::string payload = contents.substr(pos + kRecordHeader, len);
+    if (Crc32(payload) != crc) {
+      scan.torn = true;
+      scan.torn_detail = "checksum mismatch at offset " +
+                         std::to_string(pos);
+      break;
+    }
+    scan.records.push_back(std::move(payload));
+    pos += kRecordHeader + len;
+  }
+  scan.valid_size = scan.torn ? pos : contents.size();
+  return scan;
+}
+
+Result<Wal::Scan> Wal::ScanFile(const std::string& path) {
+  XSQL_ASSIGN_OR_RETURN(std::string contents, File::ReadAll(path));
+  return ScanContents(contents);
+}
+
+Status Wal::Create(const std::string& path) {
+  XSQL_ASSIGN_OR_RETURN(File file, File::Create(path));
+  XSQL_RETURN_IF_ERROR(file.Write(kMagic));
+  XSQL_RETURN_IF_ERROR(file.Sync());
+  return file.Close();
+}
+
+Result<Wal> Wal::OpenAppender(const std::string& path,
+                              uint64_t synced_size) {
+  XSQL_ASSIGN_OR_RETURN(uint64_t actual, File::Size(path));
+  if (actual < synced_size) {
+    return Status::InvalidArgument(
+        "WAL " + path + " shorter than its valid prefix (" +
+        std::to_string(actual) + " < " + std::to_string(synced_size) + ")");
+  }
+  if (actual > synced_size) {
+    // Torn tail from a previous crash: discard it.
+    XSQL_RETURN_IF_ERROR(File::Truncate(path, synced_size));
+  }
+  return Wal(path, synced_size);
+}
+
+Status Wal::Append(const std::string& payload) {
+  std::string record = EncodeRecord(payload);
+  Result<File> file = File::OpenAppend(path_);
+  if (!file.ok()) return file.status();
+  Status st = file->Write(record);
+  if (st.ok()) st = file->Sync();
+  if (!st.ok()) {
+    (void)file->Close();
+    // Repair the torn append so a reported error implies "not durable".
+    // Under a simulated crash the truncate fails too (the process is
+    // dead); recovery's scan will discard the tail instead.
+    (void)File::Truncate(path_, synced_size_);
+    return st;
+  }
+  XSQL_RETURN_IF_ERROR(file->Close());
+  synced_size_ += record.size();
+  ++records_appended_;
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace xsql

@@ -1,0 +1,95 @@
+#ifndef XSQL_STORAGE_WAL_H_
+#define XSQL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xsql {
+namespace storage {
+
+/// Statement-level write-ahead log.
+///
+/// File layout: the magic line `XSQL-WAL 1\n`, then a sequence of
+/// binary records
+///
+///     [u32 len | little-endian]
+///     [u32 crc | little-endian, CRC-32 of the payload bytes]
+///     [len payload bytes]
+///
+/// The payload is an executable statement (the exact text the session
+/// ran). Records are append-only and each append is fsynced before the
+/// statement is acknowledged, so an acknowledged statement survives any
+/// later crash.
+///
+/// A crash during an append can leave a *torn tail*: a trailing record
+/// whose length field, payload, or checksum is incomplete. `Scan`
+/// detects this — the first record that does not fit or whose CRC
+/// mismatches ends the valid prefix — and recovery truncates the file
+/// back to `valid_size`, discarding the tail. Nothing after a bad
+/// record is ever trusted: a torn record is by construction the last
+/// thing written.
+class Wal {
+ public:
+  static constexpr const char kMagic[] = "XSQL-WAL 1\n";
+  /// Length + CRC prefix per record.
+  static constexpr uint64_t kRecordHeader = 8;
+  /// Records above this length are treated as torn garbage on scan.
+  static constexpr uint64_t kMaxRecordLen = 1ull << 30;
+
+  /// Encodes one record (header + payload) ready for appending.
+  static std::string EncodeRecord(const std::string& payload);
+
+  /// What a scan of an existing log found.
+  struct Scan {
+    std::vector<std::string> records;  // valid payloads, in order
+    uint64_t valid_size = 0;           // bytes of magic + valid records
+    bool torn = false;                 // a torn/corrupt tail follows
+    std::string torn_detail;           // why the tail was rejected
+  };
+
+  /// Validates `contents` (a full WAL file image) record by record.
+  /// Fails only when the magic header itself is missing or wrong; a
+  /// bad record merely ends the valid prefix and sets `torn`.
+  static Result<Scan> ScanContents(const std::string& contents);
+
+  /// Reads and scans the log at `path`.
+  static Result<Scan> ScanFile(const std::string& path);
+
+  /// Creates an empty log (magic only) at `path`, fsynced.
+  static Status Create(const std::string& path);
+
+  /// Binds an appender to an existing log whose valid prefix is
+  /// `synced_size` bytes (from a scan). If the file is longer — a torn
+  /// tail — it is truncated back to the valid prefix first.
+  static Result<Wal> OpenAppender(const std::string& path,
+                                  uint64_t synced_size);
+
+  /// Appends one record and fsyncs it. On a transient I/O failure the
+  /// file is truncated back to its pre-append size so "error" implies
+  /// "not durable"; on a simulated crash the torn bytes stay for
+  /// recovery to find.
+  Status Append(const std::string& payload);
+
+  const std::string& path() const { return path_; }
+  uint64_t synced_size() const { return synced_size_; }
+  uint64_t records_appended() const { return records_appended_; }
+
+  /// An unbound appender, so Wal can travel through Result<>.
+  Wal() = default;
+
+ private:
+  Wal(std::string path, uint64_t synced_size)
+      : path_(std::move(path)), synced_size_(synced_size) {}
+
+  std::string path_;
+  uint64_t synced_size_ = 0;
+  uint64_t records_appended_ = 0;
+};
+
+}  // namespace storage
+}  // namespace xsql
+
+#endif  // XSQL_STORAGE_WAL_H_

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "eval/session.h"
+#include "storage/file.h"
 #include "storage/snapshot.h"
 #include "workload/fig1_schema.h"
 #include "workload/generator.h"
@@ -211,6 +212,92 @@ TEST_F(SnapshotTest, RejectsMalformedInput) {
   EXPECT_FALSE(storage::LoadSnapshot(
                    "XSQL-SNAPSHOT 1\nATTR a1:x a1:y wibble i3;\n", &restored)
                    .ok());
+}
+
+TEST(OidCodecTest, EdgePayloads) {
+  // Payloads at the codec's corners: empty, nothing-but-escape-fodder,
+  // and escapes mixed with the bytes they escape.
+  const Oid cases[] = {
+      Oid::Atom(""),
+      Oid::String(std::string(7, '\\')),
+      Oid::Atom(std::string(5, '\\')),
+      Oid::String("\\n"),          // literal backslash-n, not a newline
+      Oid::String("\\\n"),         // backslash then real newline
+      Oid::String(std::string(3, '\n')),
+      Oid::Term("", {Oid::String("")}),
+  };
+  for (const Oid& oid : cases) {
+    std::string encoded;
+    storage::EncodeOid(oid, &encoded);
+    EXPECT_EQ(encoded.find('\n'), std::string::npos) << encoded;
+    size_t pos = 0;
+    auto decoded = storage::DecodeOid(encoded, &pos);
+    ASSERT_TRUE(decoded.ok()) << encoded;
+    EXPECT_EQ(*decoded, oid) << encoded;
+    EXPECT_EQ(pos, encoded.size());
+  }
+}
+
+TEST_F(SnapshotTest, MalformedInputReportsLinePositions) {
+  auto expect_fail = [](const std::string& text, const std::string& needle) {
+    Database fresh;
+    Status st = storage::LoadSnapshot(text, &fresh);
+    ASSERT_FALSE(st.ok()) << text;
+    EXPECT_NE(st.ToString().find(needle), std::string::npos)
+        << st.ToString() << " should mention " << needle;
+  };
+  // Trailing garbage after a complete record.
+  expect_fail("XSQL-SNAPSHOT 2\nCLASS a6:Widget extra\n", "line 2");
+  expect_fail("XSQL-SNAPSHOT 2\nCLASS a6:Widget extra\n", "trailing");
+  // Truncated mid-record: ISA missing its superclass.
+  expect_fail("XSQL-SNAPSHOT 2\nISA a6:Widget\n", "line 2");
+  // Bad length prefixes inside an oid payload.
+  expect_fail("XSQL-SNAPSHOT 2\nCLASS a99:Widget\n", "line 2");
+  expect_fail("XSQL-SNAPSHOT 2\nCLASS a-1:Widget\n", "line 2");
+  // Negative collection counts.
+  expect_fail("XSQL-SNAPSHOT 2\nOBJ a1:x\nATTR a1:x a1:y set -2\n",
+              "line 3");
+  expect_fail("XSQL-SNAPSHOT 2\nSIG a1:c a1:m -1 a6:String scalar\n",
+              "line 2");
+  // A signature whose kind is neither set nor scalar.
+  expect_fail("XSQL-SNAPSHOT 2\nSIG a1:c a1:m 0 a6:String wibble\n",
+              "bad SIG kind");
+}
+
+TEST_F(SnapshotTest, TruncatedSnapshotIsRejected) {
+  std::string snap = storage::SaveSnapshot(db_);
+  // Cutting into the final record's payload must not load silently.
+  Database restored;
+  EXPECT_FALSE(
+      storage::LoadSnapshot(snap.substr(0, snap.size() - 2), &restored)
+          .ok());
+}
+
+TEST_F(SnapshotTest, FileErrorPathsAreDistinguished) {
+  Database restored;
+  // Missing file: NotFound, so callers can treat it as "fresh start".
+  Status missing =
+      storage::LoadSnapshotFromFile("/no/such/dir/snapshot.db", &restored);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.ToString().find("NotFound"), std::string::npos)
+      << missing.ToString();
+  // Unreadable target (a directory): a hard error, not NotFound.
+  Status dir = storage::LoadSnapshotFromFile(::testing::TempDir(),
+                                             &restored);
+  ASSERT_FALSE(dir.ok());
+  EXPECT_EQ(dir.ToString().find("NotFound"), std::string::npos)
+      << dir.ToString();
+  // Corrupted file: saved bytes damaged on disk are rejected.
+  std::string path = ::testing::TempDir() + "/xsql_corrupt_test.db";
+  ASSERT_TRUE(storage::SaveSnapshotToFile(db_, path).ok());
+  auto bytes = storage::File::ReadAll(path);
+  ASSERT_TRUE(bytes.ok());
+  size_t obj = bytes->find("\nOBJ ");
+  ASSERT_NE(obj, std::string::npos);
+  (*bytes)[obj + 1] = 'Q';  // "QBJ": an unknown record word
+  ASSERT_TRUE(storage::File::WriteAtomic(path, *bytes).ok());
+  EXPECT_FALSE(storage::LoadSnapshotFromFile(path, &restored).ok());
+  std::remove(path.c_str());
 }
 
 TEST_F(SnapshotTest, EmptyDatabaseRoundTrips) {
