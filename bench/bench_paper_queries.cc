@@ -7,6 +7,7 @@
 #include <filesystem>
 
 #include "bench_util.h"
+#include "obs/trace.h"
 #include "storage/recovery.h"
 
 namespace xsql {
@@ -97,6 +98,48 @@ void BM_PaperQueryGuarded(benchmark::State& state) {
 BENCHMARK(BM_PaperQueryGuarded)
     ->Apply(PaperQueryArgs)
     ->Unit(benchmark::kMicrosecond);
+
+// B12 — the observability contract. BM_PaperQuery above *is* the
+// no-sink configuration (spans compiled in, no tracer installed, so
+// every Span is a thread-local load and a branch); this variant
+// installs a fresh tracer per iteration, the EXPLAIN ANALYZE hot path.
+// Comparing the two gives the with-sink cost; comparing BM_PaperQuery
+// across the commit that introduced spans gives the no-sink overhead,
+// recorded in EXPERIMENTS.md at under 2%.
+void BM_PaperQueryTraced(benchmark::State& state) {
+  const NamedQuery& query = kQueries[state.range(0)];
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(1)));
+  state.SetLabel(query.id);
+  size_t rows = 0;
+  for (auto _ : state) {
+    obs::Tracer tracer;
+    obs::ScopedTracer install(&tracer);
+    auto rel = scaled.session->Query(query.text);
+    if (!rel.ok()) {
+      state.SkipWithError(rel.status().ToString().c_str());
+      return;
+    }
+    rows = rel->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["persons"] = static_cast<double>(scaled.stats.persons);
+}
+
+BENCHMARK(BM_PaperQueryTraced)
+    ->Apply(PaperQueryArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+// The inert-span micro-cost in isolation: constructing and destroying
+// a span (detail lambda never invoked) with no tracer installed.
+void BM_SpanNoSink(benchmark::State& state) {
+  for (auto _ : state) {
+    obs::Span span("bench/no-sink",
+                   [] { return std::string("never built"); });
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_SpanNoSink)->Unit(benchmark::kNanosecond);
 
 // The workload's mutation statement in memory, as a baseline for the
 // durable variant below: their gap is the price of a checksummed WAL

@@ -17,6 +17,15 @@ run_suite() {
   # properties hold without test-level parallelism in the mix.
   echo "==> crash-recovery suite ($dir)"
   ctest --test-dir "$dir" -L durability --output-on-failure
+  # The observability suite again, serially: the metrics enable-flag and
+  # the global registry are process-global, so the freeze/unfreeze test
+  # must not race other tests in the same binary re-run.
+  echo "==> observability suite ($dir)"
+  ctest --test-dir "$dir" -R '^observability_test$' --output-on-failure
+  # Dump the metrics of a representative workload as a build artifact
+  # ($dir/metrics.json) — a quick diffable health check across commits.
+  echo "==> metrics artifact ($dir/metrics.json)"
+  "./$dir/examples/metrics_dump" > "$dir/metrics.json"
 }
 
 if [[ "$MODE" != "--sanitize-only" ]]; then

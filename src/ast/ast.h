@@ -345,13 +345,29 @@ struct AlterClassStmt {
 
 /// Any parseable XSQL statement.
 struct Statement {
-  enum class Kind : uint8_t { kQuery, kCreateView, kAlterClass, kUpdateClass };
+  enum class Kind : uint8_t {
+    kQuery,
+    kCreateView,
+    kAlterClass,
+    kUpdateClass,
+    /// `EXPLAIN [ANALYZE] <query expr>` — diagnostic statements: the
+    /// plain form reports typing/plan verdicts without evaluating, the
+    /// ANALYZE form executes `query` under a tracer, rolls every
+    /// mutation back, and renders the span tree.
+    kExplain,
+    /// `SYSTEM METRICS` — dumps the process metrics registry as a
+    /// relation (schema-as-data spirit: the engine answers queries
+    /// about itself).
+    kSystemMetrics,
+  };
 
   Kind kind = Kind::kQuery;
   std::shared_ptr<QueryExpr> query;
   std::shared_ptr<CreateViewStmt> create_view;
   std::shared_ptr<AlterClassStmt> alter_class;
   std::shared_ptr<UpdateClassStmt> update_class;
+  /// kExplain only: EXPLAIN ANALYZE (execute + trace) vs plain EXPLAIN.
+  bool analyze = false;
 
   std::string ToString() const;
 };

@@ -337,6 +337,11 @@ std::string Statement::ToString() const {
       return alter_class ? alter_class->ToString() : "?";
     case Kind::kUpdateClass:
       return update_class ? update_class->ToString() : "?";
+    case Kind::kExplain:
+      return std::string("EXPLAIN ") + (analyze ? "ANALYZE " : "") +
+             (query ? query->ToString() : "?");
+    case Kind::kSystemMetrics:
+      return "SYSTEM METRICS";
   }
   return "?";
 }

@@ -1,8 +1,21 @@
 #include "common/exec_context.h"
 
 #include "common/fault.h"
+#include "obs/metrics.h"
 
 namespace xsql {
+
+namespace {
+
+/// Counts every tripped guard (budget, deadline, cancellation,
+/// recursion): the fleet-level "how often do we hit the rails" signal.
+void NoteGuardTrip() {
+  static obs::Counter& trips =
+      obs::MetricsRegistry::Global().GetCounter("xsql.guard.trips");
+  trips.Inc();
+}
+
+}  // namespace
 
 ExecutionContext::ExecutionContext(const ExecLimits& limits,
                                    std::shared_ptr<CancelToken> cancel)
@@ -16,9 +29,11 @@ ExecutionContext::ExecutionContext(const ExecLimits& limits,
 
 Status ExecutionContext::CheckDeadlineAndCancel() {
   if (cancel_ && cancel_->cancelled()) {
+    NoteGuardTrip();
     return Status::Cancelled("execution cancelled (guard: cancellation)");
   }
   if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    NoteGuardTrip();
     return Status::ResourceExhausted(
         "deadline of " + std::to_string(limits_.deadline_ms) +
         " ms exceeded (guard: deadline)");
@@ -33,6 +48,7 @@ Status ExecutionContext::Step() {
   }
   ++steps_;
   if (limits_.max_steps != 0 && steps_ > limits_.max_steps) {
+    NoteGuardTrip();
     return Status::ResourceExhausted(
         "step budget of " + std::to_string(limits_.max_steps) +
         " exhausted (guard: step-budget)");
@@ -42,10 +58,12 @@ Status ExecutionContext::Step() {
   // offset makes the very first step poll it too, so an already-expired
   // deadline (deadline_ms tiny) trips deterministically.
   if (cancel_ && cancel_->cancelled()) {
+    NoteGuardTrip();
     return Status::Cancelled("execution cancelled (guard: cancellation)");
   }
   if (has_deadline_ && (steps_ & 15) == 1) {
     if (std::chrono::steady_clock::now() >= deadline_) {
+      NoteGuardTrip();
       return Status::ResourceExhausted(
           "deadline of " + std::to_string(limits_.deadline_ms) +
           " ms exceeded (guard: deadline)");
@@ -61,6 +79,7 @@ Status ExecutionContext::ChargeRow() {
   }
   ++rows_;
   if (limits_.max_rows != 0 && rows_ > limits_.max_rows) {
+    NoteGuardTrip();
     return Status::ResourceExhausted(
         "row budget of " + std::to_string(limits_.max_rows) +
         " exhausted (guard: row-budget)");
@@ -75,6 +94,7 @@ Status ExecutionContext::EnterRecursion(const std::string& what) {
         fi.Check(FaultInjector::Domain::kGuard, "recursion"));
   }
   if (depth_ >= limits_.max_recursion_depth) {
+    NoteGuardTrip();
     return Status::ResourceExhausted(
         "recursion depth limit of " +
         std::to_string(limits_.max_recursion_depth) + " reached in " + what +

@@ -7,6 +7,8 @@
 #include "eval/aggregate.h"
 #include "eval/comparator.h"
 #include "eval/oid_function.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/catalog.h"
 
 namespace xsql {
@@ -194,11 +196,15 @@ class ConjunctDriver {
 
   Status EvalFromEntry(const FromEntry& entry, Binding* binding,
                        const std::function<Status()>& next) {
+    obs::Span span("from", [&] { return entry.ToString(); });
     Database* db = ev_->db();
     auto with_class = [&](const Oid& cls) -> Status {
       if (binding->Bound(entry.var)) {
-        return db->IsInstanceOf(binding->Get(entry.var), cls) ? next()
-                                                              : Status::OK();
+        if (!db->IsInstanceOf(binding->Get(entry.var), cls)) {
+          return Status::OK();
+        }
+        span.AddRows(1);
+        return next();
       }
       const VarRange* range = nullptr;
       if (opts_ != nullptr && opts_->use_range_pruning &&
@@ -210,6 +216,7 @@ class ConjunctDriver {
         XSQL_RETURN_IF_ERROR(ev_->ctx_->Step());
         if (range != nullptr && !range->Within(*db, oid)) continue;
         BindScope scope(binding, entry.var, oid);
+        span.AddRows(1);
         XSQL_RETURN_IF_ERROR(next());
       }
       return Status::OK();
@@ -342,9 +349,15 @@ class ConjunctDriver {
 
   Status EvalConjunct(const Condition* cond, Binding* binding,
                       const std::function<Status()>& next) {
+    obs::Span span("conjunct", [&] { return cond->ToString(); });
     switch (cond->kind) {
       case Condition::Kind::kStandalonePath: {
         if (const PathIndex* index = IndexFor(cond, *binding)) {
+          static obs::Counter& lookups =
+              obs::MetricsRegistry::Global().GetCounter("xsql.index.lookups");
+          lookups.Inc();
+          obs::Span index_span("index/lookup",
+                               [&] { return cond->path.ToString(); });
           // Reverse evaluation via the [BERT89] path index: bind the
           // head variable to each object reaching the terminal value.
           PathEvaluator pe(*ev_->db(), ev_, PathEvalOptions{ev_->ctx_});
@@ -352,12 +365,16 @@ class ConjunctDriver {
           XSQL_ASSIGN_OR_RETURN(Oid value, pe.EvalIdTerm(sel, *binding));
           for (const Oid& head : index->Lookup(value)) {
             BindScope scope(binding, cond->path.head.var, head);
+            index_span.AddRows(1);
             XSQL_RETURN_IF_ERROR(next());
           }
           return Status::OK();
         }
         return pe_->Enumerate(cond->path, binding,
-                              [&](const Oid&) -> Status { return next(); });
+                              [&](const Oid&) -> Status {
+                                span.AddRows(1);
+                                return next();
+                              });
       }
       case Condition::Kind::kAnd: {
         std::vector<const Condition*> subs;
@@ -572,6 +589,10 @@ Result<Oid> Evaluator::ResolveIdFunction(const std::string& fn,
 Result<OidSet> Evaluator::InvokeQueryMethod(const QueryMethodBody& body,
                                             const Oid& receiver,
                                             const std::vector<Oid>& args) {
+  static obs::Counter& method_calls =
+      obs::MetricsRegistry::Global().GetCounter("xsql.eval.method_calls");
+  method_calls.Inc();
+  obs::Span span("method/invoke", [&] { return body.method().ToString(); });
   RecursionScope depth(ctx_, "query method " + body.method().ToString());
   XSQL_RETURN_IF_ERROR(depth.status());
   if (args.size() != body.params().size()) {
@@ -674,6 +695,25 @@ Status Evaluator::ForEachSolution(const std::vector<FromEntry>& from,
 
 Result<EvalOutput> Evaluator::Run(const Query& query, const EvalOptions& opts,
                                   const Binding* outer) {
+  static obs::Counter& queries =
+      obs::MetricsRegistry::Global().GetCounter("xsql.eval.queries");
+  static obs::Counter& rows =
+      obs::MetricsRegistry::Global().GetCounter("xsql.eval.rows");
+  queries.Inc();
+  obs::Span span("eval/query", [&] { return query.ToString(); });
+  const uint64_t steps_before = ctx_->steps();
+  Result<EvalOutput> out = RunImpl(query, opts, outer);
+  span.AddSteps(ctx_->steps() - steps_before);
+  if (out.ok()) {
+    span.AddRows(out->relation.size());
+    rows.Inc(out->relation.size());
+  }
+  return out;
+}
+
+Result<EvalOutput> Evaluator::RunImpl(const Query& query,
+                                      const EvalOptions& opts,
+                                      const Binding* outer) {
   Binding binding;
   if (outer != nullptr) binding = *outer;
   PathEvaluator pe = MakePathEvaluator(opts);
@@ -845,6 +885,10 @@ Result<Relation> Evaluator::RunQueryExpr(const QueryExpr& expr,
 }
 
 Result<EvalOutput> Evaluator::RunNaive(const Query& query) {
+  static obs::Counter& naive_runs =
+      obs::MetricsRegistry::Global().GetCounter("xsql.eval.naive_runs");
+  naive_runs.Inc();
+  obs::Span span("eval/naive", [&] { return query.ToString(); });
   std::vector<Variable> vars = CollectVariables(query);
   for (const Variable& v : vars) {
     if (v.sort == VarSort::kPath) {

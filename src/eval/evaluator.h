@@ -177,6 +177,11 @@ class Evaluator : public MethodInvoker {
  private:
   friend class ConjunctDriver;
 
+  /// The body of Run; the public wrapper adds the trace span and the
+  /// eval metrics around it.
+  Result<EvalOutput> RunImpl(const Query& query, const EvalOptions& opts,
+                             const Binding* outer);
+
   PathEvaluator MakePathEvaluator(const EvalOptions& opts);
 
   /// Runs the FROM loops and the WHERE conjunct driver, calling `cb`

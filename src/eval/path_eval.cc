@@ -1,5 +1,7 @@
 #include "eval/path_eval.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/catalog.h"
 
 namespace xsql {
@@ -58,6 +60,24 @@ Result<Oid> PathEvaluator::EvalIdTerm(const IdTerm& term,
 
 Status PathEvaluator::Enumerate(const PathExpr& path, Binding* binding,
                                 const TailCallback& cb) {
+  static obs::Counter& enumerations =
+      obs::MetricsRegistry::Global().GetCounter("xsql.path.enumerations");
+  enumerations.Inc();
+  obs::Span span("path/enumerate", [&] { return path.ToString(); });
+  if (span.active()) {
+    // Count the tails this enumeration yields; only pay the wrapper
+    // when a tracer is listening.
+    TailCallback counted = [&](const Oid& tail) -> Status {
+      span.AddRows(1);
+      return cb(tail);
+    };
+    return EnumerateImpl(path, binding, counted);
+  }
+  return EnumerateImpl(path, binding, cb);
+}
+
+Status PathEvaluator::EnumerateImpl(const PathExpr& path, Binding* binding,
+                                    const TailCallback& cb) {
   const IdTerm& head = path.head;
   if (head.is_var() && !binding->Bound(head.var)) {
     // Unbound head: iterate candidate oids (Theorem 6.1(2) plugs range
@@ -192,12 +212,15 @@ Status PathEvaluator::Continue(const PathExpr& path, size_t step_index,
 
 Result<OidSet> PathEvaluator::Value(const PathExpr& path,
                                     const Binding& binding) {
+  static obs::Counter& values =
+      obs::MetricsRegistry::Global().GetCounter("xsql.path.values");
+  values.Inc();
   // A ground path's value: run Enumerate with an (already complete)
   // binding and collect tails. Unbound variables surface as errors from
   // EvalIdTerm / as enumeration — forbid the latter by checking first.
   OidSet tails;
   Binding scratch = binding;
-  Status st = Enumerate(path, &scratch,
+  Status st = EnumerateImpl(path, &scratch,
                         [&tails](const Oid& tail) -> Status {
                           tails.Insert(tail);
                           return Status::OK();

@@ -83,6 +83,11 @@ class PathEvaluator {
   Result<Oid> EvalIdTerm(const IdTerm& term, const Binding& binding);
 
  private:
+  /// The body of Enumerate; the public wrapper adds the trace span and
+  /// the enumeration metric around it.
+  Status EnumerateImpl(const PathExpr& path, Binding* binding,
+                       const TailCallback& cb);
+
   Status StartFrom(const PathExpr& path, const Oid& head, Binding* binding,
                    const TailCallback& cb);
   Status Walk(const PathExpr& path, size_t step_index, const Oid& obj,

@@ -1,8 +1,11 @@
 #include "eval/session.h"
 
 #include <cctype>
+#include <chrono>
 
 #include "eval/update.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 
 namespace xsql {
@@ -29,35 +32,94 @@ class ScopedExecContext {
   ViewManager* views_;
 };
 
+Status AddLines(const std::string& text, Relation* relation) {
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      XSQL_RETURN_IF_ERROR(relation->AddRow({Oid::String(line)}));
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  if (!line.empty()) {
+    XSQL_RETURN_IF_ERROR(relation->AddRow({Oid::String(line)}));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<EvalOutput> Session::Execute(const std::string& text) {
+  static obs::Counter& statements =
+      obs::MetricsRegistry::Global().GetCounter("xsql.session.statements");
+  static obs::Counter& failures =
+      obs::MetricsRegistry::Global().GetCounter("xsql.session.failures");
+  static obs::Counter& slow_queries =
+      obs::MetricsRegistry::Global().GetCounter("xsql.session.slow_queries");
+  static obs::Histogram& statement_us =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "xsql.session.statement_us");
+  const auto start = std::chrono::steady_clock::now();
+  statements.Inc();
+  Result<EvalOutput> out = ExecuteParsed(text);
+  const uint64_t wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  statement_us.Observe(wall_us);
+  if (!out.ok()) failures.Inc();
+  if (options_.slow_query_us != 0 && wall_us >= options_.slow_query_us) {
+    slow_queries.Inc();
+    slow_query_log_.push_back({text, wall_us, out.ok()});
+  }
+  return out;
+}
+
+Result<EvalOutput> Session::ExecuteParsed(const std::string& text) {
+  XSQL_ASSIGN_OR_RETURN(Statement stmt, ParseAndResolve(text, *db_));
+  switch (stmt.kind) {
+    case Statement::Kind::kExplain:
+      return stmt.analyze ? ExecuteExplainAnalyze(stmt)
+                          : ExecuteExplain(stmt);
+    case Statement::Kind::kSystemMetrics:
+      return SystemMetricsOutput();
+    default:
+      return ExecuteGuarded(stmt, /*rollback_always=*/false);
+  }
+}
+
+Result<EvalOutput> Session::ExecuteGuarded(const Statement& stmt,
+                                           bool rollback_always) {
   // One guardrail context per statement: the deadline countdown starts
   // here and budgets reset.
   ExecutionContext ctx(options_.limits, options_.cancel);
   ScopedExecContext scoped(&evaluator_, &views_, &ctx);
+  obs::Span span("statement", [&] { return stmt.ToString(); });
   // Statement-level atomicity: unless an enclosing transaction (atomic
   // ExecuteScript) is already recording, this statement records its own
   // undo log and rolls back on any failure.
   UndoLog undo;
   const bool own_txn = !db_->undo_active();
   if (own_txn) db_->BeginUndo(&undo);
-  Result<EvalOutput> out = ExecuteStatement(text);
+  Result<EvalOutput> out = ExecuteStatement(stmt);
+  span.AddSteps(ctx.steps());
+  if (out.ok()) span.AddRows(out->relation.size());
   if (own_txn) {
     db_->EndUndo();
-    if (!out.ok()) db_->Rollback(&undo);
+    if (!out.ok() || rollback_always) db_->Rollback(&undo);
   }
   return out;
 }
 
-Result<EvalOutput> Session::ExecuteStatement(const std::string& text) {
-  XSQL_ASSIGN_OR_RETURN(Statement stmt, ParseAndResolve(text, *db_));
+Result<EvalOutput> Session::ExecuteStatement(const Statement& stmt) {
   switch (stmt.kind) {
     case Statement::Kind::kQuery: {
       EvalOptions opts;
       opts.use_range_pruning = options_.use_range_pruning;
       TypingResult typing;
       if (stmt.query->kind == QueryExpr::Kind::kSimple) {
+        obs::Span span("typecheck");
         TypeChecker checker(*db_);
         typing = checker.Check(*stmt.query->simple, options_.typing_mode,
                                options_.exemptions);
@@ -69,6 +131,8 @@ Result<EvalOutput> Session::ExecuteStatement(const std::string& text) {
         if (typing.well_typed && typing.in_fragment) {
           opts.ranges = &typing.ranges;  // Theorem 6.1(2)
         }
+      }
+      if (stmt.query->kind == QueryExpr::Kind::kSimple) {
         return evaluator_.Run(*stmt.query->simple, opts);
       }
       XSQL_ASSIGN_OR_RETURN(Relation rel,
@@ -100,8 +164,79 @@ Result<EvalOutput> Session::ExecuteStatement(const std::string& text) {
       XSQL_RETURN_IF_ERROR(out.relation.AddRow({Oid::Bool(true)}));
       return out;
     }
+    case Statement::Kind::kExplain:
+    case Statement::Kind::kSystemMetrics:
+      break;  // dispatched before ExecuteGuarded; unreachable here
   }
   return Status::RuntimeError("unknown statement kind");
+}
+
+Result<EvalOutput> Session::ExecuteExplain(const Statement& stmt) {
+  // Diagnostic: nothing is evaluated, so no guardrail context is armed
+  // (a session with a tiny budget can still explain its queries).
+  if (stmt.query->kind != QueryExpr::Kind::kSimple) {
+    return Status::InvalidArgument(
+        "EXPLAIN expects a simple query (EXPLAIN ANALYZE handles "
+        "UNION/MINUS/INTERSECT trees)");
+  }
+  XSQL_ASSIGN_OR_RETURN(std::string report,
+                        ExplainReport(*stmt.query->simple));
+  EvalOutput out;
+  out.relation = Relation({"explain"});
+  XSQL_RETURN_IF_ERROR(AddLines(report, &out.relation));
+  return out;
+}
+
+Result<EvalOutput> Session::ExecuteExplainAnalyze(const Statement& stmt) {
+  static obs::Counter& analyzes =
+      obs::MetricsRegistry::Global().GetCounter("xsql.session.explain_analyze");
+  analyzes.Inc();
+  Statement query_stmt;
+  query_stmt.kind = Statement::Kind::kQuery;
+  query_stmt.query = stmt.query;
+  // Execution phase: fully guarded (budgets, deadline, cancellation all
+  // apply) and traced. `rollback_always` withdraws any mutations the
+  // query made — OID FUNCTION queries create objects — so analyzing is
+  // side-effect-free.
+  obs::Tracer tracer;
+  obs::ScopedTracer install(&tracer);
+  Result<EvalOutput> executed =
+      ExecuteGuarded(query_stmt, /*rollback_always=*/true);
+  if (!executed.ok()) return executed.status();
+  // Render phase: guard-exempt — the work already happened; rendering
+  // is proportional to the number of distinct operators.
+  EvalOutput out;
+  out.relation = Relation({"explain analyze"});
+  XSQL_RETURN_IF_ERROR(AddLines(
+      "query : " + stmt.query->ToString() + "\n" +
+          "rows  : " + std::to_string(executed->relation.size()) + "\n",
+      &out.relation));
+  XSQL_RETURN_IF_ERROR(
+      AddLines(tracer.Render(/*include_stats=*/true), &out.relation));
+  return out;
+}
+
+Result<EvalOutput> Session::SystemMetricsOutput() {
+  // Diagnostic and guard-exempt, like EXPLAIN: a wedged-on-budget
+  // session must still be introspectable. Histograms flatten into one
+  // row per field (`name.count`, `name.sum`, `name.p50`, `name.p99`).
+  EvalOutput out;
+  out.relation = Relation({"metric", "type", "value"});
+  for (const obs::MetricSample& s :
+       obs::MetricsRegistry::Global().Snapshot()) {
+    if (s.type == "histogram") {
+      for (const auto& [field, value] : s.fields) {
+        XSQL_RETURN_IF_ERROR(out.relation.AddRow(
+            {Oid::String(s.name + "." + field), Oid::String(s.type),
+             Oid::Int(value)}));
+      }
+    } else {
+      XSQL_RETURN_IF_ERROR(
+          out.relation.AddRow({Oid::String(s.name), Oid::String(s.type),
+                               Oid::Int(s.fields[0].second)}));
+    }
+  }
+  return out;
 }
 
 Result<EvalOutput> Session::ExecuteScript(const std::string& script,
@@ -159,12 +294,17 @@ Result<Relation> Session::Query(const std::string& text) {
 
 Result<std::string> Session::Explain(const std::string& text) {
   XSQL_ASSIGN_OR_RETURN(Statement stmt, ParseAndResolve(text, *db_));
-  if (stmt.kind != Statement::Kind::kQuery ||
-      stmt.query->kind != QueryExpr::Kind::kSimple) {
+  const bool explainable =
+      (stmt.kind == Statement::Kind::kQuery ||
+       stmt.kind == Statement::Kind::kExplain) &&
+      stmt.query != nullptr && stmt.query->kind == QueryExpr::Kind::kSimple;
+  if (!explainable) {
     return Status::InvalidArgument("Explain expects a simple query");
   }
-  // `::xsql::Query` the AST type, not the member function Session::Query.
-  const ::xsql::Query& query = *stmt.query->simple;
+  return ExplainReport(*stmt.query->simple);
+}
+
+Result<std::string> Session::ExplainReport(const ::xsql::Query& query) {
   TypeChecker checker(*db_);
   TypingResult liberal = checker.Check(query, TypingMode::kLiberal,
                                        options_.exemptions);

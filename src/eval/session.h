@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/exec_context.h"
 #include "common/status.h"
@@ -35,6 +36,17 @@ struct SessionOptions {
   /// Cooperative cancellation: any thread holding the token can abort
   /// the running statement. Null means not cancellable.
   std::shared_ptr<CancelToken> cancel;
+  /// Slow-query log threshold in microseconds; 0 (the default)
+  /// disables the log. Statements whose wall time meets the threshold
+  /// are appended to `Session::slow_query_log()`.
+  uint64_t slow_query_us = 0;
+};
+
+/// One slow-query log entry (see SessionOptions::slow_query_us).
+struct SlowQueryEntry {
+  std::string statement;
+  uint64_t wall_us = 0;
+  bool ok = true;
 };
 
 /// The top-level API a user of the library drives: text in, relations
@@ -77,6 +89,12 @@ class Session {
   /// Theorem 6.1(2) pruning would use.
   Result<std::string> Explain(const std::string& text);
 
+  /// Statements that met the `slow_query_us` threshold, oldest first.
+  const std::vector<SlowQueryEntry>& slow_query_log() const {
+    return slow_query_log_;
+  }
+  void ClearSlowQueryLog() { slow_query_log_.clear(); }
+
   Database& db() { return *db_; }
   ViewManager& views() { return views_; }
   Evaluator& evaluator() { return evaluator_; }
@@ -84,13 +102,38 @@ class Session {
   SessionOptions& mutable_options() { return options_; }
 
  private:
-  /// The pre-wrap body of Execute: parse, type-check, dispatch.
-  Result<EvalOutput> ExecuteStatement(const std::string& text);
+  /// Parse + dispatch: diagnostic statements (EXPLAIN, EXPLAIN ANALYZE,
+  /// SYSTEM METRICS) take their own paths; everything else runs guarded
+  /// and atomic through ExecuteGuarded.
+  Result<EvalOutput> ExecuteParsed(const std::string& text);
+
+  /// Runs one non-diagnostic statement under a fresh guardrail context
+  /// and an undo log. With `rollback_always` the statement's mutations
+  /// are withdrawn even on success (EXPLAIN ANALYZE executes for real
+  /// but must leave no trace).
+  Result<EvalOutput> ExecuteGuarded(const Statement& stmt,
+                                    bool rollback_always);
+
+  /// The per-kind body: type-check + dispatch (context already armed).
+  Result<EvalOutput> ExecuteStatement(const Statement& stmt);
+
+  /// `EXPLAIN <q>`: the typing/plan report as a relation. Guard-exempt —
+  /// nothing is evaluated.
+  Result<EvalOutput> ExecuteExplain(const Statement& stmt);
+  /// `EXPLAIN ANALYZE <q>`: execute under a tracer (guarded), roll the
+  /// mutations back, render the span tree (render is guard-exempt).
+  Result<EvalOutput> ExecuteExplainAnalyze(const Statement& stmt);
+  /// `SYSTEM METRICS`: the global metrics registry as a relation.
+  Result<EvalOutput> SystemMetricsOutput();
+  /// The typing report body shared by Explain() and EXPLAIN.
+  /// (`::xsql::Query` the AST type, not the member function Query.)
+  Result<std::string> ExplainReport(const ::xsql::Query& query);
 
   Database* db_;
   SessionOptions options_;
   ViewManager views_;
   Evaluator evaluator_;
+  std::vector<SlowQueryEntry> slow_query_log_;
 };
 
 }  // namespace xsql

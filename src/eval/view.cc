@@ -1,6 +1,8 @@
 #include "eval/view.h"
 
 #include "eval/update.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xsql {
 
@@ -38,6 +40,10 @@ Status ViewManager::EnsureMaterialized(const std::string& fn) {
 }
 
 Status ViewManager::Materialize(const std::string& name) {
+  static obs::Counter& materializations =
+      obs::MetricsRegistry::Global().GetCounter("xsql.view.materializations");
+  materializations.Inc();
+  obs::Span span("view/materialize", [&] { return name; });
   auto it = views_.find(name);
   if (it == views_.end()) return Status::NotFound("no view " + name);
   ViewDef& def = it->second;

@@ -2,6 +2,9 @@
 
 #include <functional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xsql {
 namespace flogic {
 
@@ -385,6 +388,10 @@ class Translator {
 }  // namespace
 
 Result<FLogicQuery> TranslateToFLogic(const Query& query) {
+  static obs::Counter& translations =
+      obs::MetricsRegistry::Global().GetCounter("xsql.flogic.translations");
+  translations.Inc();
+  obs::Span span("flogic/translate", [&] { return query.ToString(); });
   Translator translator;
   return translator.Run(query);
 }

@@ -1,0 +1,142 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+namespace xsql {
+namespace obs {
+
+void Histogram::Observe(uint64_t v) {
+  if (!MetricsEnabled()) return;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen >= rank) {
+      // Upper bound of bucket i: the largest value with bit_width i.
+      return i == 0 ? 0 : (i >= 64 ? ~0ull : (1ull << i) - 1);
+    }
+  }
+  return ~0ull;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.counter == nullptr) {
+    e.type = "counter";
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.gauge == nullptr) {
+    e.type = "gauge";
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = metrics_[name];
+  if (e.histogram == nullptr) {
+    e.type = "histogram";
+    e.histogram = std::make_unique<Histogram>();
+  }
+  return *e.histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    MetricSample s;
+    s.name = name;
+    s.type = e.type;
+    if (e.counter != nullptr) {
+      s.fields.emplace_back("value", static_cast<int64_t>(e.counter->value()));
+    } else if (e.gauge != nullptr) {
+      s.fields.emplace_back("value", e.gauge->value());
+    } else if (e.histogram != nullptr) {
+      s.fields.emplace_back("count",
+                            static_cast<int64_t>(e.histogram->count()));
+      s.fields.emplace_back("sum", static_cast<int64_t>(e.histogram->sum()));
+      s.fields.emplace_back("p50",
+                            static_cast<int64_t>(e.histogram->Quantile(0.5)));
+      s.fields.emplace_back("p99",
+                            static_cast<int64_t>(e.histogram->Quantile(0.99)));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::string out;
+  for (const MetricSample& s : Snapshot()) {
+    out += s.name + " " + s.type;
+    for (const auto& [key, value] : s.fields) {
+      out += " " + key + "=" + std::to_string(value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // Histogram buckets need the live objects, so re-walk under the lock
+  // rather than going through Snapshot().
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n";
+  bool first = true;
+  for (const auto& [name, e] : metrics_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + name + "\": {\"type\": \"" + e.type + "\"";
+    if (e.counter != nullptr) {
+      out += ", \"value\": " + std::to_string(e.counter->value());
+    } else if (e.gauge != nullptr) {
+      out += ", \"value\": " + std::to_string(e.gauge->value());
+    } else if (e.histogram != nullptr) {
+      out += ", \"count\": " + std::to_string(e.histogram->count());
+      out += ", \"sum\": " + std::to_string(e.histogram->sum());
+      out += ", \"p50\": " + std::to_string(e.histogram->Quantile(0.5));
+      out += ", \"p99\": " + std::to_string(e.histogram->Quantile(0.99));
+      out += ", \"buckets\": {";
+      bool first_bucket = true;
+      for (int i = 0; i < Histogram::kBuckets; ++i) {
+        uint64_t c = e.histogram->bucket(i);
+        if (c == 0) continue;
+        if (!first_bucket) out += ", ";
+        first_bucket = false;
+        out += "\"" + std::to_string(i) + "\": " + std::to_string(c);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace xsql

@@ -1,0 +1,136 @@
+#ifndef XSQL_OBS_METRICS_H_
+#define XSQL_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xsql {
+namespace obs {
+
+/// Process-wide switch for metric recording. Checked with one relaxed
+/// load on every update, so disabling really does freeze every value
+/// (used by tests to prove instrumentation has no observable effect
+/// beyond the metrics themselves).
+inline std::atomic<bool>& MetricsEnabledFlag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+inline bool MetricsEnabled() {
+  return MetricsEnabledFlag().load(std::memory_order_relaxed);
+}
+inline void SetMetricsEnabled(bool on) {
+  MetricsEnabledFlag().store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic counter. Updates are relaxed atomics — no lock, no fence;
+/// readers get eventually-consistent totals, which is all a metrics
+/// dump needs.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    if (MetricsEnabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous signed value (open handles, live sessions).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (MetricsEnabled()) value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t n) {
+    if (MetricsEnabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed log₂-bucket histogram: bucket i counts observations v with
+/// 2^(i-1) < v ≤ 2^i - 1 rounded to bit width, i.e. `bit_width(v)`.
+/// 64 buckets cover the whole uint64 range, so there is no overflow
+/// bucket and no configuration — timers in microseconds span nanosecond
+/// parses to multi-hour scans.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width(v) in [0, 64]
+
+  void Observe(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Approximate quantile (q in [0,1]): upper bound of the bucket
+  /// holding the q-th observation. Exact to within the 2× bucket width.
+  uint64_t Quantile(double q) const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// One metric's dumped state, decoupled from the live atomics.
+struct MetricSample {
+  std::string name;
+  std::string type;  // "counter" | "gauge" | "histogram"
+  /// counter/gauge: {("value", v)}.
+  /// histogram: {("count", n), ("sum", s), ("p50", ..), ("p99", ..)}.
+  std::vector<std::pair<std::string, int64_t>> fields;
+};
+
+/// Named-metric registry. Registration (GetCounter & co.) takes a mutex
+/// but happens once per call site — the idiom is a namespace-scope
+/// `static Counter& c = MetricsRegistry::Global().GetCounter(...)`, so
+/// the hot path touches only the returned object's relaxed atomics.
+/// Returned references are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem registers into.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  /// All metrics, sorted by name.
+  std::vector<MetricSample> Snapshot() const;
+  /// `name type field=value ...` — one line per metric, sorted.
+  std::string ToText() const;
+  /// One JSON object keyed by metric name; histograms carry their
+  /// non-empty buckets as `{"bit_width": count}`.
+  std::string ToJson() const;
+
+ private:
+  struct Entry {
+    std::string type;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace obs
+}  // namespace xsql
+
+#endif  // XSQL_OBS_METRICS_H_

@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "common/fault.h"
+
+namespace xsql {
+namespace obs {
+
+namespace {
+
+uint64_t TotalFaultChecks() {
+  const FaultInjector& fi = FaultInjector::Global();
+  return fi.checks(FaultInjector::Domain::kMutation) +
+         fi.checks(FaultInjector::Domain::kGuard) +
+         fi.checks(FaultInjector::Domain::kIo);
+}
+
+std::string FormatWall(uint64_t ns) {
+  // Microseconds below 1 ms, milliseconds above; one decimal each.
+  char buf[32];
+  if (ns < 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  }
+  return buf;
+}
+
+void RenderNode(const SpanNode& node, int depth, bool include_stats,
+                std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.name);
+  if (!node.detail.empty()) {
+    out->push_back(' ');
+    out->append(node.detail);
+  }
+  if (include_stats) {
+    out->append("  [calls=" + std::to_string(node.count));
+    out->append(" wall=" + FormatWall(node.wall_ns));
+    if (node.rows != 0) out->append(" rows=" + std::to_string(node.rows));
+    if (node.steps != 0) out->append(" steps=" + std::to_string(node.steps));
+    if (node.fault_checks != 0) {
+      out->append(" faults=" + std::to_string(node.fault_checks));
+    }
+    out->push_back(']');
+  }
+  out->push_back('\n');
+  for (const auto& child : node.children) {
+    RenderNode(*child, depth + 1, include_stats, out);
+  }
+}
+
+}  // namespace
+
+SpanNode* SpanNode::FindOrAddChild(const char* child_name,
+                                   const std::string& child_detail) {
+  for (const auto& child : children) {
+    if (child->name == child_name && child->detail == child_detail) {
+      return child.get();
+    }
+  }
+  children.push_back(std::make_unique<SpanNode>());
+  SpanNode* node = children.back().get();
+  node->name = child_name;
+  node->detail = child_detail;
+  return node;
+}
+
+std::string Tracer::Render(bool include_stats) const {
+  std::string out;
+  // The synthetic "trace" root is elided: render its children, the
+  // statements actually traced.
+  for (const auto& child : root_.children) {
+    RenderNode(*child, 0, include_stats, &out);
+  }
+  return out;
+}
+
+void Span::Open(const char* name, std::string detail) {
+  tracer_ = CurrentTracer();
+  node_ = tracer_->stack_.back()->FindOrAddChild(name, detail);
+  node_->count += 1;
+  tracer_->stack_.push_back(node_);
+  if (FaultInjector::Global().armed()) {
+    fault_checks_before_ = TotalFaultChecks();
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+void Span::Close() {
+  node_->wall_ns += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  if (FaultInjector::Global().armed()) {
+    node_->fault_checks += TotalFaultChecks() - fault_checks_before_;
+  }
+  tracer_->stack_.pop_back();
+}
+
+}  // namespace obs
+}  // namespace xsql

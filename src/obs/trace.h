@@ -1,0 +1,129 @@
+#ifndef XSQL_OBS_TRACE_H_
+#define XSQL_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace xsql {
+namespace obs {
+
+/// Aggregated statistics of one operator in the span tree. A node is
+/// keyed by (name, detail) under its parent: re-entering the same
+/// operator merges into the existing node (`count` ticks up, times and
+/// rows accumulate), so the tree stays bounded by the number of
+/// *distinct* operators no matter how many rows flow through them —
+/// this is what makes EXPLAIN ANALYZE output readable on large inputs.
+struct SpanNode {
+  std::string name;
+  std::string detail;
+  uint64_t count = 0;      ///< times the span was entered
+  uint64_t wall_ns = 0;    ///< cumulative wall time (includes children)
+  uint64_t rows = 0;       ///< rows/bindings this operator produced
+  uint64_t steps = 0;      ///< guard-budget steps charged inside the span
+  uint64_t fault_checks = 0;  ///< fault-injection sites crossed (armed only)
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  SpanNode* FindOrAddChild(const char* child_name,
+                           const std::string& child_detail);
+};
+
+/// Collects one statement's span tree. Not thread-safe: a tracer is
+/// installed on one thread via ScopedTracer and records that thread's
+/// spans only. Spans must nest (RAII guarantees it).
+class Tracer {
+ public:
+  Tracer() {
+    root_.name = "trace";
+    stack_.push_back(&root_);
+  }
+
+  const SpanNode& root() const { return root_; }
+
+  /// Renders the tree, two-space indent per level. With stats each line
+  /// carries `calls/wall/rows/steps/faults` (zero fields omitted);
+  /// without, only `name detail` — the timing-free form golden tests
+  /// compare against.
+  std::string Render(bool include_stats = true) const;
+
+ private:
+  friend class Span;
+  friend class ScopedTracer;
+
+  SpanNode root_;
+  std::vector<SpanNode*> stack_;
+};
+
+/// The calling thread's active tracer, or null when tracing is off —
+/// the single relaxed-cost check every Span constructor performs.
+inline Tracer*& CurrentTracerSlot() {
+  thread_local Tracer* current = nullptr;
+  return current;
+}
+inline Tracer* CurrentTracer() { return CurrentTracerSlot(); }
+
+/// Installs a tracer on this thread for a scope (EXPLAIN ANALYZE wraps
+/// the traced execution in one); restores the previous tracer on exit,
+/// so traced regions nest.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer* tracer) : previous_(CurrentTracerSlot()) {
+    CurrentTracerSlot() = tracer;
+  }
+  ~ScopedTracer() { CurrentTracerSlot() = previous_; }
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+/// RAII span. With no tracer installed, construction is a thread-local
+/// load and a branch and destruction one more branch — the "near zero
+/// cost when no sink is attached" contract, benchmarked in B12. The
+/// detail argument is a callable so the string is only built when a
+/// tracer is listening.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (CurrentTracer() != nullptr) Open(name, std::string());
+  }
+  template <typename DetailFn,
+            typename = std::enable_if_t<std::is_invocable_v<DetailFn>>>
+  Span(const char* name, DetailFn&& detail) {
+    if (CurrentTracer() != nullptr) {
+      Open(name, std::forward<DetailFn>(detail)());
+    }
+  }
+  ~Span() {
+    if (node_ != nullptr) Close();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return node_ != nullptr; }
+  void AddRows(uint64_t n) {
+    if (node_ != nullptr) node_->rows += n;
+  }
+  void AddSteps(uint64_t n) {
+    if (node_ != nullptr) node_->steps += n;
+  }
+
+ private:
+  void Open(const char* name, std::string detail);
+  void Close();
+
+  SpanNode* node_ = nullptr;
+  Tracer* tracer_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t fault_checks_before_ = 0;
+};
+
+}  // namespace obs
+}  // namespace xsql
+
+#endif  // XSQL_OBS_TRACE_H_

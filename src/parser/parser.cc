@@ -4,6 +4,8 @@
 #include <set>
 
 #include "common/str_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/lexer.h"
 
 namespace xsql {
@@ -48,6 +50,18 @@ class Parser {
       XSQL_ASSIGN_OR_RETURN(UpdateClassStmt update, ParseUpdateClass());
       stmt.kind = Statement::Kind::kUpdateClass;
       stmt.update_class = std::make_shared<UpdateClassStmt>(std::move(update));
+    } else if (PeekKw("explain")) {
+      // `explain`/`analyze` are only special in statement position, so
+      // Figure 1 attribute names keep working inside queries.
+      Advance();
+      stmt.kind = Statement::Kind::kExplain;
+      stmt.analyze = MatchKw("analyze");
+      XSQL_ASSIGN_OR_RETURN(std::shared_ptr<QueryExpr> q, ParseQueryExpr());
+      stmt.query = std::move(q);
+    } else if (PeekKw("system") && PeekKw("metrics", 1)) {
+      Advance();
+      Advance();
+      stmt.kind = Statement::Kind::kSystemMetrics;
     } else {
       XSQL_ASSIGN_OR_RETURN(std::shared_ptr<QueryExpr> q, ParseQueryExpr());
       stmt.kind = Statement::Kind::kQuery;
@@ -878,7 +892,10 @@ class Resolver {
   Status ResolveStatement(Statement* stmt) {
     switch (stmt->kind) {
       case Statement::Kind::kQuery:
+      case Statement::Kind::kExplain:
         return ResolveQueryExpr(stmt->query.get());
+      case Statement::Kind::kSystemMetrics:
+        return Status::OK();
       case Statement::Kind::kCreateView:
         return ResolveQuery(&stmt->create_view->query);
       case Statement::Kind::kAlterClass:
@@ -1093,9 +1110,19 @@ Status ResolveNames(Statement* stmt, const Database& db) {
 
 Result<Statement> ParseAndResolve(const std::string& text,
                                   const Database& db) {
-  XSQL_ASSIGN_OR_RETURN(Statement stmt, Parse(text));
-  XSQL_RETURN_IF_ERROR(ResolveNames(&stmt, db));
-  return stmt;
+  static obs::Counter& statements =
+      obs::MetricsRegistry::Global().GetCounter("xsql.parse.statements");
+  static obs::Counter& errors =
+      obs::MetricsRegistry::Global().GetCounter("xsql.parse.errors");
+  obs::Span span("parse");
+  auto run = [&]() -> Result<Statement> {
+    XSQL_ASSIGN_OR_RETURN(Statement stmt, Parse(text));
+    XSQL_RETURN_IF_ERROR(ResolveNames(&stmt, db));
+    return stmt;
+  };
+  Result<Statement> out = run();
+  (out.ok() ? statements : errors).Inc();
+  return out;
 }
 
 }  // namespace xsql

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
 
 namespace xsql {
 namespace storage {
@@ -143,6 +144,12 @@ Status File::Sync() {
   XSQL_RETURN_IF_ERROR(WriteFully(fd_, buffer_.data(), buffer_.size(),
                                   path_));
   if (::fsync(fd_) != 0) return ErrnoError("fsync", path_);
+  static obs::Counter& fsyncs =
+      obs::MetricsRegistry::Global().GetCounter("xsql.storage.fsyncs");
+  static obs::Counter& synced_bytes =
+      obs::MetricsRegistry::Global().GetCounter("xsql.storage.synced_bytes");
+  fsyncs.Inc();
+  synced_bytes.Inc(buffer_.size());
   synced_bytes_ += buffer_.size();
   buffer_.clear();
   return Status::OK();

@@ -1,9 +1,13 @@
 #include "storage/recovery.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <optional>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "storage/file.h"
 #include "storage/snapshot.h"
@@ -20,6 +24,11 @@ namespace {
 struct StatementClass {
   bool is_definition = false;
   bool is_create_view = false;
+  /// EXPLAIN [ANALYZE] / SYSTEM METRICS: never appended to the WAL.
+  /// EXPLAIN ANALYZE may bump the in-memory version counter while it
+  /// executes-and-rolls-back, so the version check alone cannot be
+  /// trusted to classify it as read-only.
+  bool is_diagnostic = false;
   std::string view_name;
 };
 
@@ -37,6 +46,10 @@ StatementClass Classify(const std::string& text, const Database& db) {
       // Plain ADD SIGNATURE is fully captured by the snapshot's SIG
       // section; only a method-defining SELECT needs DDL replay.
       out.is_definition = parsed->alter_class->method_def.has_value();
+      break;
+    case Statement::Kind::kExplain:
+    case Statement::Kind::kSystemMetrics:
+      out.is_diagnostic = true;
       break;
     default:
       break;
@@ -86,6 +99,15 @@ Status DurableDatabase::InitializeFreshDir() {
 }
 
 Status DurableDatabase::Recover() {
+  static obs::Counter& recoveries =
+      obs::MetricsRegistry::Global().GetCounter("xsql.storage.recoveries");
+  static obs::Counter& replays = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.storage.replayed_statements");
+  static obs::Histogram& recovery_us =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "xsql.storage.recovery_us");
+  obs::Span span("recovery", [&] { return dir_; });
+  const auto recover_start = std::chrono::steady_clock::now();
   XSQL_RETURN_IF_ERROR(File::EnsureDir(dir_));
   if (!File::Exists(CurrentPath(dir_))) {
     XSQL_RETURN_IF_ERROR(InitializeFreshDir());
@@ -109,6 +131,8 @@ Status DurableDatabase::Recover() {
   // Re-install view definitions and query-defined method bodies: the
   // snapshot holds their *data* (classes, signatures, materialized
   // objects) but not their executable definitions.
+  std::optional<obs::Span> ddl_span;
+  ddl_span.emplace("recovery/ddl-replay");
   XSQL_ASSIGN_OR_RETURN(Wal::Scan ddl, Wal::ScanFile(DdlPath(dir_, gen)));
   if (ddl.torn) {
     // The DDL log is replaced atomically at checkpoint, never appended
@@ -125,9 +149,12 @@ Status DurableDatabase::Recover() {
     }
     ddl_statements_.push_back(ddl.records[i]);
   }
+  ddl_span->AddRows(ddl.records.size());
+  ddl_span.reset();
 
   // Replay the WAL tail; a torn last record (crash mid-append) is
   // truncated away — it was never acknowledged.
+  obs::Span wal_span("recovery/wal-replay");
   XSQL_ASSIGN_OR_RETURN(Wal::Scan scan, Wal::ScanFile(WalPath(dir_, gen)));
   recovered_torn_tail_ = scan.torn;
   for (size_t i = 0; i < scan.records.size(); ++i) {
@@ -142,12 +169,19 @@ Status DurableDatabase::Recover() {
     if (cls.is_definition) ddl_statements_.push_back(stmt);
   }
   replayed_statements_ = scan.records.size();
+  wal_span.AddRows(scan.records.size());
+  replays.Inc(ddl.records.size() + scan.records.size());
 
   XSQL_ASSIGN_OR_RETURN(Wal appender,
                         Wal::OpenAppender(WalPath(dir_, gen),
                                           scan.valid_size));
   wal_ = std::make_unique<Wal>(std::move(appender));
   generation_ = gen;
+  recoveries.Inc();
+  recovery_us.Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - recover_start)
+          .count()));
   return Status::OK();
 }
 
@@ -173,6 +207,14 @@ Result<EvalOutput> DurableDatabase::Execute(const std::string& text) {
   };
   if (!out.ok()) {
     withdraw();
+    return out;
+  }
+  if (cls.is_diagnostic) {
+    // Diagnostics never reach the WAL. EXPLAIN ANALYZE's scratch
+    // mutations were recorded in this undo log (the session saw an
+    // enclosing transaction and left rollback to us): withdraw them so
+    // analyzing a mutating query durably leaves no trace.
+    if (db_->version() != version_before) withdraw();
     return out;
   }
   if (db_->version() == version_before) return out;  // read-only
@@ -202,6 +244,9 @@ Result<Relation> DurableDatabase::Query(const std::string& text) {
 }
 
 Status DurableDatabase::Checkpoint() {
+  static obs::Counter& checkpoints =
+      obs::MetricsRegistry::Global().GetCounter("xsql.storage.checkpoints");
+  obs::Span span("checkpoint", [&] { return dir_; });
   if (wedged_) return WedgedStatus();
   const uint64_t next = generation_ + 1;
   auto fail = [&](Status st) {
@@ -245,6 +290,7 @@ Status DurableDatabase::Checkpoint() {
     return appender.status();
   }
   wal_ = std::make_unique<Wal>(std::move(*appender));
+  checkpoints.Inc();
   // Best-effort cleanup; stray old-generation files are harmless.
   (void)File::Remove(SnapshotPath(dir_, old));
   (void)File::Remove(DdlPath(dir_, old));

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/crc32.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/file.h"
 
 namespace xsql {
@@ -107,6 +109,11 @@ Result<Wal> Wal::OpenAppender(const std::string& path,
 }
 
 Status Wal::Append(const std::string& payload) {
+  static obs::Counter& appends =
+      obs::MetricsRegistry::Global().GetCounter("xsql.storage.wal_appends");
+  static obs::Counter& append_bytes =
+      obs::MetricsRegistry::Global().GetCounter("xsql.storage.wal_bytes");
+  obs::Span span("wal/append");
   std::string record = EncodeRecord(payload);
   Result<File> file = File::OpenAppend(path_);
   if (!file.ok()) return file.status();
@@ -123,6 +130,8 @@ Status Wal::Append(const std::string& payload) {
   XSQL_RETURN_IF_ERROR(file->Close());
   synced_size_ += record.size();
   ++records_appended_;
+  appends.Inc();
+  append_bytes.Inc(record.size());
   return Status::OK();
 }
 

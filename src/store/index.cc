@@ -1,8 +1,16 @@
 #include "store/index.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xsql {
 
 Status PathIndex::Build(const Database& db) {
+  static obs::Counter& builds =
+      obs::MetricsRegistry::Global().GetCounter("xsql.index.builds");
+  builds.Inc();
+  obs::Span span("index/build",
+                 [&] { return anchor_class_.ToString(); });
   by_value_.clear();
   entries_ = 0;
   for (const Oid& head : db.Extent(anchor_class_)) {
