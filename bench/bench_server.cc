@@ -1,0 +1,154 @@
+// Concurrent-server throughput: read QPS through the statement latch
+// as client threads grow, and durable mutation throughput with the
+// per-statement fsync (serial DurableDatabase::Execute) versus the
+// group-commit path (ConcurrencyManager::Execute) at 1/4/8 writers.
+// Companion numbers live in EXPERIMENTS.md (B13).
+//
+// Threaded benchmarks share one ConcurrencyManager through a
+// magic-static environment: google-benchmark invokes the function once
+// per thread, so all setup hides behind a thread-safe static and each
+// thread creates (and closes) its own session.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "server/concurrency.h"
+#include "storage/recovery.h"
+
+namespace xsql {
+namespace bench {
+namespace {
+
+std::string FreshDir(const std::string& name) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / ("xsql_bench_" + name))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void Prime(storage::DurableDatabase* dd) {
+  const char* prelude[] = {
+      "ALTER CLASS Person ADD SIGNATURE Name => String",
+      "ALTER CLASS Person ADD SIGNATURE Salary => Numeral",
+      "UPDATE CLASS Person SET mary.Name = 'mary'",
+      "UPDATE CLASS Person SET mary.Salary = 100",
+  };
+  for (const char* stmt : prelude) (void)dd->Execute(stmt);
+}
+
+const char kRead[] = "SELECT T WHERE mary.Salary[T]";
+const char kUpdate[] = "UPDATE CLASS Person SET mary.Salary = 100";
+
+struct ServerEnv {
+  std::string dir;
+  std::unique_ptr<storage::DurableDatabase> dd;
+  std::unique_ptr<server::ConcurrencyManager> cm;
+};
+
+// Shared across all threads of every threaded benchmark; leaked on
+// purpose so no thread ever sees a torn-down environment.
+ServerEnv* SharedEnv() {
+  static ServerEnv* env = [] {
+    auto* e = new ServerEnv;
+    e->dir = FreshDir("server_shared");
+    auto dd = storage::DurableDatabase::Open(e->dir);
+    if (!dd.ok()) return e;
+    e->dd = std::move(*dd);
+    Prime(e->dd.get());
+    e->cm = std::make_unique<server::ConcurrencyManager>(e->dd.get());
+    return e;
+  }();
+  return env;
+}
+
+// Read QPS through the full concurrency protocol (classification +
+// shared latch + execution), per-thread sessions over one database.
+// NOTE: this host may be single-core; the interesting result is then
+// "no latch collapse" (aggregate QPS holds as threads grow), not a
+// multicore speedup.
+void BM_ConcurrentReads(benchmark::State& state) {
+  ServerEnv* env = SharedEnv();
+  if (!env->cm) {
+    state.SkipWithError("durable open failed");
+    return;
+  }
+  auto sid = env->cm->CreateSession({});
+  if (!sid.ok()) {
+    state.SkipWithError(sid.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto out = env->cm->Execute(*sid, kRead);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  env->cm->CloseSession(*sid);
+}
+BENCHMARK(BM_ConcurrentReads)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Baseline: durable mutations one at a time, each paying its own
+// fsync inline (the pre-server DurableDatabase::Execute path).
+void BM_DurableMutationSerial(benchmark::State& state) {
+  std::string dir = FreshDir("mutation_serial");
+  auto dd = storage::DurableDatabase::Open(dir);
+  if (!dd.ok()) {
+    state.SkipWithError(dd.status().ToString().c_str());
+    return;
+  }
+  Prime(dd->get());
+  for (auto _ : state) {
+    auto out = (*dd)->Execute(kUpdate);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_DurableMutationSerial)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// Group commit: N writer threads through the ConcurrencyManager.
+// Execution still serializes on the exclusive latch, but each writer
+// releases the latch before waiting for durability, so one fsync
+// covers every statement that queued behind the leader.
+void BM_DurableMutationGroupCommit(benchmark::State& state) {
+  ServerEnv* env = SharedEnv();
+  if (!env->cm) {
+    state.SkipWithError("durable open failed");
+    return;
+  }
+  auto sid = env->cm->CreateSession({});
+  if (!sid.ok()) {
+    state.SkipWithError(sid.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto out = env->cm->Execute(*sid, kUpdate);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["group_commit_batches"] = static_cast<double>(
+        env->cm->committer().batches_committed());
+  }
+  env->cm->CloseSession(*sid);
+}
+BENCHMARK(BM_DurableMutationGroupCommit)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace xsql

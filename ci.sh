@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# CI entry point: plain build + tests, then an ASan+UBSan build + tests.
-# Usage: ./ci.sh [--plain-only|--sanitize-only]
+# CI entry point: plain build + tests, an ASan+UBSan build + tests, and
+# a TSan build running the concurrent-server suite.
+# Usage: ./ci.sh [--plain-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,16 +27,66 @@ run_suite() {
   # ($dir/metrics.json) — a quick diffable health check across commits.
   echo "==> metrics artifact ($dir/metrics.json)"
   "./$dir/examples/metrics_dump" > "$dir/metrics.json"
+  # Wire-protocol smoke test: a real server and client over localhost.
+  echo "==> server/client smoke test ($dir)"
+  server_smoke "$dir"
 }
 
-if [[ "$MODE" != "--sanitize-only" ]]; then
+# Boots xsql_server on an ephemeral-ish port, runs three statements
+# through xsql_client (DDL, mutation, read), and shuts the server down
+# gracefully with SIGINT. Fails if the read does not come back with
+# one row.
+server_smoke() {
+  local dir="$1"
+  local dbdir port out
+  dbdir="$(mktemp -d)"
+  port=$((20000 + RANDOM % 20000))
+  "./$dir/examples/xsql_server" --dir "$dbdir/db" --port "$port" &
+  local server_pid=$!
+  local rc=0
+  for _ in $(seq 1 50); do
+    if "./$dir/examples/xsql_client" --port "$port" \
+        --execute "SELECT C FROM Class C" > /dev/null 2>&1; then
+      break
+    fi
+    sleep 0.1
+  done
+  out=""
+  "./$dir/examples/xsql_client" --port "$port" \
+      --execute "ALTER CLASS Person ADD SIGNATURE Name => String" \
+      > /dev/null &&
+    "./$dir/examples/xsql_client" --port "$port" \
+      --execute "UPDATE CLASS Person SET mary.Name = 'mary'" \
+      > /dev/null &&
+    out="$("./$dir/examples/xsql_client" --port "$port" \
+      --execute "SELECT T WHERE mary.Name[T]")" || rc=1
+  kill -INT "$server_pid" 2>/dev/null || true
+  wait "$server_pid" || rc=1
+  rm -rf "$dbdir"
+  if [[ "$rc" != 0 || "$out" != *"(1 rows)"* ]]; then
+    echo "server smoke test failed: unexpected output: $out" >&2
+    return 1
+  fi
+}
+
+if [[ "$MODE" != "--sanitize-only" && "$MODE" != "--tsan-only" ]]; then
   echo "==> plain build + tests"
   run_suite build
 fi
 
-if [[ "$MODE" != "--plain-only" ]]; then
+if [[ "$MODE" != "--plain-only" && "$MODE" != "--tsan-only" ]]; then
   echo "==> ASan+UBSan build + tests"
   run_suite build-asan -DXSQL_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+
+if [[ "$MODE" != "--plain-only" && "$MODE" != "--sanitize-only" ]]; then
+  # ThreadSanitizer over the concurrent-server suite only: TSan's
+  # runtime is incompatible with ASan and slows everything ~10x, so it
+  # runs exactly the tests whose job is to race.
+  echo "==> TSan build + concurrency suite"
+  cmake -B build-tsan -S . -DXSQL_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan -L concurrency --output-on-failure
 fi
 
 echo "==> CI OK"

@@ -1,0 +1,104 @@
+// A line-oriented REPL over the XSQL wire protocol — the network twin
+// of xsql_shell.
+//
+//   $ ./xsql_client --port 7788
+//   xsql(127.0.0.1:7788)> SELECT T WHERE mary.Salary[T]
+//   T
+//   100
+//   (1 rows)
+//   xsql(127.0.0.1:7788)> .quit
+//
+// With --execute "<stmt>" it runs one statement non-interactively and
+// exits (used by ci.sh for the localhost smoke test).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port N] [--execute <stmt>]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7788;
+  std::string one_shot;
+  bool have_one_shot = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--host") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]), 1;
+      host = v;
+    } else if (arg == "--port") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]), 1;
+      port = std::atoi(v);
+    } else if (arg == "--execute" || arg == "-e") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]), 1;
+      one_shot = v;
+      have_one_shot = true;
+    } else {
+      Usage(argv[0]);
+      return 1;
+    }
+  }
+
+  auto client = xsql::server::Client::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect %s:%d: %s\n", host.c_str(), port,
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  if (have_one_shot) {
+    auto out = client->Execute(one_shot);
+    if (!out.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", out->c_str());
+    (void)client->Quit();
+    return 0;
+  }
+
+  std::printf("connected to %s:%d — statements end at end-of-line; "
+              ".ping, .quit\n",
+              host.c_str(), port);
+  std::string line;
+  while (true) {
+    std::printf("xsql(%s:%d)> ", host.c_str(), port);
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == ".quit" || line == ".q") break;
+    if (line == ".ping") {
+      auto pong = client->Ping();
+      std::printf("%s\n", pong.ok() ? pong->c_str()
+                                    : pong.status().ToString().c_str());
+      continue;
+    }
+    auto out = client->Execute(line);
+    if (!out.ok()) {
+      std::printf("error: %s\n", out.status().ToString().c_str());
+      if (!client->connected()) break;
+      continue;
+    }
+    std::printf("%s", out->c_str());
+  }
+  (void)client->Quit();
+  return 0;
+}

@@ -16,15 +16,17 @@ namespace {
 /// for the duration of one Execute call.
 class ScopedExecContext {
  public:
+  /// `views` may be null: read-only statements on a shared view catalog
+  /// leave its context hook alone (concurrent readers would race on it).
   ScopedExecContext(Evaluator* evaluator, ViewManager* views,
                     ExecutionContext* ctx)
       : evaluator_(evaluator), views_(views) {
     evaluator_->set_exec_context(ctx);
-    views_->set_exec_context(ctx);
+    if (views_ != nullptr) views_->set_exec_context(ctx);
   }
   ~ScopedExecContext() {
     evaluator_->set_exec_context(nullptr);
-    views_->set_exec_context(nullptr);
+    if (views_ != nullptr) views_->set_exec_context(nullptr);
   }
 
  private:
@@ -51,6 +53,15 @@ Status AddLines(const std::string& text, Relation* relation) {
 }  // namespace
 
 Result<EvalOutput> Session::Execute(const std::string& text) {
+  return ExecuteTimed(text, /*read_only=*/false);
+}
+
+Result<EvalOutput> Session::ExecuteReadOnly(const std::string& text) {
+  return ExecuteTimed(text, /*read_only=*/true);
+}
+
+Result<EvalOutput> Session::ExecuteTimed(const std::string& text,
+                                         bool read_only) {
   static obs::Counter& statements =
       obs::MetricsRegistry::Global().GetCounter("xsql.session.statements");
   static obs::Counter& failures =
@@ -62,7 +73,7 @@ Result<EvalOutput> Session::Execute(const std::string& text) {
           "xsql.session.statement_us");
   const auto start = std::chrono::steady_clock::now();
   statements.Inc();
-  Result<EvalOutput> out = ExecuteParsed(text);
+  Result<EvalOutput> out = ExecuteParsed(text, read_only);
   const uint64_t wall_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - start)
@@ -71,12 +82,14 @@ Result<EvalOutput> Session::Execute(const std::string& text) {
   if (!out.ok()) failures.Inc();
   if (options_.slow_query_us != 0 && wall_us >= options_.slow_query_us) {
     slow_queries.Inc();
+    std::lock_guard<std::mutex> lock(slow_query_mu_);
     slow_query_log_.push_back({text, wall_us, out.ok()});
   }
   return out;
 }
 
-Result<EvalOutput> Session::ExecuteParsed(const std::string& text) {
+Result<EvalOutput> Session::ExecuteParsed(const std::string& text,
+                                          bool read_only) {
   XSQL_ASSIGN_OR_RETURN(Statement stmt, ParseAndResolve(text, *db_));
   switch (stmt.kind) {
     case Statement::Kind::kExplain:
@@ -85,22 +98,25 @@ Result<EvalOutput> Session::ExecuteParsed(const std::string& text) {
     case Statement::Kind::kSystemMetrics:
       return SystemMetricsOutput();
     default:
-      return ExecuteGuarded(stmt, /*rollback_always=*/false);
+      return ExecuteGuarded(stmt, /*rollback_always=*/false, read_only);
   }
 }
 
 Result<EvalOutput> Session::ExecuteGuarded(const Statement& stmt,
-                                           bool rollback_always) {
+                                           bool rollback_always,
+                                           bool read_only) {
   // One guardrail context per statement: the deadline countdown starts
   // here and budgets reset.
   ExecutionContext ctx(options_.limits, options_.cancel);
-  ScopedExecContext scoped(&evaluator_, &views_, &ctx);
+  ScopedExecContext scoped(&evaluator_, read_only ? nullptr : views_, &ctx);
   obs::Span span("statement", [&] { return stmt.ToString(); });
   // Statement-level atomicity: unless an enclosing transaction (atomic
   // ExecuteScript) is already recording, this statement records its own
-  // undo log and rolls back on any failure.
+  // undo log and rolls back on any failure. Read-only statements have
+  // nothing to roll back and skip the (shared) undo pointer entirely —
+  // concurrent shared-latch readers would race on it.
   UndoLog undo;
-  const bool own_txn = !db_->undo_active();
+  const bool own_txn = !read_only && !db_->undo_active();
   if (own_txn) db_->BeginUndo(&undo);
   Result<EvalOutput> out = ExecuteStatement(stmt);
   span.AddSteps(ctx.steps());
@@ -142,7 +158,7 @@ Result<EvalOutput> Session::ExecuteStatement(const Statement& stmt) {
       return out;
     }
     case Statement::Kind::kCreateView: {
-      XSQL_RETURN_IF_ERROR(views_.Create(*stmt.create_view));
+      XSQL_RETURN_IF_ERROR(views_->Create(*stmt.create_view));
       EvalOutput out;
       out.relation = Relation({"view"});
       XSQL_RETURN_IF_ERROR(out.relation.AddRow({stmt.create_view->name}));

@@ -2,7 +2,9 @@
 #define XSQL_EVAL_SESSION_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/exec_context.h"
@@ -55,10 +57,22 @@ struct SlowQueryEntry {
 class Session {
  public:
   explicit Session(Database* db, SessionOptions options = {})
+      : Session(db, std::move(options), /*shared_views=*/nullptr) {}
+
+  /// Binds the session to a view catalog owned elsewhere. The concurrent
+  /// server gives every connection its own Session (own guardrails, own
+  /// slow-query log, own evaluator scratch state) over ONE database and
+  /// ONE view catalog, so a view created on any connection resolves on
+  /// all of them. `shared_views` must outlive the session; null means
+  /// the session owns a private catalog (the historical behavior).
+  Session(Database* db, SessionOptions options, ViewManager* shared_views)
       : db_(db),
         options_(std::move(options)),
-        views_(db),
-        evaluator_(db, &views_) {
+        owned_views_(shared_views == nullptr
+                         ? std::make_unique<ViewManager>(db)
+                         : nullptr),
+        views_(shared_views != nullptr ? shared_views : owned_views_.get()),
+        evaluator_(db, views_) {
     // Catalog-as-methods (§2): classes answer attributes/superclasses/
     // subclasses/instances like ordinary objects. Idempotent.
     (void)InstallIntrospection(db);
@@ -69,6 +83,14 @@ class Session {
   /// including a tripped guardrail — every mutation the statement made
   /// is rolled back before the error is returned.
   Result<EvalOutput> Execute(const std::string& text);
+
+  /// Executes one statement the caller GUARANTEES is read-only — the
+  /// concurrent server's shared-latch path (see server::NeedsExclusive).
+  /// Skips the statement-level undo log (nothing to roll back) and
+  /// leaves the shared view catalog's execution-context hook untouched:
+  /// concurrent readers would race on both. Guardrails still apply
+  /// through the session's own evaluator.
+  Result<EvalOutput> ExecuteReadOnly(const std::string& text);
 
   /// Executes a `;`-separated script (quotes respected, `--` comments
   /// stripped by the lexer). Stops at the first error; returns the last
@@ -90,29 +112,44 @@ class Session {
   Result<std::string> Explain(const std::string& text);
 
   /// Statements that met the `slow_query_us` threshold, oldest first.
-  const std::vector<SlowQueryEntry>& slow_query_log() const {
+  /// Returns a copy: the log sink is written by the executing thread and
+  /// read by whoever monitors the session (the server's admin surface),
+  /// so both sides go through `slow_query_mu_` and no reference into the
+  /// live vector ever escapes.
+  std::vector<SlowQueryEntry> slow_query_log() const {
+    std::lock_guard<std::mutex> lock(slow_query_mu_);
     return slow_query_log_;
   }
-  void ClearSlowQueryLog() { slow_query_log_.clear(); }
+  void ClearSlowQueryLog() {
+    std::lock_guard<std::mutex> lock(slow_query_mu_);
+    slow_query_log_.clear();
+  }
 
   Database& db() { return *db_; }
-  ViewManager& views() { return views_; }
+  ViewManager& views() { return *views_; }
   Evaluator& evaluator() { return evaluator_; }
   const SessionOptions& options() const { return options_; }
   SessionOptions& mutable_options() { return options_; }
 
  private:
+  /// The shared body of Execute / ExecuteReadOnly: metrics, timing, and
+  /// the slow-query log around one ExecuteParsed call.
+  Result<EvalOutput> ExecuteTimed(const std::string& text, bool read_only);
+
   /// Parse + dispatch: diagnostic statements (EXPLAIN, EXPLAIN ANALYZE,
   /// SYSTEM METRICS) take their own paths; everything else runs guarded
   /// and atomic through ExecuteGuarded.
-  Result<EvalOutput> ExecuteParsed(const std::string& text);
+  Result<EvalOutput> ExecuteParsed(const std::string& text,
+                                   bool read_only = false);
 
   /// Runs one non-diagnostic statement under a fresh guardrail context
   /// and an undo log. With `rollback_always` the statement's mutations
   /// are withdrawn even on success (EXPLAIN ANALYZE executes for real
-  /// but must leave no trace).
+  /// but must leave no trace). With `read_only` the undo log and the
+  /// shared view-catalog context hook are skipped (see ExecuteReadOnly).
   Result<EvalOutput> ExecuteGuarded(const Statement& stmt,
-                                    bool rollback_always);
+                                    bool rollback_always,
+                                    bool read_only = false);
 
   /// The per-kind body: type-check + dispatch (context already armed).
   Result<EvalOutput> ExecuteStatement(const Statement& stmt);
@@ -131,8 +168,12 @@ class Session {
 
   Database* db_;
   SessionOptions options_;
-  ViewManager views_;
+  /// Set iff this session owns its catalog; `views_` points either here
+  /// or at the shared catalog passed to the constructor.
+  std::unique_ptr<ViewManager> owned_views_;
+  ViewManager* views_;
   Evaluator evaluator_;
+  mutable std::mutex slow_query_mu_;
   std::vector<SlowQueryEntry> slow_query_log_;
 };
 

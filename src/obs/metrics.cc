@@ -12,15 +12,15 @@ void Histogram::Observe(uint64_t v) {
   buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
 }
 
-uint64_t Histogram::Quantile(double q) const {
-  const uint64_t n = count();
-  if (n == 0) return 0;
+uint64_t Histogram::Sample::Quantile(double q) const {
+  if (count == 0) return 0;
   if (q < 0) q = 0;
   if (q > 1) q = 1;
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1;
+  uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(count - 1)) + 1;
   uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    seen += bucket(i);
+    seen += buckets[i];
     if (seen >= rank) {
       // Upper bound of bucket i: the largest value with bit_width i.
       return i == 0 ? 0 : (i >= 64 ? ~0ull : (1ull << i) - 1);
@@ -28,6 +28,21 @@ uint64_t Histogram::Quantile(double q) const {
   }
   return ~0ull;
 }
+
+Histogram::Sample Histogram::TakeSample() const {
+  Sample s;
+  // Buckets first; the count is derived from the copy, never from the
+  // live (still advancing) count_, so count == Σ buckets holds for the
+  // sample even while writer threads race this read.
+  for (int i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = bucket(i);
+    s.count += s.buckets[i];
+  }
+  s.sum = sum();
+  return s;
+}
+
+uint64_t Histogram::Quantile(double q) const { return TakeSample().Quantile(q); }
 
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
@@ -77,13 +92,15 @@ std::vector<MetricSample> MetricsRegistry::Snapshot() const {
     } else if (e.gauge != nullptr) {
       s.fields.emplace_back("value", e.gauge->value());
     } else if (e.histogram != nullptr) {
-      s.fields.emplace_back("count",
-                            static_cast<int64_t>(e.histogram->count()));
-      s.fields.emplace_back("sum", static_cast<int64_t>(e.histogram->sum()));
+      // One coherent sample per histogram: count/p50/p99 all derive from
+      // the same bucket copy (see Histogram::TakeSample).
+      Histogram::Sample sample = e.histogram->TakeSample();
+      s.fields.emplace_back("count", static_cast<int64_t>(sample.count));
+      s.fields.emplace_back("sum", static_cast<int64_t>(sample.sum));
       s.fields.emplace_back("p50",
-                            static_cast<int64_t>(e.histogram->Quantile(0.5)));
+                            static_cast<int64_t>(sample.Quantile(0.5)));
       s.fields.emplace_back("p99",
-                            static_cast<int64_t>(e.histogram->Quantile(0.99)));
+                            static_cast<int64_t>(sample.Quantile(0.99)));
     }
     out.push_back(std::move(s));
   }
@@ -117,18 +134,19 @@ std::string MetricsRegistry::ToJson() const {
     } else if (e.gauge != nullptr) {
       out += ", \"value\": " + std::to_string(e.gauge->value());
     } else if (e.histogram != nullptr) {
-      out += ", \"count\": " + std::to_string(e.histogram->count());
-      out += ", \"sum\": " + std::to_string(e.histogram->sum());
-      out += ", \"p50\": " + std::to_string(e.histogram->Quantile(0.5));
-      out += ", \"p99\": " + std::to_string(e.histogram->Quantile(0.99));
+      Histogram::Sample sample = e.histogram->TakeSample();
+      out += ", \"count\": " + std::to_string(sample.count);
+      out += ", \"sum\": " + std::to_string(sample.sum);
+      out += ", \"p50\": " + std::to_string(sample.Quantile(0.5));
+      out += ", \"p99\": " + std::to_string(sample.Quantile(0.99));
       out += ", \"buckets\": {";
       bool first_bucket = true;
       for (int i = 0; i < Histogram::kBuckets; ++i) {
-        uint64_t c = e.histogram->bucket(i);
-        if (c == 0) continue;
+        if (sample.buckets[i] == 0) continue;
         if (!first_bucket) out += ", ";
         first_bucket = false;
-        out += "\"" + std::to_string(i) + "\": " + std::to_string(c);
+        out += "\"" + std::to_string(i) + "\": " +
+               std::to_string(sample.buckets[i]);
       }
       out += "}";
     }

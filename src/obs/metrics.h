@@ -77,10 +77,31 @@ class Histogram {
   /// holding the q-th observation. Exact to within the 2× bucket width.
   uint64_t Quantile(double q) const;
 
+  /// One coherent point-in-time sample (see HistogramSample). Dumps use
+  /// this rather than the raw accessors so concurrently updating threads
+  /// cannot make a single rendered histogram self-inconsistent.
+  struct Sample;
+  Sample TakeSample() const;
+
  private:
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// A decoupled histogram sample with internally consistent fields:
+/// `count` is *derived* from the sampled buckets (count == Σ buckets by
+/// construction) and both quantiles are computed from the same bucket
+/// array, so a dump taken mid-update never shows a p99 from a different
+/// state than its p50 or a count the buckets cannot account for. `sum`
+/// is read once and may trail the buckets by in-flight observations —
+/// the one residual skew a lock-free histogram cannot close.
+struct Histogram::Sample {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t buckets[kBuckets] = {};
+
+  uint64_t Quantile(double q) const;
 };
 
 /// One metric's dumped state, decoupled from the live atomics.

@@ -1,0 +1,86 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "server/wire.h"
+
+namespace xsql {
+namespace server {
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::RuntimeError(std::string("socket: ") + strerror(errno));
+  }
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) < 0) {
+    Status st =
+        Status::RuntimeError(std::string("connect: ") + strerror(errno));
+    close(fd);
+    return st;
+  }
+  return Client(fd);
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<std::string> Client::RoundTrip(uint8_t type,
+                                      const std::string& payload) {
+  if (fd_ < 0) return Status::RuntimeError("client not connected");
+  XSQL_RETURN_IF_ERROR(
+      WriteAll(fd_, EncodeFrame(static_cast<MsgType>(type), payload)));
+  XSQL_ASSIGN_OR_RETURN(Frame reply, ReadFrame(fd_, nullptr));
+  if (reply.type == MsgType::kError) {
+    // The payload is the remote Status rendered "CodeName: message".
+    return Status::RuntimeError(reply.payload);
+  }
+  if (reply.type != MsgType::kResult) {
+    return Status::InvalidArgument("unexpected reply frame type");
+  }
+  return reply.payload;
+}
+
+Result<std::string> Client::Execute(const std::string& statement) {
+  return RoundTrip(static_cast<uint8_t>(MsgType::kExecute), statement);
+}
+
+Result<std::string> Client::Ping() {
+  return RoundTrip(static_cast<uint8_t>(MsgType::kPing), "");
+}
+
+Status Client::Quit() {
+  Result<std::string> bye =
+      RoundTrip(static_cast<uint8_t>(MsgType::kQuit), "");
+  Close();
+  return bye.ok() ? Status::OK() : bye.status();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace server
+}  // namespace xsql

@@ -1,0 +1,51 @@
+#ifndef XSQL_SERVER_CLIENT_H_
+#define XSQL_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace xsql {
+namespace server {
+
+/// A blocking wire-protocol client: one TCP connection, one in-flight
+/// request. Movable, not copyable; the destructor closes the socket.
+class Client {
+ public:
+  /// Connects to `host:port` (numeric IPv4, e.g. "127.0.0.1").
+  static Result<Client> Connect(const std::string& host, int port);
+
+  Client() = default;
+  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client() { Close(); }
+
+  /// Executes one statement; returns the rendered result text. A
+  /// server-side failure comes back as a RuntimeError whose message is
+  /// the remote status (`CodeName: message`).
+  Result<std::string> Execute(const std::string& statement);
+
+  /// Liveness probe; returns the server's "pong".
+  Result<std::string> Ping();
+
+  /// Polite goodbye: sends kQuit, reads the farewell, closes.
+  Status Quit();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// One request/reply round trip.
+  Result<std::string> RoundTrip(uint8_t type, const std::string& payload);
+
+  int fd_ = -1;
+};
+
+}  // namespace server
+}  // namespace xsql
+
+#endif  // XSQL_SERVER_CLIENT_H_

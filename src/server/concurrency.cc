@@ -1,0 +1,280 @@
+#include "server/concurrency.h"
+
+#include <chrono>
+#include <optional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "parser/lexer.h"
+#include "store/method.h"
+
+namespace xsql {
+namespace server {
+
+namespace {
+
+/// Latch waits poll in short slices so a parked statement notices its
+/// deadline and cancel token about as fast as a running one would.
+constexpr std::chrono::milliseconds kWaitSlice(10);
+
+using Clock = std::chrono::steady_clock;
+
+Status CheckWaitGuards(const std::optional<Clock::time_point>& deadline,
+                       const std::shared_ptr<CancelToken>& cancel) {
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled(
+        "statement cancelled while waiting for the statement latch "
+        "(guard: latch-wait)");
+  }
+  if (deadline.has_value() && Clock::now() >= *deadline) {
+    return Status::ResourceExhausted(
+        "deadline exceeded while waiting for the statement latch "
+        "(guard: latch-wait)");
+  }
+  return Status::OK();
+}
+
+std::optional<Clock::time_point> DeadlineFrom(const ExecLimits& limits) {
+  if (limits.deadline_ms == 0) return std::nullopt;
+  return Clock::now() + std::chrono::milliseconds(limits.deadline_ms);
+}
+
+/// How long a statement sat parked before taking the latch — the
+/// contention signal to watch on a loaded server.
+void RecordLatchWait(Clock::time_point entered) {
+  static obs::Histogram& wait_us =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "xsql.server.latch_wait_us");
+  wait_us.Observe(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            entered)
+          .count()));
+}
+
+}  // namespace
+
+Status StatementLatch::AcquireShared(
+    const ExecLimits& limits, const std::shared_ptr<CancelToken>& cancel) {
+  const Clock::time_point entered = Clock::now();
+  const std::optional<Clock::time_point> deadline = DeadlineFrom(limits);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Writer preference: queue behind waiting writers, not just the
+  // holder, so a read-heavy load cannot starve mutations.
+  while (writer_ || writers_waiting_ > 0) {
+    XSQL_RETURN_IF_ERROR(CheckWaitGuards(deadline, cancel));
+    cv_.wait_for(lock, kWaitSlice);
+  }
+  ++readers_;
+  shared_acquires_.fetch_add(1, std::memory_order_relaxed);
+  RecordLatchWait(entered);
+  return Status::OK();
+}
+
+void StatementLatch::ReleaseShared() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--readers_ == 0) cv_.notify_all();
+}
+
+Status StatementLatch::AcquireExclusive(
+    const ExecLimits& limits, const std::shared_ptr<CancelToken>& cancel) {
+  const Clock::time_point entered = Clock::now();
+  const std::optional<Clock::time_point> deadline = DeadlineFrom(limits);
+  std::unique_lock<std::mutex> lock(mu_);
+  ++writers_waiting_;
+  while (writer_ || readers_ > 0) {
+    Status st = CheckWaitGuards(deadline, cancel);
+    if (!st.ok()) {
+      // Readers may be parked solely on our writers_waiting_ claim.
+      if (--writers_waiting_ == 0) cv_.notify_all();
+      return st;
+    }
+    cv_.wait_for(lock, kWaitSlice);
+  }
+  --writers_waiting_;
+  writer_ = true;
+  exclusive_acquires_.fetch_add(1, std::memory_order_relaxed);
+  RecordLatchWait(entered);
+  return Status::OK();
+}
+
+void StatementLatch::ReleaseExclusive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_ = false;
+  cv_.notify_all();
+}
+
+bool NeedsExclusive(const std::string& text,
+                    const storage::StatementClass& cls, const Database& db,
+                    const ViewManager& views) {
+  if (!cls.parse_ok) return true;
+  if (cls.is_mutation_kind || cls.creates_objects ||
+      cls.is_explain_analyze) {
+    return true;
+  }
+  // Mention check: lazy-mutation trapdoors. Applied to plain queries
+  // AND to EXPLAIN (its range analysis walks the same catalogs).
+  Result<std::vector<Token>> tokens = Lex(text);
+  if (!tokens.ok()) return true;  // unlexable yet resolvable: impossible,
+                                  // but stay conservative
+  std::unordered_set<std::string> idents;
+  for (const Token& t : *tokens) {
+    if (t.type == TokenType::kIdent) idents.insert(t.text);
+  }
+  for (const std::string& name : views.ViewNames()) {
+    if (idents.count(name) != 0) return true;
+  }
+  for (const auto& entry : db.methods().AllDefinitions()) {
+    if (idents.count(entry.method.str()) == 0) continue;
+    std::shared_ptr<const MethodBody> body =
+        db.methods().Definition(entry.cls, entry.method, entry.arity);
+    if (body != nullptr && body->kind() == "query") return true;
+  }
+  return false;
+}
+
+ConcurrencyManager::ConcurrencyManager(storage::DurableDatabase* dd,
+                                       Options options)
+    : dd_(dd), options_(options), committer_(dd->wal()) {
+  // Single-threaded here; a warm cache keeps the first shared-latch
+  // readers from racing to build it.
+  PrewarmActiveDomain();
+}
+
+Result<uint64_t> ConcurrencyManager::CreateSession(SessionOptions options) {
+  const ExecLimits limits = options.limits;
+  const std::shared_ptr<CancelToken> cancel = options.cancel;
+  // The Session constructor installs the introspection methods into the
+  // shared database (idempotent, but still a write).
+  XSQL_RETURN_IF_ERROR(latch_.AcquireExclusive(limits, cancel));
+  auto session = std::make_unique<Session>(&dd_->db(), std::move(options),
+                                           &dd_->session().views());
+  PrewarmActiveDomain();
+  latch_.ReleaseExclusive();
+
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  const uint64_t id = ++next_session_id_;
+  sessions_[id] = std::move(session);
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("xsql.server.open_sessions");
+  gauge.Set(static_cast<int64_t>(sessions_.size()));
+  return id;
+}
+
+void ConcurrencyManager::CloseSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(id);
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("xsql.server.open_sessions");
+  gauge.Set(static_cast<int64_t>(sessions_.size()));
+}
+
+Session* ConcurrencyManager::session(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+uint64_t ConcurrencyManager::open_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
+Result<EvalOutput> ConcurrencyManager::Execute(uint64_t session_id,
+                                               const std::string& text) {
+  static obs::Counter& reads = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.server.read_statements");
+  static obs::Counter& writes = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.server.write_statements");
+  Session* session = this->session(session_id);
+  if (session == nullptr) {
+    return Status::InvalidArgument("unknown session id " +
+                                   std::to_string(session_id));
+  }
+  const ExecLimits limits = session->options().limits;
+  const std::shared_ptr<CancelToken> cancel = session->options().cancel;
+  statements_.fetch_add(1, std::memory_order_relaxed);
+
+  // Phase 1: classify under a shared latch (name resolution reads the
+  // live schema). Read-only statements run right here, in parallel.
+  XSQL_RETURN_IF_ERROR(latch_.AcquireShared(limits, cancel));
+  if (dd_->wedged()) {
+    latch_.ReleaseShared();
+    return Status::RuntimeError(
+        "durable database crashed; reopen the directory to recover");
+  }
+  storage::StatementClass cls =
+      storage::ClassifyStatement(text, dd_->db());
+  if (!NeedsExclusive(text, cls, dd_->db(), dd_->session().views())) {
+    // ExecuteReadOnly, not Execute: parallel readers must not touch the
+    // shared undo pointer or the shared view catalog's context hook.
+    Result<EvalOutput> out = session->ExecuteReadOnly(text);
+    latch_.ReleaseShared();
+    reads.Inc();
+    return out;
+  }
+  latch_.ReleaseShared();
+
+  // Phase 2: escalate. The schema may shift between release and
+  // re-acquire, but ExecuteForCommit re-classifies under the exclusive
+  // latch, and "needs exclusive" can only over-approximate.
+  XSQL_RETURN_IF_ERROR(latch_.AcquireExclusive(limits, cancel));
+  uint64_t ticket = 0;
+  Result<EvalOutput> out =
+      dd_->ExecuteForCommit(session, text, &committer_, &ticket);
+  PrewarmActiveDomain();
+  latch_.ReleaseExclusive();
+  writes.Inc();
+
+  if (ticket == 0) return out;  // failed, diagnostic, or read-only
+
+  // Phase 3: wait for durability with the latch free — the next writer
+  // executes in memory while this record's fsync is in flight, and
+  // both records share one fsync when the timing lines up.
+  Status durable = committer_.WaitDurable(ticket);
+  if (!durable.ok()) {
+    // In-memory state now leads durable state with no way to retreat:
+    // same situation as a crash, handled the same way.
+    dd_->Wedge();
+    return durable;
+  }
+  const uint64_t since =
+      mutations_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) +
+      1;
+  if (options_.checkpoint_every != 0 &&
+      since >= options_.checkpoint_every) {
+    mutations_since_checkpoint_.store(0, std::memory_order_relaxed);
+    // The statement is already durable in the current generation; a
+    // failed rotation only matters if the instance wedged, which the
+    // next statement will notice.
+    (void)Checkpoint();
+  }
+  return out;
+}
+
+Status ConcurrencyManager::Checkpoint() {
+  // Rotation is administrative: not bound by any statement's deadline.
+  XSQL_RETURN_IF_ERROR(latch_.AcquireExclusive(ExecLimits{}, nullptr));
+  // Under the exclusive latch nothing can enqueue, so after Drain the
+  // committer is idle and Rebind is safe.
+  Status out = committer_.Drain();
+  if (!out.ok()) {
+    dd_->Wedge();
+  } else {
+    out = dd_->Checkpoint();
+    // On failure the old generation's WAL stays live and bound — no
+    // rebind wanted. On success, point at the rotated appender.
+    if (out.ok()) committer_.Rebind(dd_->wal());
+  }
+  PrewarmActiveDomain();
+  latch_.ReleaseExclusive();
+  return out;
+}
+
+void ConcurrencyManager::PrewarmActiveDomain() {
+  (void)dd_->db().ActiveDomain();
+}
+
+}  // namespace server
+}  // namespace xsql

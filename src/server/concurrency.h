@@ -1,0 +1,167 @@
+#ifndef XSQL_SERVER_CONCURRENCY_H_
+#define XSQL_SERVER_CONCURRENCY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "eval/session.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+
+namespace xsql {
+namespace server {
+
+/// Statement-level shared/exclusive latch with writer preference and
+/// deadline/cancel-aware acquisition.
+///
+/// Read-only statements hold it shared (run in parallel); anything
+/// that can mutate holds it exclusive (serialized). Writer preference
+/// — arriving readers queue behind a waiting writer — keeps a steady
+/// read load from starving mutations.
+///
+/// Acquisition polls in short slices so a waiting statement honors the
+/// same guardrails as a running one: the session's wall-clock deadline
+/// (`ExecLimits::deadline_ms`) and its cancel token. A tripped wait
+/// reports the machine-checkable marker `(guard: latch-wait)`, in the
+/// style of the execution guards.
+class StatementLatch {
+ public:
+  Status AcquireShared(const ExecLimits& limits,
+                       const std::shared_ptr<CancelToken>& cancel);
+  void ReleaseShared();
+  Status AcquireExclusive(const ExecLimits& limits,
+                          const std::shared_ptr<CancelToken>& cancel);
+  void ReleaseExclusive();
+
+  uint64_t shared_acquires() const {
+    return shared_acquires_.load(std::memory_order_relaxed);
+  }
+  uint64_t exclusive_acquires() const {
+    return exclusive_acquires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int readers_ = 0;
+  bool writer_ = false;
+  int writers_waiting_ = 0;
+  std::atomic<uint64_t> shared_acquires_{0};
+  std::atomic<uint64_t> exclusive_acquires_{0};
+};
+
+/// Whether `text` must run under the exclusive latch. Conservative by
+/// design: every statement that *could* write shared state — including
+/// through the engine's lazy-mutation trapdoors — is exclusive, so the
+/// shared path touches strictly read-only code.
+///
+///   - mutation kinds (CREATE VIEW / ALTER CLASS / UPDATE CLASS), OID
+///     FUNCTION queries (they mint objects), and EXPLAIN ANALYZE (it
+///     executes for real, then rolls back);
+///   - any statement that *mentions* a view name: evaluating a view
+///     reference materializes it lazily into the shared database;
+///   - any statement that mentions a query-defined method name:
+///     invoking one can evaluate an OID clause and mint result objects;
+///   - unresolvable statements (they fail before executing, but we have
+///     no classification to trust — and a CREATE VIEW referencing a
+///     not-yet-visible name resolves only at execution).
+///
+/// The mention check lexes `text` and intersects its identifiers with
+/// the live catalogs, so it never misses a reference at the price of
+/// the occasional false positive (e.g. a string literal shares a view's
+/// name — harmless, the statement merely serializes).
+bool NeedsExclusive(const std::string& text,
+                    const storage::StatementClass& cls, const Database& db,
+                    const ViewManager& views);
+
+/// Multi-session front end over ONE DurableDatabase: the server's
+/// execution core, also usable in-process (the benchmarks drive it
+/// directly).
+///
+/// Execution protocol per statement:
+///   1. acquire the latch *shared* and classify under it (classification
+///      resolves names against the live schema, so it needs at least a
+///      read latch);
+///   2. read-only: run in place, release, reply — reads run in parallel;
+///   3. otherwise escalate: release shared, acquire *exclusive*,
+///      execute via DurableDatabase::ExecuteForCommit (which enqueues
+///      the WAL record under the latch — ticket order = execution
+///      order), pre-warm the active-domain cache, release;
+///   4. wait for the ticket's group commit *after* releasing, so the
+///      next writer executes while this record's fsync is in flight —
+///      that overlap is the whole point of group commit;
+///   5. a failed commit wedges the database (in-memory state is ahead
+///      of durable state with no way back; reopening recovers the
+///      durable prefix).
+///
+/// Sessions share the primary session's view catalog, so a view created
+/// on any connection resolves on all of them.
+class ConcurrencyManager {
+ public:
+  struct Options {
+    /// Checkpoint after this many durable mutations (0 = manual only).
+    /// Rotation drains the group committer and runs under the exclusive
+    /// latch, replacing DurableDatabase's own auto-checkpointing, which
+    /// is disabled on the ExecuteForCommit path.
+    uint64_t checkpoint_every = 0;
+  };
+
+  ConcurrencyManager(storage::DurableDatabase* dd, Options options);
+  explicit ConcurrencyManager(storage::DurableDatabase* dd)
+      : ConcurrencyManager(dd, Options()) {}
+
+  /// Registers a new session (exclusive latch: the Session constructor
+  /// installs introspection methods into the shared database).
+  /// `options` carries the connection's guardrails and cancel token.
+  Result<uint64_t> CreateSession(SessionOptions options);
+  void CloseSession(uint64_t id);
+  /// The session object, or null. Stable until CloseSession; only its
+  /// owning connection thread may Execute through it at a time.
+  Session* session(uint64_t id);
+  uint64_t open_sessions() const;
+
+  /// Runs one statement for `session_id` under the protocol above.
+  Result<EvalOutput> Execute(uint64_t session_id, const std::string& text);
+
+  /// Drains in-flight commits and rotates the generation, all under the
+  /// exclusive latch.
+  Status Checkpoint();
+
+  storage::DurableDatabase& durable() { return *dd_; }
+  storage::GroupCommitter& committer() { return committer_; }
+  StatementLatch& latch() { return latch_; }
+  uint64_t statements_executed() const {
+    return statements_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Rebuilds Database::ActiveDomain()'s lazy cache. Called before
+  /// every exclusive-latch release (mutation, rollback, and checkpoint
+  /// paths alike): the cache is a mutable member the first reader would
+  /// otherwise rebuild racily under a *shared* latch.
+  void PrewarmActiveDomain();
+
+  storage::DurableDatabase* dd_;
+  Options options_;
+  storage::GroupCommitter committer_;
+  StatementLatch latch_;
+
+  mutable std::mutex sessions_mu_;
+  std::map<uint64_t, std::unique_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 0;
+
+  std::atomic<uint64_t> statements_{0};
+  std::atomic<uint64_t> mutations_since_checkpoint_{0};
+};
+
+}  // namespace server
+}  // namespace xsql
+
+#endif  // XSQL_SERVER_CONCURRENCY_H_

@@ -1,0 +1,195 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "server/wire.h"
+
+namespace xsql {
+namespace server {
+
+namespace {
+
+constexpr int kAcceptSliceMs = 100;
+constexpr int kListenBacklog = 64;
+
+}  // namespace
+
+std::string RenderResult(const EvalOutput& out) {
+  std::string text;
+  if (out.objects_created) {
+    text += "(" + std::to_string(out.created.size()) + " objects created)\n";
+  }
+  const Relation& rel = out.relation;
+  if (rel.columns().empty()) return text;
+  for (size_t i = 0; i < rel.columns().size(); ++i) {
+    if (i > 0) text += " | ";
+    text += rel.columns()[i];
+  }
+  text += "\n";
+  for (const auto& row : rel.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) text += " | ";
+      text += row[i].ToString();
+    }
+    text += "\n";
+  }
+  text += "(" + std::to_string(rel.size()) + " rows)\n";
+  return text;
+}
+
+Result<std::unique_ptr<Server>> Server::Start(storage::DurableDatabase* dd,
+                                              ServerOptions options) {
+  std::unique_ptr<Server> server(new Server(dd, std::move(options)));
+
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::RuntimeError(std::string("socket: ") + strerror(errno));
+  }
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(server->options_.port));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st =
+        Status::RuntimeError(std::string("bind: ") + strerror(errno));
+    close(fd);
+    return st;
+  }
+  if (listen(fd, kListenBacklog) < 0) {
+    Status st =
+        Status::RuntimeError(std::string("listen: ") + strerror(errno));
+    close(fd);
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  &addr_len) < 0) {
+    Status st =
+        Status::RuntimeError(std::string("getsockname: ") + strerror(errno));
+    close(fd);
+    return st;
+  }
+  server->listen_fd_ = fd;
+  server->port_ = ntohs(addr.sin_port);
+  server->accept_thread_ = std::thread([s = server.get()] {
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+void Server::Shutdown() {
+  // One caller at a time; a second call (or the destructor after an
+  // explicit Shutdown) finds nothing left to join and returns.
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  stop_.store(true, std::memory_order_relaxed);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> drained;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    drained.swap(conn_threads_);
+  }
+  for (std::thread& t : drained) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = poll(&pfd, 1, kAcceptSliceMs);
+    if (ready <= 0) continue;  // slice, EINTR, or spurious: re-check stop
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      (void)WriteAll(fd, EncodeFrame(MsgType::kError,
+                                     "RuntimeError: server at connection "
+                                     "capacity"));
+      close(fd);
+      continue;
+    }
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    connections_served_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  static obs::Counter& served = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.server.statements_served");
+  SessionOptions session_options = options_.session;
+  // A fresh token per connection: cancelling one statement (or losing
+  // one peer) never aborts a neighbor.
+  session_options.cancel = std::make_shared<CancelToken>();
+  Result<uint64_t> sid = cm_.CreateSession(std::move(session_options));
+  if (!sid.ok()) {
+    (void)WriteAll(
+        fd, EncodeFrame(MsgType::kError, sid.status().ToString()));
+    close(fd);
+    active_connections_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Result<Frame> frame = ReadFrame(fd, &stop_);
+    if (!frame.ok()) break;  // stop, EOF, or a hopeless peer
+    bool done = false;
+    switch (frame->type) {
+      case MsgType::kExecute: {
+        Result<EvalOutput> out = cm_.Execute(*sid, frame->payload);
+        served.Inc();
+        std::string reply =
+            out.ok() ? EncodeFrame(MsgType::kResult, RenderResult(*out))
+                     : EncodeFrame(MsgType::kError,
+                                   out.status().ToString());
+        if (!WriteAll(fd, reply).ok()) done = true;
+        break;
+      }
+      case MsgType::kPing:
+        if (!WriteAll(fd, EncodeFrame(MsgType::kResult, "pong")).ok()) {
+          done = true;
+        }
+        break;
+      case MsgType::kQuit:
+        (void)WriteAll(fd, EncodeFrame(MsgType::kResult, "bye"));
+        done = true;
+        break;
+      default:
+        (void)WriteAll(fd, EncodeFrame(MsgType::kError,
+                                       "InvalidArgument: unknown message "
+                                       "type"));
+        done = true;
+        break;
+    }
+    if (done) break;
+  }
+  cm_.CloseSession(*sid);
+  close(fd);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+}  // namespace server
+}  // namespace xsql

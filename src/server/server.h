@@ -1,0 +1,100 @@
+#ifndef XSQL_SERVER_SERVER_H_
+#define XSQL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/session.h"
+#include "server/concurrency.h"
+#include "storage/recovery.h"
+
+namespace xsql {
+namespace server {
+
+/// Server policy knobs.
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// from Server::port()).
+  int port = 0;
+  /// Connection cap: arrivals beyond it get an error frame and an
+  /// immediate close, so a stampede degrades loudly instead of piling
+  /// up threads.
+  int max_connections = 32;
+  /// Per-connection session template (guardrails, typing mode, slow-
+  /// query log). Each connection gets a fresh Session and cancel token;
+  /// `session.limits.deadline_ms` therefore acts as the per-connection
+  /// statement deadline, enforced both waiting for the latch and
+  /// executing.
+  SessionOptions session;
+  /// Group-commit checkpoint cadence (see ConcurrencyManager::Options).
+  uint64_t checkpoint_every = 0;
+};
+
+/// The XSQL TCP server: one listener on 127.0.0.1, one thread per
+/// connection (bounded by `max_connections`), each bound to its own
+/// Session over the shared DurableDatabase through a
+/// ConcurrencyManager. Requests and replies use the length-prefixed
+/// wire protocol (see wire.h); every statement is executed with the
+/// full concurrency protocol — parallel reads, serialized mutations,
+/// group-commit durability before the acknowledging kResult frame.
+///
+/// Shutdown is graceful: the listener stops accepting, connection
+/// threads finish their in-flight statement (its reply is still
+/// delivered), notice the stop flag at the next read slice, and exit;
+/// Shutdown() joins them all.
+class Server {
+ public:
+  /// Binds, listens, and starts the accept loop. `dd` must outlive the
+  /// server.
+  static Result<std::unique_ptr<Server>> Start(storage::DurableDatabase* dd,
+                                               ServerOptions options = {});
+
+  ~Server();
+
+  /// The bound port (useful with options.port == 0).
+  int port() const { return port_; }
+
+  /// Graceful stop; idempotent. Returns after every connection thread
+  /// has drained and joined.
+  void Shutdown();
+
+  ConcurrencyManager& manager() { return cm_; }
+  uint64_t connections_served() const {
+    return connections_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Server(storage::DurableDatabase* dd, ServerOptions options)
+      : options_(std::move(options)),
+        cm_(dd, ConcurrencyManager::Options{options_.checkpoint_every}) {}
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  ServerOptions options_;
+  ConcurrencyManager cm_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex shutdown_mu_;
+  std::mutex threads_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::atomic<int> active_connections_{0};
+  std::atomic<uint64_t> connections_served_{0};
+};
+
+/// Renders an execution result as the human-readable text the server
+/// ships in kResult frames (also what the client REPL prints).
+std::string RenderResult(const EvalOutput& out);
+
+}  // namespace server
+}  // namespace xsql
+
+#endif  // XSQL_SERVER_SERVER_H_

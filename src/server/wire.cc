@@ -1,0 +1,103 @@
+#include "server/wire.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+namespace xsql {
+namespace server {
+
+namespace {
+
+/// How long one poll() slice lasts; the stop flag is checked between
+/// slices, bounding shutdown latency.
+constexpr int kPollSliceMs = 100;
+
+Status SocketError(const char* what) {
+  return Status::RuntimeError(std::string(what) + ": " + strerror(errno));
+}
+
+/// Reads exactly `n` bytes into `out`, polling so the stop flag works.
+Status ReadExact(int fd, size_t n, std::string* out,
+                 const std::atomic<bool>* stop) {
+  out->clear();
+  out->reserve(n);
+  char buf[4096];
+  while (out->size() < n) {
+    if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("connection stopped");
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = poll(&pfd, 1, kPollSliceMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("poll");
+    }
+    if (ready == 0) continue;  // slice expired; re-check stop
+    size_t want = n - out->size();
+    if (want > sizeof(buf)) want = sizeof(buf);
+    ssize_t got = read(fd, buf, want);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("read");
+    }
+    if (got == 0) return Status::NotFound("connection closed by peer");
+    out->append(buf, static_cast<size_t>(got));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeFrame(MsgType type, const std::string& payload) {
+  const uint32_t len = static_cast<uint32_t>(payload.size()) + 1;
+  std::string out;
+  out.reserve(4 + len);
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.push_back(static_cast<char>(type));
+  out.append(payload);
+  return out;
+}
+
+Result<Frame> ReadFrame(int fd, const std::atomic<bool>* stop) {
+  std::string header;
+  XSQL_RETURN_IF_ERROR(ReadExact(fd, 4, &header, stop));
+  const auto* b = reinterpret_cast<const unsigned char*>(header.data());
+  uint32_t len = static_cast<uint32_t>(b[0]) |
+                 (static_cast<uint32_t>(b[1]) << 8) |
+                 (static_cast<uint32_t>(b[2]) << 16) |
+                 (static_cast<uint32_t>(b[3]) << 24);
+  if (len == 0 || len > kMaxFrame) {
+    return Status::InvalidArgument("bad frame length " +
+                                   std::to_string(len));
+  }
+  std::string body;
+  XSQL_RETURN_IF_ERROR(ReadExact(fd, len, &body, stop));
+  Frame frame;
+  frame.type = static_cast<MsgType>(static_cast<uint8_t>(body[0]));
+  frame.payload = body.substr(1);
+  return frame;
+}
+
+Status WriteAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = write(fd, data.data() + sent, data.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return SocketError("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace xsql

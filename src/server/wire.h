@@ -1,0 +1,57 @@
+#ifndef XSQL_SERVER_WIRE_H_
+#define XSQL_SERVER_WIRE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace xsql {
+namespace server {
+
+/// The XSQL wire protocol: length-prefixed frames over a byte stream.
+///
+///     [u32 frame_len | little-endian]   — bytes after this field
+///     [u8  type]                        — MsgType
+///     [frame_len - 1 payload bytes]
+///
+/// Client → server: kExecute (payload = statement text), kPing (empty),
+/// kQuit (empty). Server → client, one reply per request: kResult
+/// (payload = rendered result text) or kError (payload = the Status
+/// rendered as `CodeName: message`, machine-splittable on the first
+/// `: `). Frames above kMaxFrame are a protocol error — the peer is
+/// garbage or hostile, and the connection drops.
+enum class MsgType : uint8_t {
+  kExecute = 0x01,
+  kPing = 0x02,
+  kQuit = 0x03,
+  kResult = 0x11,
+  kError = 0x12,
+};
+
+/// Frame size cap (length field value): 16 MiB.
+constexpr uint32_t kMaxFrame = 16u << 20;
+
+/// One decoded frame.
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::string payload;
+};
+
+/// Encodes a frame ready for the socket.
+std::string EncodeFrame(MsgType type, const std::string& payload);
+
+/// Reads one full frame, polling in 100 ms slices. Aborts with
+/// kCancelled when `*stop` becomes true (server shutdown), and with an
+/// error on EOF, a malformed length, or a socket failure. `stop` may
+/// be null (client side: block until the reply lands).
+Result<Frame> ReadFrame(int fd, const std::atomic<bool>* stop);
+
+/// Writes all of `data`, retrying short writes.
+Status WriteAll(int fd, const std::string& data);
+
+}  // namespace server
+}  // namespace xsql
+
+#endif  // XSQL_SERVER_WIRE_H_

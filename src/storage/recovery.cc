@@ -17,44 +17,17 @@ namespace storage {
 
 namespace {
 
-/// How a statement interacts with the durability layer: definition
-/// statements install state (view definitions, query-defined method
-/// bodies) that snapshots cannot carry, so they are carried forward in
-/// the per-generation DDL log and replayed on open.
-struct StatementClass {
-  bool is_definition = false;
-  bool is_create_view = false;
-  /// EXPLAIN [ANALYZE] / SYSTEM METRICS: never appended to the WAL.
-  /// EXPLAIN ANALYZE may bump the in-memory version counter while it
-  /// executes-and-rolls-back, so the version check alone cannot be
-  /// trusted to classify it as read-only.
-  bool is_diagnostic = false;
-  std::string view_name;
-};
-
-StatementClass Classify(const std::string& text, const Database& db) {
-  StatementClass out;
-  Result<Statement> parsed = ParseAndResolve(text, db);
-  if (!parsed.ok()) return out;  // unparseable cannot execute either
-  switch (parsed->kind) {
-    case Statement::Kind::kCreateView:
-      out.is_definition = true;
-      out.is_create_view = true;
-      out.view_name = parsed->create_view->name.str();
-      break;
-    case Statement::Kind::kAlterClass:
-      // Plain ADD SIGNATURE is fully captured by the snapshot's SIG
-      // section; only a method-defining SELECT needs DDL replay.
-      out.is_definition = parsed->alter_class->method_def.has_value();
-      break;
-    case Statement::Kind::kExplain:
-    case Statement::Kind::kSystemMetrics:
-      out.is_diagnostic = true;
-      break;
+/// True iff any SELECT block in the expression tree carries an OID
+/// FUNCTION clause — evaluating such a query mints objects.
+bool TreeCreatesObjects(const QueryExpr& expr) {
+  switch (expr.kind) {
+    case QueryExpr::Kind::kSimple:
+      return expr.simple != nullptr &&
+             expr.simple->oid_function_of.has_value();
     default:
-      break;
+      return (expr.lhs != nullptr && TreeCreatesObjects(*expr.lhs)) ||
+             (expr.rhs != nullptr && TreeCreatesObjects(*expr.rhs));
   }
-  return out;
 }
 
 Status WedgedStatus() {
@@ -63,6 +36,41 @@ Status WedgedStatus() {
 }
 
 }  // namespace
+
+StatementClass ClassifyStatement(const std::string& text,
+                                 const Database& db) {
+  StatementClass out;
+  Result<Statement> parsed = ParseAndResolve(text, db);
+  if (!parsed.ok()) return out;  // unparseable cannot execute either
+  out.parse_ok = true;
+  switch (parsed->kind) {
+    case Statement::Kind::kCreateView:
+      out.is_definition = true;
+      out.is_create_view = true;
+      out.is_mutation_kind = true;
+      out.view_name = parsed->create_view->name.str();
+      break;
+    case Statement::Kind::kAlterClass:
+      // Plain ADD SIGNATURE is fully captured by the snapshot's SIG
+      // section; only a method-defining SELECT needs DDL replay.
+      out.is_definition = parsed->alter_class->method_def.has_value();
+      out.is_mutation_kind = true;
+      break;
+    case Statement::Kind::kUpdateClass:
+      out.is_mutation_kind = true;
+      break;
+    case Statement::Kind::kExplain:
+    case Statement::Kind::kSystemMetrics:
+      out.is_diagnostic = true;
+      out.is_explain_analyze = parsed->analyze;
+      break;
+    case Statement::Kind::kQuery:
+      out.creates_objects =
+          parsed->query != nullptr && TreeCreatesObjects(*parsed->query);
+      break;
+  }
+  return out;
+}
 
 std::string DurableDatabase::CurrentPath(const std::string& dir) {
   return dir + "/CURRENT";
@@ -159,7 +167,7 @@ Status DurableDatabase::Recover() {
   recovered_torn_tail_ = scan.torn;
   for (size_t i = 0; i < scan.records.size(); ++i) {
     const std::string& stmt = scan.records[i];
-    StatementClass cls = Classify(stmt, *db_);
+    StatementClass cls = ClassifyStatement(stmt, *db_);
     Result<EvalOutput> replay = session_->Execute(stmt);
     if (!replay.ok()) {
       return Status::InvalidArgument(
@@ -186,8 +194,8 @@ Status DurableDatabase::Recover() {
 }
 
 Result<EvalOutput> DurableDatabase::Execute(const std::string& text) {
-  if (wedged_) return WedgedStatus();
-  StatementClass cls = Classify(text, *db_);
+  if (wedged()) return WedgedStatus();
+  StatementClass cls = ClassifyStatement(text, *db_);
   const bool view_existed =
       cls.is_create_view && session_->views().IsView(cls.view_name);
 
@@ -222,7 +230,7 @@ Result<EvalOutput> DurableDatabase::Execute(const std::string& text) {
   Status append = wal_->Append(text);
   if (!append.ok()) {
     withdraw();
-    if (FaultInjector::Global().crashed()) wedged_ = true;
+    if (FaultInjector::Global().crashed()) Wedge();
     return append;
   }
   ++records_since_checkpoint_;
@@ -243,15 +251,63 @@ Result<Relation> DurableDatabase::Query(const std::string& text) {
   return std::move(out.relation);
 }
 
+Result<EvalOutput> DurableDatabase::ExecuteForCommit(
+    Session* session, const std::string& text, GroupCommitter* committer,
+    uint64_t* ticket) {
+  *ticket = 0;
+  if (wedged()) return WedgedStatus();
+  StatementClass cls = ClassifyStatement(text, *db_);
+  const bool view_existed =
+      cls.is_create_view && session->views().IsView(cls.view_name);
+
+  // Same in-memory atomicity as Execute: hold the undo log open past
+  // Session::Execute so a failed statement leaves no trace. Durability
+  // differs — instead of an inline fsync, the record is enqueued for
+  // group commit and the caller waits for its ticket after releasing
+  // the statement latch.
+  const uint64_t version_before = db_->version();
+  UndoLog undo;
+  db_->BeginUndo(&undo);
+  Result<EvalOutput> out = session->Execute(text);
+  db_->EndUndo();
+  auto withdraw = [&]() {
+    db_->Rollback(&undo);
+    if (cls.is_create_view && !view_existed) {
+      session->views().Drop(cls.view_name);
+    }
+  };
+  if (!out.ok()) {
+    withdraw();
+    return out;
+  }
+  if (cls.is_diagnostic) {
+    // Diagnostics never reach the WAL; withdraw EXPLAIN ANALYZE's
+    // scratch mutations (see Execute).
+    if (db_->version() != version_before) withdraw();
+    return out;
+  }
+  if (db_->version() == version_before) return out;  // read-only
+
+  // Enqueue while the caller still holds the exclusive latch: ticket
+  // order == execution order, which recovery's serial replay needs.
+  // DDL bookkeeping happens here too — if the batch later fails the
+  // whole instance wedges, so a bookkeeping entry for a never-durable
+  // statement can never leak into a checkpoint.
+  *ticket = committer->Enqueue(text);
+  ++records_since_checkpoint_;
+  if (cls.is_definition) ddl_statements_.push_back(text);
+  return out;
+}
+
 Status DurableDatabase::Checkpoint() {
   static obs::Counter& checkpoints =
       obs::MetricsRegistry::Global().GetCounter("xsql.storage.checkpoints");
   obs::Span span("checkpoint", [&] { return dir_; });
-  if (wedged_) return WedgedStatus();
+  if (wedged()) return WedgedStatus();
   const uint64_t next = generation_ + 1;
   auto fail = [&](Status st) {
     if (FaultInjector::Global().crashed()) {
-      wedged_ = true;
+      Wedge();
     } else {
       // The rotation never committed; drop the half-built generation.
       (void)File::Remove(SnapshotPath(dir_, next));
@@ -286,7 +342,7 @@ Status DurableDatabase::Checkpoint() {
   if (!appender.ok()) {
     // Rotation committed but the appender could not bind; state on
     // disk is consistent, so force a reopen rather than limp on.
-    wedged_ = true;
+    Wedge();
     return appender.status();
   }
   wal_ = std::make_unique<Wal>(std::move(*appender));

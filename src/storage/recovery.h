@@ -1,6 +1,7 @@
 #ifndef XSQL_STORAGE_RECOVERY_H_
 #define XSQL_STORAGE_RECOVERY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -12,6 +13,42 @@
 
 namespace xsql {
 namespace storage {
+
+/// How a statement interacts with the durability and concurrency
+/// layers. Definition statements install state (view definitions,
+/// query-defined method bodies) that snapshots cannot carry, so they
+/// are carried forward in the per-generation DDL log and replayed on
+/// open. Mutation-kind and object-creating statements tell the server
+/// which latch mode a statement needs *before* running it.
+struct StatementClass {
+  /// The text parsed and resolved. Unparseable statements cannot
+  /// execute either, so every other field is trustworthy only when set.
+  bool parse_ok = false;
+  bool is_definition = false;
+  bool is_create_view = false;
+  /// EXPLAIN [ANALYZE] / SYSTEM METRICS: never appended to the WAL.
+  /// EXPLAIN ANALYZE may bump the in-memory version counter while it
+  /// executes-and-rolls-back, so the version check alone cannot be
+  /// trusted to classify it as read-only.
+  bool is_diagnostic = false;
+  /// EXPLAIN ANALYZE specifically: executes for real (then rolls back),
+  /// so the server must treat it as a writer even though it is
+  /// diagnostic.
+  bool is_explain_analyze = false;
+  /// Statement kinds that mutate by construction (CREATE VIEW, ALTER
+  /// CLASS, UPDATE CLASS), independent of the runtime version check.
+  bool is_mutation_kind = false;
+  /// A query with an OID FUNCTION clause anywhere in its expression
+  /// tree: evaluating it mints objects, i.e. a SELECT that writes.
+  bool creates_objects = false;
+  std::string view_name;
+};
+
+/// Classifies `text` against the current schema. Used by recovery (DDL
+/// carry-forward), the durable Execute path (WAL append decision), and
+/// the concurrent server (latch-mode choice).
+StatementClass ClassifyStatement(const std::string& text,
+                                 const Database& db);
 
 /// Options for a durable database directory.
 struct DurableOptions {
@@ -61,6 +98,27 @@ class DurableDatabase {
   /// Convenience: execute and return just the relation.
   Result<Relation> Query(const std::string& text);
 
+  /// The group-commit half of Execute: runs the statement atomically in
+  /// memory through `session` (a per-connection session sharing this
+  /// database and its view catalog), and — if it mutated the database —
+  /// *enqueues* its WAL record on `committer` instead of fsyncing
+  /// inline, storing the commit ticket in `*ticket`. Read-only,
+  /// diagnostic, and failed statements leave `*ticket == 0`.
+  ///
+  /// The caller owns the rest of the protocol: it must (a) call this
+  /// under the exclusive statement latch for any statement that might
+  /// mutate, so enqueue order equals execution order; (b) release the
+  /// latch and then `committer->WaitDurable(*ticket)` before
+  /// acknowledging; (c) `Wedge()` this database if the wait fails —
+  /// in-memory state is then ahead of durable state with no way back,
+  /// exactly the simulated-crash situation. Auto-checkpointing is
+  /// disabled on this path (rotation must be coordinated with the
+  /// latch; see ConcurrencyManager::MaybeCheckpoint).
+  Result<EvalOutput> ExecuteForCommit(Session* session,
+                                      const std::string& text,
+                                      GroupCommitter* committer,
+                                      uint64_t* ticket);
+
   /// Rotates snapshot + DDL log + WAL into a new generation. Logical
   /// state is unchanged; a crash mid-rotation is always recoverable.
   Status Checkpoint();
@@ -76,7 +134,14 @@ class DurableDatabase {
   bool recovered_torn_tail() const { return recovered_torn_tail_; }
   /// Statements replayed from the WAL during open.
   uint64_t replayed_statements() const { return replayed_statements_; }
-  bool wedged() const { return wedged_; }
+  bool wedged() const { return wedged_.load(std::memory_order_acquire); }
+  /// Marks the instance dead: every later Execute/Checkpoint fails
+  /// until the directory is reopened. Used by the server when a group
+  /// commit fails (in-memory state is ahead of durable state) and by
+  /// the fault injector's simulated crashes.
+  void Wedge() { wedged_.store(true, std::memory_order_release); }
+  /// The live WAL appender (rebind GroupCommitter after Checkpoint).
+  Wal* wal() { return wal_.get(); }
 
   // File-name helpers, exposed for tests.
   static std::string CurrentPath(const std::string& dir);
@@ -102,7 +167,10 @@ class DurableDatabase {
   uint64_t records_since_checkpoint_ = 0;
   uint64_t replayed_statements_ = 0;
   bool recovered_torn_tail_ = false;
-  bool wedged_ = false;
+  /// Atomic because the server reads it from acker threads racing the
+  /// statement threads that set it (all under their own latches, but
+  /// not a common one).
+  std::atomic<bool> wedged_{false};
 };
 
 }  // namespace storage

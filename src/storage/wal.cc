@@ -109,15 +109,25 @@ Result<Wal> Wal::OpenAppender(const std::string& path,
 }
 
 Status Wal::Append(const std::string& payload) {
+  obs::Span span("wal/append");
+  return AppendBatch({payload});
+}
+
+Status Wal::AppendBatch(const std::vector<std::string>& payloads) {
   static obs::Counter& appends =
       obs::MetricsRegistry::Global().GetCounter("xsql.storage.wal_appends");
   static obs::Counter& append_bytes =
       obs::MetricsRegistry::Global().GetCounter("xsql.storage.wal_bytes");
-  obs::Span span("wal/append");
-  std::string record = EncodeRecord(payload);
+  if (payloads.empty()) return Status::OK();
+  obs::Span span("wal/append-batch");
+  span.AddRows(payloads.size());
+  std::string buf;
+  for (const std::string& payload : payloads) {
+    buf += EncodeRecord(payload);
+  }
   Result<File> file = File::OpenAppend(path_);
   if (!file.ok()) return file.status();
-  Status st = file->Write(record);
+  Status st = file->Write(buf);
   if (st.ok()) st = file->Sync();
   if (!st.ok()) {
     (void)file->Close();
@@ -128,11 +138,76 @@ Status Wal::Append(const std::string& payload) {
     return st;
   }
   XSQL_RETURN_IF_ERROR(file->Close());
-  synced_size_ += record.size();
-  ++records_appended_;
-  appends.Inc();
-  append_bytes.Inc(record.size());
+  synced_size_ += buf.size();
+  records_appended_ += payloads.size();
+  appends.Inc(payloads.size());
+  append_bytes.Inc(buf.size());
   return Status::OK();
+}
+
+uint64_t GroupCommitter::Enqueue(std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(payload));
+  return ++next_ticket_;
+}
+
+Status GroupCommitter::WaitDurable(uint64_t ticket) {
+  static obs::Counter& batches = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.storage.group_commit_batches");
+  static obs::Histogram& batch_size =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "xsql.storage.group_commit_batch_size");
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!failure_.ok()) return failure_;
+    if (durable_seq_ >= ticket) return Status::OK();
+    if (leader_active_) {
+      // A batch is in flight (or another waiter is leading); our record
+      // either rides in it or queues for the next leader.
+      cv_.wait(lock);
+      continue;
+    }
+    // Become the leader: take everything pending — FIFO enqueue order
+    // is commit order, so durable_seq_ advances by exactly the batch
+    // size. Our own record is in there (it was enqueued before this
+    // wait), so one round suffices unless a follower shows up late.
+    leader_active_ = true;
+    std::vector<std::string> batch = std::move(pending_);
+    pending_.clear();
+    lock.unlock();
+    Status st = wal_->AppendBatch(batch);
+    lock.lock();
+    leader_active_ = false;
+    if (!st.ok()) {
+      failure_ = st;  // sticky: later records built on never-durable state
+      cv_.notify_all();
+      return st;
+    }
+    durable_seq_ += batch.size();
+    ++batches_committed_;
+    batches.Inc();
+    batch_size.Observe(batch.size());
+    cv_.notify_all();
+  }
+}
+
+Status GroupCommitter::Drain() {
+  uint64_t last;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = next_ticket_;
+  }
+  return last == 0 ? Status::OK() : WaitDurable(last);
+}
+
+void GroupCommitter::Rebind(Wal* wal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wal_ = wal;
+}
+
+uint64_t GroupCommitter::batches_committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_committed_;
 }
 
 }  // namespace storage

@@ -1,7 +1,9 @@
 #ifndef XSQL_STORAGE_WAL_H_
 #define XSQL_STORAGE_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -73,6 +75,13 @@ class Wal {
   /// recovery to find.
   Status Append(const std::string& payload);
 
+  /// Appends `payloads` as consecutive records with ONE write and ONE
+  /// fsync — the group-commit primitive. All-or-nothing at the API
+  /// level: on failure the file is truncated back to its pre-batch
+  /// size (best effort; a simulated crash leaves the torn bytes for
+  /// recovery, which keeps whatever record prefix survived intact).
+  Status AppendBatch(const std::vector<std::string>& payloads);
+
   const std::string& path() const { return path_; }
   uint64_t synced_size() const { return synced_size_; }
   uint64_t records_appended() const { return records_appended_; }
@@ -87,6 +96,71 @@ class Wal {
   std::string path_;
   uint64_t synced_size_ = 0;
   uint64_t records_appended_ = 0;
+};
+
+/// Batches WAL appends from concurrent committers into shared fsyncs —
+/// the classic leader/follower group commit. Callers `Enqueue` their
+/// record (producing a *ticket*, the record's position in commit
+/// order) and then `WaitDurable(ticket)`. The first waiter whose
+/// ticket is not yet durable becomes the leader: it takes *every*
+/// pending record, writes them with one `Wal::AppendBatch` (one
+/// fsync), and wakes the followers whose records rode along. Records
+/// that arrive while a batch's fsync is in flight queue up for the
+/// next leader, so the fsync latency itself is the batching window —
+/// no timer, no configuration, and a lone writer degenerates to
+/// exactly the serial one-fsync-per-statement path.
+///
+/// Ordering contract: callers must enqueue in the same order they
+/// applied their statements to the shared in-memory database (the
+/// server enqueues while still holding the exclusive statement latch).
+/// Batching then preserves that order on disk, so recovery replays a
+/// prefix of the real execution history.
+///
+/// Failure contract: a failed batch is *sticky*. Records after the
+/// failed batch were acknowledged-to-enqueue on top of in-memory state
+/// that will never be durable, so no later batch is allowed to commit;
+/// every current and future waiter gets the failure. The owner is
+/// expected to wedge the database (see DurableDatabase::Wedge) and
+/// force a reopen, which recovers the durable prefix.
+class GroupCommitter {
+ public:
+  /// Binds to the WAL appender; `wal` must outlive the committer (or be
+  /// replaced via Rebind before it dies).
+  explicit GroupCommitter(Wal* wal) : wal_(wal) {}
+  GroupCommitter(const GroupCommitter&) = delete;
+  GroupCommitter& operator=(const GroupCommitter&) = delete;
+
+  /// Adds one record to the pending batch; returns its ticket (1-based
+  /// position in commit order). Never blocks on I/O.
+  uint64_t Enqueue(std::string payload);
+
+  /// Blocks until every record with a ticket ≤ `ticket` is durable, or
+  /// returns the sticky failure. `ticket` 0 (read-only statement) is
+  /// immediately durable by definition.
+  Status WaitDurable(uint64_t ticket);
+
+  /// Flushes everything enqueued so far (one final batch if needed).
+  /// Used before checkpoints and at shutdown.
+  Status Drain();
+
+  /// Re-points the committer at a rotated WAL appender. The caller
+  /// must have Drained and must hold the exclusive statement latch, so
+  /// no batch is in flight and nothing is pending.
+  void Rebind(Wal* wal);
+
+  /// Batches fsynced so far (each is one fsync shared by ≥1 records).
+  uint64_t batches_committed() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Wal* wal_;
+  std::vector<std::string> pending_;  // enqueued, not yet written
+  uint64_t next_ticket_ = 0;          // records enqueued
+  uint64_t durable_seq_ = 0;          // records durable (prefix length)
+  uint64_t batches_committed_ = 0;
+  bool leader_active_ = false;
+  Status failure_ = Status::OK();  // sticky once set
 };
 
 }  // namespace storage

@@ -336,7 +336,7 @@ TEST_F(ObservabilityTest, SlowQueryLogTriggersOnThreshold) {
   session_->mutable_options().slow_query_us = 1;
   ASSERT_TRUE(session_->Query(kFragment17).ok());
   ASSERT_EQ(session_->slow_query_log().size(), 1u);
-  const SlowQueryEntry& entry = session_->slow_query_log()[0];
+  const SlowQueryEntry entry = session_->slow_query_log()[0];
   EXPECT_EQ(entry.statement, kFragment17);
   EXPECT_TRUE(entry.ok);
   EXPECT_GE(entry.wall_us, 1u);
