@@ -130,6 +130,115 @@ BENCHMARK(BM_PaperQueryTraced)
     ->Apply(PaperQueryArgs)
     ->Unit(benchmark::kMicrosecond);
 
+// B14 — cost-based planning. Multi-variable equality joins, where the
+// planner's hash join replaces the nested-loop quadratic probe, run
+// planned (default session) vs unplanned (use_planner=false): the gap
+// is the headline B14 speedup. The single-variable corpus above runs
+// through the planned session too, bounding the planner's overhead on
+// queries it cannot improve.
+const NamedQuery kJoinQueries[] = {
+    {"J1_salary_selfjoin",
+     "SELECT X, Y FROM Employee X, Employee Y "
+     "WHERE X.Salary =some Y.Salary"},
+    {"J2_name_join",
+     "SELECT X, Y FROM Employee X, Person Y WHERE X.Name =some Y.Name"},
+    {"J3_city_join",
+     "SELECT X, Y FROM Person X, Person Y "
+     "WHERE X.Residence.City =some Y.Residence.City"},
+    {"J4_join_plus_filter",
+     "SELECT X, Y FROM Employee X, Employee Y "
+     "WHERE X.Salary =some Y.Salary and X.FamMembers.Age some> 60"},
+};
+
+template <bool planned>
+void BM_JoinQuery(benchmark::State& state) {
+  const NamedQuery& query = kJoinQueries[state.range(0)];
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(1)));
+  Session* session =
+      planned ? scaled.session.get() : scaled.unplanned_session.get();
+  state.SetLabel(query.id);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rel = session->Query(query.text);
+    if (!rel.ok()) {
+      state.SkipWithError(rel.status().ToString().c_str());
+      return;
+    }
+    rows = rel->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.counters["persons"] = static_cast<double>(scaled.stats.persons);
+}
+
+void JoinQueryArgs(benchmark::internal::Benchmark* b) {
+  for (size_t q = 0; q < std::size(kJoinQueries); ++q) {
+    // Scale stops at 4: the unplanned nested loop is quadratic, and
+    // scale 16 would spend the whole bench budget proving the point.
+    for (size_t scale : {1, 4}) {
+      b->Args({static_cast<long>(q), static_cast<long>(scale)});
+    }
+  }
+}
+
+void BM_JoinQueryPlanned(benchmark::State& state) {
+  BM_JoinQuery<true>(state);
+}
+void BM_JoinQueryUnplanned(benchmark::State& state) {
+  BM_JoinQuery<false>(state);
+}
+BENCHMARK(BM_JoinQueryPlanned)
+    ->Apply(JoinQueryArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_JoinQueryUnplanned)
+    ->Apply(JoinQueryArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+// B14 — the prepared-plan cache. The same statement repeated against a
+// caching session (every iteration after the first is a hit: no parse,
+// no typecheck, no planning) vs a cache-disabled session that
+// re-prepares each time. The gap is what a server connection pool saves
+// on its hot statements.
+template <bool cached>
+void BM_RepeatedStatement(benchmark::State& state) {
+  const NamedQuery& query = kQueries[state.range(0)];
+  ScaledDb& scaled = GetScaledDb(static_cast<size_t>(state.range(1)));
+  Session* session =
+      cached ? scaled.session.get() : scaled.uncached_session.get();
+  state.SetLabel(query.id);
+  size_t rows = 0;
+  for (auto _ : state) {
+    auto rel = session->Query(query.text);
+    if (!rel.ok()) {
+      state.SkipWithError(rel.status().ToString().c_str());
+      return;
+    }
+    rows = rel->size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void CacheBenchArgs(benchmark::internal::Benchmark* b) {
+  // Q1 (trivial evaluation: prepare dominates) and Q8 (long statement
+  // text, heavier typecheck) at scale 1.
+  b->Args({0, 1});
+  b->Args({6, 1});
+}
+
+void BM_RepeatedStatementCached(benchmark::State& state) {
+  BM_RepeatedStatement<true>(state);
+}
+void BM_RepeatedStatementUncached(benchmark::State& state) {
+  BM_RepeatedStatement<false>(state);
+}
+BENCHMARK(BM_RepeatedStatementCached)
+    ->Apply(CacheBenchArgs)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RepeatedStatementUncached)
+    ->Apply(CacheBenchArgs)
+    ->Unit(benchmark::kMicrosecond);
+
 // The inert-span micro-cost in isolation: constructing and destroying
 // a span (detail lambda never invoked) with no tracer installed.
 void BM_SpanNoSink(benchmark::State& state) {

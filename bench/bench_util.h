@@ -31,6 +31,12 @@ struct ScaledDb {
   std::unique_ptr<Session> session;
   /// Same database, but with all execution guardrails armed.
   std::unique_ptr<Session> guarded_session;
+  /// Planner and plan cache both off: the greedy ready-first baseline
+  /// every B14 planned number is compared against.
+  std::unique_ptr<Session> unplanned_session;
+  /// Planner on, plan cache off: isolates the prepare (parse +
+  /// typecheck + plan) cost the cache saves on a hit.
+  std::unique_ptr<Session> uncached_session;
   workload::WorkloadStats stats;
 };
 
@@ -48,6 +54,15 @@ inline ScaledDb& GetScaledDb(size_t scale) {
     entry.session = std::make_unique<Session>(entry.db.get());
     entry.guarded_session =
         std::make_unique<Session>(entry.db.get(), GuardedSessionOptions());
+    SessionOptions unplanned;
+    unplanned.use_planner = false;
+    unplanned.plan_cache_capacity = 0;
+    entry.unplanned_session =
+        std::make_unique<Session>(entry.db.get(), unplanned);
+    SessionOptions uncached;
+    uncached.plan_cache_capacity = 0;
+    entry.uncached_session =
+        std::make_unique<Session>(entry.db.get(), uncached);
     it = cache.emplace(scale, std::move(entry)).first;
   }
   return it->second;

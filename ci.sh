@@ -23,6 +23,11 @@ run_suite() {
   # must not race other tests in the same binary re-run.
   echo "==> observability suite ($dir)"
   ctest --test-dir "$dir" -R '^observability_test$' --output-on-failure
+  # The planner suite again, serially and by label: the differential
+  # planned-vs-naive and plan-cache tests are the correctness gate for
+  # the cost-based planner in every sanitized build.
+  echo "==> planner suite ($dir)"
+  ctest --test-dir "$dir" -L planner --output-on-failure
   # Dump the metrics of a representative workload as a build artifact
   # ($dir/metrics.json) — a quick diffable health check across commits.
   echo "==> metrics artifact ($dir/metrics.json)"

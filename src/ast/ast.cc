@@ -315,6 +315,14 @@ void CollectPathExprs(const Condition& cond,
   }
 }
 
+void FlattenAnd(const Condition& cond, std::vector<const Condition*>* out) {
+  if (cond.kind == Condition::Kind::kAnd) {
+    for (const auto& child : cond.children) FlattenAnd(*child, out);
+  } else {
+    out->push_back(&cond);
+  }
+}
+
 bool IsConjunctive(const Condition& cond) {
   switch (cond.kind) {
     case Condition::Kind::kAnd:

@@ -393,6 +393,11 @@ void CollectPathExprs(const ValueExpr& expr, std::vector<const PathExpr*>* out);
 /// (no OR/NOT), the fragment for which §6.2 defines well-typing.
 bool IsConjunctive(const Condition& cond);
 
+/// Flattens nested kAnd nodes into the list of top-level conjuncts, in
+/// source order. The evaluator's conjunct driver and the planner must
+/// agree on this decomposition (plan slots index into it).
+void FlattenAnd(const Condition& cond, std::vector<const Condition*>* out);
+
 }  // namespace xsql
 
 #endif  // XSQL_AST_AST_H_

@@ -1,11 +1,17 @@
 #include "eval/comparator.h"
 
+#include <cmath>
+
 namespace xsql {
 
 std::optional<int> CompareOids(const Oid& a, const Oid& b) {
   if (a.is_numeric() && b.is_numeric()) {
     double x = a.numeric_value();
     double y = b.numeric_value();
+    // NaN is unordered against everything (itself included): report
+    // "incomparable" rather than a bogus 0, which would make both
+    // `NaN <= v` and `NaN >= v` hold.
+    if (std::isnan(x) || std::isnan(y)) return std::nullopt;
     return x < y ? -1 : (x > y ? 1 : 0);
   }
   if (a.is_string() && b.is_string()) {

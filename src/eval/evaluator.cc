@@ -15,14 +15,6 @@ namespace xsql {
 
 namespace {
 
-void Flatten(const Condition* cond, std::vector<const Condition*>* out) {
-  if (cond->kind == Condition::Kind::kAnd) {
-    for (const auto& child : cond->children) Flatten(child.get(), out);
-  } else {
-    out->push_back(cond);
-  }
-}
-
 bool PathHasUnboundVar(const PathExpr& path, const Binding& binding) {
   auto scan_term = [&](const IdTerm& t, auto&& self) -> bool {
     if (t.is_var()) return !binding.Bound(t.var);
@@ -101,6 +93,18 @@ class ConjunctDriver {
     }
     used_.assign(conjuncts_.size(), false);
     from_used_.assign(froms_.size(), false);
+    // A plan applies only when its shape matches this driver's: same
+    // conjunct and FROM counts, reordering allowed, and no explicit
+    // order overriding it. Anything else silently falls back to the
+    // greedy ready-first schedule — a plan can reorder work, never
+    // change what work means.
+    if (opts_ != nullptr && opts_->plan != nullptr && fixed_order_.empty() &&
+        opts_->plan->allow_reorder &&
+        opts_->plan->conjunct_rank.size() == conjuncts_.size() &&
+        opts_->plan->hash_joinable.size() == conjuncts_.size() &&
+        opts_->plan->from_order.size() == froms_.size()) {
+      plan_ = opts_->plan;
+    }
   }
 
   Status Enumerate(Binding* binding, const std::function<Status()>& done) {
@@ -109,18 +113,36 @@ class ConjunctDriver {
 
  private:
   struct PickResult {
-    bool is_from = false;
-    size_t index = 0;
+    enum class Kind : uint8_t { kConjunct, kFrom, kHashJoin };
+    Kind kind = Kind::kConjunct;
+    size_t index = 0;      // conjunct index (kConjunct, kHashJoin)
+    size_t lhs_from = 0;   // kHashJoin: FROM slot of the lhs head var
+    size_t rhs_from = 0;   // kHashJoin: FROM slot of the rhs head var
   };
 
   Status Step(size_t used_count, Binding* binding,
               const std::function<Status()>& done) {
     if (used_count == conjuncts_.size() + froms_.size()) return done();
     PickResult pick = Pick(*binding);
+    if (pick.kind == PickResult::Kind::kHashJoin) {
+      // One hash join consumes the conjunct and both FROM entries: the
+      // join binds both variables and already checked extent
+      // membership, so the entries must not re-enumerate.
+      used_[pick.index] = true;
+      from_used_[pick.lhs_from] = true;
+      from_used_[pick.rhs_from] = true;
+      Status st = EvalHashJoin(
+          conjuncts_[pick.index], pick.lhs_from, pick.rhs_from, binding,
+          [&]() -> Status { return Step(used_count + 3, binding, done); });
+      used_[pick.index] = false;
+      from_used_[pick.lhs_from] = false;
+      from_used_[pick.rhs_from] = false;
+      return st;
+    }
     auto continue_step = [&]() -> Status {
       return Step(used_count + 1, binding, done);
     };
-    if (pick.is_from) {
+    if (pick.kind == PickResult::Kind::kFrom) {
       from_used_[pick.index] = true;
       Status st = EvalFromEntry(*froms_[pick.index], binding, continue_step);
       from_used_[pick.index] = false;
@@ -132,42 +154,124 @@ class ConjunctDriver {
     return st;
   }
 
+  static PickResult PickConjunct(size_t i) {
+    return {PickResult::Kind::kConjunct, i, 0, 0};
+  }
+  static PickResult PickFrom(size_t j) {
+    return {PickResult::Kind::kFrom, j, 0, 0};
+  }
+
   PickResult Pick(const Binding& binding) const {
     if (!fixed_order_.empty()) {
       for (size_t i : fixed_order_) {
-        if (!used_[i]) return {false, i};
+        if (!used_[i]) return PickConjunct(i);
       }
     }
     // 1. Cheap filters: FROM entries whose variable is already bound
     //    (instance-of membership check, §3.4 consistency).
     for (size_t j = 0; j < froms_.size(); ++j) {
-      if (!from_used_[j] && binding.Bound(froms_[j]->var)) return {true, j};
+      if (!from_used_[j] && binding.Bound(froms_[j]->var)) {
+        return PickFrom(j);
+      }
     }
     // 2. A conjunct whose evaluation will not fall back to active-domain
     //    enumeration: a path with a determined head, a bound filter.
-    for (size_t i = 0; i < conjuncts_.size(); ++i) {
-      if (used_[i]) continue;
-      if (Ready(conjuncts_[i], binding)) return {false, i};
+    //    With a plan, the cheapest-ranked ready conjunct wins; without,
+    //    the first ready one (the historical greedy order).
+    {
+      size_t best = conjuncts_.size();
+      for (size_t i = 0; i < conjuncts_.size(); ++i) {
+        if (used_[i]) continue;
+        if (!Ready(conjuncts_[i], binding)) continue;
+        if (plan_ == nullptr) return PickConjunct(i);
+        if (best == conjuncts_.size() ||
+            plan_->conjunct_rank[i] < plan_->conjunct_rank[best]) {
+          best = i;
+        }
+      }
+      if (best != conjuncts_.size()) return PickConjunct(best);
+    }
+    // 2b. A planned hash join whose head variables are both still free:
+    //    binds two variables at once for the price of one pass over
+    //    each side instead of the nested-loop product stage 3 would
+    //    start.
+    if (plan_ != nullptr) {
+      for (size_t i = 0; i < conjuncts_.size(); ++i) {
+        if (used_[i] || !plan_->hash_joinable[i]) continue;
+        size_t lhs_from = 0;
+        size_t rhs_from = 0;
+        if (HashJoinSlots(conjuncts_[i], binding, &lhs_from, &rhs_from)) {
+          return {PickResult::Kind::kHashJoin, i, lhs_from, rhs_from};
+        }
+      }
     }
     // 3. A FROM extent as generator — preferring one that unblocks some
     //    pending path conjunct (its variable is an unbound path head).
+    //    With a plan, ties and the fallback follow the selectivity
+    //    order (smallest candidate set first).
+    std::vector<size_t> from_order;
+    if (plan_ != nullptr) {
+      from_order = plan_->from_order;
+    } else {
+      from_order.resize(froms_.size());
+      for (size_t j = 0; j < froms_.size(); ++j) from_order[j] = j;
+    }
     size_t first_from = froms_.size();
-    for (size_t j = 0; j < froms_.size(); ++j) {
+    for (size_t j : from_order) {
       if (from_used_[j]) continue;
       if (first_from == froms_.size()) first_from = j;
       for (size_t i = 0; i < conjuncts_.size(); ++i) {
         if (used_[i]) continue;
         if (BlockedOnHead(conjuncts_[i], froms_[j]->var, binding)) {
-          return {true, j};
+          return PickFrom(j);
         }
       }
     }
-    if (first_from != froms_.size()) return {true, first_from};
-    // 4. Fallback: any remaining conjunct (enumerates a domain).
-    for (size_t i = 0; i < conjuncts_.size(); ++i) {
-      if (!used_[i]) return {false, i};
+    if (first_from != froms_.size()) return PickFrom(first_from);
+    // 4. Fallback: any remaining conjunct (enumerates a domain) — the
+    //    cheapest-ranked one under a plan.
+    {
+      size_t best = conjuncts_.size();
+      for (size_t i = 0; i < conjuncts_.size(); ++i) {
+        if (used_[i]) continue;
+        if (plan_ == nullptr) return PickConjunct(i);
+        if (best == conjuncts_.size() ||
+            plan_->conjunct_rank[i] < plan_->conjunct_rank[best]) {
+          best = i;
+        }
+      }
+      if (best != conjuncts_.size()) return PickConjunct(best);
     }
-    return {false, 0};
+    return PickConjunct(0);
+  }
+
+  /// Resolves a hash-joinable conjunct's head variables to their FROM
+  /// slots. Fails (returns false) unless both variables are unbound,
+  /// declared over constant classes, and their entries still unused —
+  /// the preconditions for the join to replace the two extent loops.
+  bool HashJoinSlots(const Condition* cond, const Binding& binding,
+                     size_t* lhs_from, size_t* rhs_from) const {
+    if (cond->kind != Condition::Kind::kComparison ||
+        cond->lhs.kind != ValueExpr::Kind::kPath ||
+        cond->rhs.kind != ValueExpr::Kind::kPath ||
+        !cond->lhs.path.head.is_var() || !cond->rhs.path.head.is_var()) {
+      return false;
+    }
+    const Variable& lvar = cond->lhs.path.head.var;
+    const Variable& rvar = cond->rhs.path.head.var;
+    if (lvar == rvar) return false;
+    if (binding.Bound(lvar) || binding.Bound(rvar)) return false;
+    auto slot = [&](const Variable& var, size_t* out) -> bool {
+      for (size_t j = 0; j < froms_.size(); ++j) {
+        if (from_used_[j]) continue;
+        if (froms_[j]->var == var && froms_[j]->cls.is_const()) {
+          *out = j;
+          return true;
+        }
+      }
+      return false;
+    };
+    return slot(lvar, lhs_from) && slot(rvar, rhs_from);
   }
 
   /// True when `cond` has a path headed by the unbound variable `var` —
@@ -378,7 +482,7 @@ class ConjunctDriver {
       }
       case Condition::Kind::kAnd: {
         std::vector<const Condition*> subs;
-        Flatten(cond, &subs);
+        FlattenAnd(*cond, &subs);
         ConjunctDriver sub(ev_, pe_, std::move(subs), {});
         return sub.Enumerate(binding, next);
       }
@@ -406,6 +510,96 @@ class ConjunctDriver {
       }
     }
     return Status::RuntimeError("unexpected condition kind");
+  }
+
+  /// The Theorem 6.1(2) range for a FROM variable, or null.
+  const VarRange* RangeFor(const Variable& var) const {
+    if (opts_ == nullptr || !opts_->use_range_pruning ||
+        opts_->ranges == nullptr) {
+      return nullptr;
+    }
+    auto it = opts_->ranges->find(var);
+    return it == opts_->ranges->end() ? nullptr : &it->second;
+  }
+
+  /// Evaluates a variable-variable equality conjunct as a hash join:
+  /// builds a table from terminal values to head objects over the
+  /// smaller side's candidates, probes it with the larger side's, and
+  /// re-tests the exact §3.2 comparison on every candidate pair. The
+  /// probe is a *complete* filter for `=` under kNone/kSome quantifiers
+  /// — a true comparison needs a shared element — so no solution is
+  /// lost; the ground re-test keeps the singleton requirement of kNone
+  /// exact. Replaces the O(|L|·|R|) nested loop with O(|L|+|R|) side
+  /// evaluations plus output pairs.
+  Status EvalHashJoin(const Condition* cond, size_t lhs_from,
+                      size_t rhs_from, Binding* binding,
+                      const std::function<Status()>& next) {
+    static obs::Counter& joins =
+        obs::MetricsRegistry::Global().GetCounter("xsql.plan.hash_joins");
+    joins.Inc();
+    obs::Span span("plan/hash-join", [&] { return cond->ToString(); });
+    Database* db = ev_->db();
+    auto candidates = [&](const FromEntry& entry) -> Result<std::vector<Oid>> {
+      std::vector<Oid> out;
+      const VarRange* range = RangeFor(entry.var);
+      for (const Oid& oid : db->Extent(entry.cls.value)) {
+        XSQL_RETURN_IF_ERROR(ev_->ctx_->Step());
+        if (range != nullptr && !range->Within(*db, oid)) continue;
+        out.push_back(oid);
+      }
+      return out;
+    };
+    XSQL_ASSIGN_OR_RETURN(std::vector<Oid> lhs_cands,
+                          candidates(*froms_[lhs_from]));
+    XSQL_ASSIGN_OR_RETURN(std::vector<Oid> rhs_cands,
+                          candidates(*froms_[rhs_from]));
+    // Build over the smaller candidate set, probe with the larger.
+    const bool build_left = lhs_cands.size() <= rhs_cands.size();
+    const FromEntry& build_entry =
+        build_left ? *froms_[lhs_from] : *froms_[rhs_from];
+    const FromEntry& probe_entry =
+        build_left ? *froms_[rhs_from] : *froms_[lhs_from];
+    const ValueExpr& build_expr = build_left ? cond->lhs : cond->rhs;
+    const ValueExpr& probe_expr = build_left ? cond->rhs : cond->lhs;
+    const std::vector<Oid>& build_cands = build_left ? lhs_cands : rhs_cands;
+    const std::vector<Oid>& probe_cands = build_left ? rhs_cands : lhs_cands;
+
+    // Terminal value -> positions (in candidate order) of build heads
+    // reaching it.
+    std::unordered_map<Oid, std::vector<size_t>, OidHash> table;
+    for (size_t bi = 0; bi < build_cands.size(); ++bi) {
+      XSQL_RETURN_IF_ERROR(ev_->ctx_->Step());
+      BindScope scope(binding, build_entry.var, build_cands[bi]);
+      XSQL_ASSIGN_OR_RETURN(OidSet values,
+                            ev_->EvalValue(build_expr, binding, *opts_));
+      for (const Oid& v : values) table[v].push_back(bi);
+    }
+    for (const Oid& probe_oid : probe_cands) {
+      XSQL_RETURN_IF_ERROR(ev_->ctx_->Step());
+      BindScope probe_scope(binding, probe_entry.var, probe_oid);
+      XSQL_ASSIGN_OR_RETURN(OidSet values,
+                            ev_->EvalValue(probe_expr, binding, *opts_));
+      // Distinct partners in candidate order: a pair must surface once
+      // no matter how many terminal values it shares.
+      std::vector<size_t> partners;
+      for (const Oid& v : values) {
+        auto it = table.find(v);
+        if (it == table.end()) continue;
+        partners.insert(partners.end(), it->second.begin(), it->second.end());
+      }
+      std::sort(partners.begin(), partners.end());
+      partners.erase(std::unique(partners.begin(), partners.end()),
+                     partners.end());
+      for (size_t bi : partners) {
+        BindScope build_scope(binding, build_entry.var, build_cands[bi]);
+        XSQL_ASSIGN_OR_RETURN(bool truth,
+                              ev_->TestCondition(*cond, binding));
+        if (!truth) continue;
+        span.AddRows(1);
+        XSQL_RETURN_IF_ERROR(next());
+      }
+    }
+    return Status::OK();
   }
 
   /// Binds the free variables of a comparison by enumerating its path
@@ -488,6 +682,9 @@ class ConjunctDriver {
   std::vector<const Condition*> conjuncts_;
   std::vector<const FromEntry*> froms_;
   const EvalOptions* opts_;
+  /// Validated against this driver's shape in the constructor; null
+  /// means greedy ready-first scheduling (the historical behavior).
+  const QueryPlan* plan_ = nullptr;
   std::vector<size_t> fixed_order_;
   std::vector<bool> used_;
   std::vector<bool> from_used_;
@@ -633,7 +830,7 @@ Status Evaluator::ForEachSolution(const std::vector<FromEntry>& from,
                                   std::vector<size_t> order,
                                   const std::function<Status()>& cb) {
   std::vector<const Condition*> conjuncts;
-  if (where != nullptr) Flatten(where.get(), &conjuncts);
+  if (where != nullptr) FlattenAnd(*where, &conjuncts);
 
   if (order.empty()) {
     // Integrated mode: FROM entries join the ready-first driver, so a
@@ -1187,7 +1384,7 @@ Status Evaluator::ExecuteUpdate(const UpdateClassStmt& update,
     // update-scoped conditions (desugared path arguments) are driven
     // per target so their variables see the prefix bindings.
     std::vector<const Condition*> scoped;
-    if (update.where != nullptr) Flatten(update.where.get(), &scoped);
+    if (update.where != nullptr) FlattenAnd(*update.where, &scoped);
     std::vector<std::pair<Oid, OidSet>> writes;
     XSQL_RETURN_IF_ERROR(
         pe.Enumerate(prefix, binding, [&](const Oid& target) -> Status {

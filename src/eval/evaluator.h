@@ -16,6 +16,7 @@
 #include "store/database.h"
 #include "store/index.h"
 #include "store/method.h"
+#include "typing/planner.h"
 #include "typing/range.h"
 
 namespace xsql {
@@ -107,6 +108,13 @@ struct EvalOptions {
   /// matching fresh index is answered by reverse lookup instead of a
   /// forward sweep. Stale indexes are ignored (never incorrect).
   const PathIndexSet* indexes = nullptr;
+  /// Cost-based plan for this query (see Planner): selectivity order
+  /// over the FROM extents, ranks over the WHERE conjuncts, hash-join
+  /// markings. Advisory — the conjunct driver validates it against the
+  /// query's shape and ignores it on any mismatch (or when
+  /// `allow_reorder` is off, or when `conjunct_order` fixes an explicit
+  /// order). Must outlive the evaluation.
+  const QueryPlan* plan = nullptr;
 };
 
 /// The result of running one query.

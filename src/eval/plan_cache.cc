@@ -1,0 +1,125 @@
+#include "eval/plan_cache.h"
+
+#include <cctype>
+
+#include "obs/metrics.h"
+
+namespace xsql {
+
+namespace {
+
+obs::Counter& HitCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("xsql.plan.cache_hits");
+  return c;
+}
+obs::Counter& MissCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("xsql.plan.cache_misses");
+  return c;
+}
+obs::Counter& InvalidationCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.plan.cache_invalidations");
+  return c;
+}
+obs::Counter& EvictionCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("xsql.plan.cache_evictions");
+  return c;
+}
+
+/// Registers every cache counter at once. Called on the first cache
+/// touch so the registry's metric SET is stable from then on — a hit
+/// must not be the first registration (it could land inside a frozen-
+/// metrics window and change the dump's shape, not just its values).
+void RegisterCounters() {
+  HitCounter();
+  MissCounter();
+  InvalidationCounter();
+  EvictionCounter();
+}
+
+}  // namespace
+
+std::shared_ptr<const PreparedPlan> PlanCache::Lookup(const std::string& key,
+                                                      uint64_t db_version) {
+  RegisterCounters();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    MissCounter().Inc();
+    return nullptr;
+  }
+  if (it->second->second->db_version != db_version) {
+    // Stale: the database moved since preparation. Drop the entry so
+    // the re-preparation can take its slot.
+    lru_.erase(it->second);
+    by_key_.erase(it);
+    InvalidationCounter().Inc();
+    MissCounter().Inc();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  HitCounter().Inc();
+  return it->second->second;
+}
+
+bool PlanCache::Contains(const std::string& key, uint64_t db_version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  return it != by_key_.end() && it->second->second->db_version == db_version;
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const PreparedPlan> prepared) {
+  if (capacity_ == 0 || prepared == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    lru_.erase(it->second);
+    by_key_.erase(it);
+  }
+  lru_.emplace_front(key, std::move(prepared));
+  by_key_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    by_key_.erase(lru_.back().first);
+    lru_.pop_back();
+    EvictionCounter().Inc();
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  by_key_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::string PlanCache::NormalizeText(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  bool in_string = false;
+  for (char c : text) {
+    if (c == '\'') in_string = !in_string;
+    // Whitespace inside a string literal is content, not formatting:
+    // `'a  b'` and `'a b'` must not share a cache slot.
+    if (!in_string && std::isspace(static_cast<unsigned char>(c))) {
+      if (!out.empty()) pending_space = true;
+      continue;
+    }
+    if (pending_space) {
+      out.push_back(' ');
+      pending_space = false;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace xsql

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <chrono>
+#include <cstdint>
 
 #include "eval/update.h"
 #include "obs/metrics.h"
@@ -90,7 +91,9 @@ Result<EvalOutput> Session::ExecuteTimed(const std::string& text,
 
 Result<EvalOutput> Session::ExecuteParsed(const std::string& text,
                                           bool read_only) {
-  XSQL_ASSIGN_OR_RETURN(Statement stmt, ParseAndResolve(text, *db_));
+  XSQL_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedPlan> prepared,
+                        Prepare(text));
+  const Statement& stmt = prepared->stmt;
   switch (stmt.kind) {
     case Statement::Kind::kExplain:
       return stmt.analyze ? ExecuteExplainAnalyze(stmt)
@@ -98,13 +101,86 @@ Result<EvalOutput> Session::ExecuteParsed(const std::string& text,
     case Statement::Kind::kSystemMetrics:
       return SystemMetricsOutput();
     default:
-      return ExecuteGuarded(stmt, /*rollback_always=*/false, read_only);
+      return ExecuteGuarded(stmt, /*rollback_always=*/false, read_only,
+                            prepared.get());
   }
+}
+
+std::string Session::CacheKey(const std::string& text) const {
+  std::string key = PlanCache::NormalizeText(text);
+  key += options_.typing_mode == TypingMode::kStrict ? "|strict" : "|liberal";
+  if (options_.exemptions.exempt_all) {
+    key += "|exempt=*";
+  } else {
+    for (const Exemption& e : options_.exemptions.items) {
+      key += "|exempt=" + e.method.ToString() + "/" +
+             std::to_string(e.arg_index);
+    }
+  }
+  // Different index sets plan differently; the pointer identifies the
+  // set (its *contents* are version-guarded like everything else: a
+  // rebuild at a new version invalidates by version mismatch).
+  if (options_.indexes != nullptr) {
+    key += "|idx=" + std::to_string(
+                         reinterpret_cast<uintptr_t>(options_.indexes));
+  }
+  return key;
+}
+
+Result<std::shared_ptr<const PreparedPlan>> Session::Prepare(
+    const std::string& text) {
+  const std::string key = CacheKey(text);
+  // Version read before parsing: everything below reads the catalogs at
+  // (or after) this version, so publishing under it can only ever
+  // under-approximate freshness.
+  const uint64_t version = db_->version();
+  if (std::shared_ptr<const PreparedPlan> hit = plans_->Lookup(key, version)) {
+    return hit;
+  }
+  auto prepared = std::make_shared<PreparedPlan>();
+  prepared->db_version = version;
+  XSQL_ASSIGN_OR_RETURN(prepared->stmt, ParseAndResolve(text, *db_));
+  PrepareStatement(prepared.get());
+  // Only plain queries are worth publishing: DDL/DML executions bump
+  // the version, so their entries would be born stale; diagnostics are
+  // cheap wrappers around a query that gets its own entry.
+  if (prepared->stmt.kind == Statement::Kind::kQuery) {
+    plans_->Insert(key, prepared);
+  }
+  return std::shared_ptr<const PreparedPlan>(std::move(prepared));
+}
+
+void Session::PrepareStatement(PreparedPlan* prepared) {
+  const Statement& stmt = prepared->stmt;
+  if (stmt.kind != Statement::Kind::kQuery || stmt.query == nullptr ||
+      stmt.query->kind != QueryExpr::Kind::kSimple) {
+    return;
+  }
+  {
+    obs::Span span("typecheck");
+    TypeChecker checker(*db_);
+    prepared->typing = checker.Check(*stmt.query->simple,
+                                     options_.typing_mode,
+                                     options_.exemptions);
+    prepared->has_typing = true;
+  }
+  static obs::Counter& prepares =
+      obs::MetricsRegistry::Global().GetCounter("xsql.plan.prepares");
+  prepares.Inc();
+  obs::Span span("plan", [&] { return stmt.query->simple->ToString(); });
+  Planner planner(*db_, options_.indexes);
+  const RangeMap* ranges =
+      prepared->typing.well_typed && prepared->typing.in_fragment
+          ? &prepared->typing.ranges
+          : nullptr;
+  prepared->plan = planner.Plan(*stmt.query->simple, ranges);
+  prepared->has_plan = true;
 }
 
 Result<EvalOutput> Session::ExecuteGuarded(const Statement& stmt,
                                            bool rollback_always,
-                                           bool read_only) {
+                                           bool read_only,
+                                           const PreparedPlan* prepared) {
   // One guardrail context per statement: the deadline countdown starts
   // here and budgets reset.
   ExecutionContext ctx(options_.limits, options_.cancel);
@@ -118,7 +194,7 @@ Result<EvalOutput> Session::ExecuteGuarded(const Statement& stmt,
   UndoLog undo;
   const bool own_txn = !read_only && !db_->undo_active();
   if (own_txn) db_->BeginUndo(&undo);
-  Result<EvalOutput> out = ExecuteStatement(stmt);
+  Result<EvalOutput> out = ExecuteStatement(stmt, prepared);
   span.AddSteps(ctx.steps());
   if (out.ok()) span.AddRows(out->relation.size());
   if (own_txn) {
@@ -128,24 +204,38 @@ Result<EvalOutput> Session::ExecuteGuarded(const Statement& stmt,
   return out;
 }
 
-Result<EvalOutput> Session::ExecuteStatement(const Statement& stmt) {
+Result<EvalOutput> Session::ExecuteStatement(const Statement& stmt,
+                                             const PreparedPlan* prepared) {
   switch (stmt.kind) {
     case Statement::Kind::kQuery: {
       EvalOptions opts;
       opts.use_range_pruning = options_.use_range_pruning;
-      TypingResult typing;
+      opts.indexes = options_.indexes;
+      TypingResult local_typing;
       if (stmt.query->kind == QueryExpr::Kind::kSimple) {
-        obs::Span span("typecheck");
-        TypeChecker checker(*db_);
-        typing = checker.Check(*stmt.query->simple, options_.typing_mode,
-                               options_.exemptions);
-        if (!typing.well_typed && options_.enforce_typing &&
-            typing.in_fragment) {
-          return Status::TypeError("query is not well-typed (" +
-                                   typing.explanation + ")");
+        const TypingResult* typing = nullptr;
+        if (prepared != nullptr && prepared->has_typing) {
+          typing = &prepared->typing;
+        } else {
+          // Legacy inline path (no preparation happened).
+          obs::Span span("typecheck");
+          TypeChecker checker(*db_);
+          local_typing = checker.Check(*stmt.query->simple,
+                                       options_.typing_mode,
+                                       options_.exemptions);
+          typing = &local_typing;
         }
-        if (typing.well_typed && typing.in_fragment) {
-          opts.ranges = &typing.ranges;  // Theorem 6.1(2)
+        if (!typing->well_typed && options_.enforce_typing &&
+            typing->in_fragment) {
+          return Status::TypeError("query is not well-typed (" +
+                                   typing->explanation + ")");
+        }
+        if (typing->well_typed && typing->in_fragment) {
+          opts.ranges = &typing->ranges;  // Theorem 6.1(2)
+        }
+        if (options_.use_planner && prepared != nullptr &&
+            prepared->has_plan) {
+          opts.plan = &prepared->plan;
         }
       }
       if (stmt.query->kind == QueryExpr::Kind::kSimple) {
@@ -207,9 +297,15 @@ Result<EvalOutput> Session::ExecuteExplainAnalyze(const Statement& stmt) {
   static obs::Counter& analyzes =
       obs::MetricsRegistry::Global().GetCounter("xsql.session.explain_analyze");
   analyzes.Inc();
-  Statement query_stmt;
-  query_stmt.kind = Statement::Kind::kQuery;
-  query_stmt.query = stmt.query;
+  PreparedPlan prepared;
+  prepared.db_version = db_->version();
+  prepared.stmt.kind = Statement::Kind::kQuery;
+  prepared.stmt.query = stmt.query;
+  // Would a plain execution of this query hit the shared cache right
+  // now? Reported below; ToString() is how the cache would see it.
+  const bool cached = plans_->Contains(CacheKey(stmt.query->ToString()),
+                                       prepared.db_version);
+  PrepareStatement(&prepared);
   // Execution phase: fully guarded (budgets, deadline, cancellation all
   // apply) and traced. `rollback_always` withdraws any mutations the
   // query made — OID FUNCTION queries create objects — so analyzing is
@@ -217,16 +313,23 @@ Result<EvalOutput> Session::ExecuteExplainAnalyze(const Statement& stmt) {
   obs::Tracer tracer;
   obs::ScopedTracer install(&tracer);
   Result<EvalOutput> executed =
-      ExecuteGuarded(query_stmt, /*rollback_always=*/true);
+      ExecuteGuarded(prepared.stmt, /*rollback_always=*/true,
+                     /*read_only=*/false, &prepared);
   if (!executed.ok()) return executed.status();
   // Render phase: guard-exempt — the work already happened; rendering
   // is proportional to the number of distinct operators.
   EvalOutput out;
   out.relation = Relation({"explain analyze"});
-  XSQL_RETURN_IF_ERROR(AddLines(
-      "query : " + stmt.query->ToString() + "\n" +
-          "rows  : " + std::to_string(executed->relation.size()) + "\n",
-      &out.relation));
+  std::string header = "query : " + stmt.query->ToString() + "\n" +
+                       "rows  : " +
+                       std::to_string(executed->relation.size()) + "\n" +
+                       "cache : " + (cached ? "hit" : "miss") + "\n";
+  if (prepared.has_plan) {
+    for (const std::string& d : prepared.plan.decisions) {
+      header += "plan  : " + d + "\n";
+    }
+  }
+  XSQL_RETURN_IF_ERROR(AddLines(header, &out.relation));
   XSQL_RETURN_IF_ERROR(
       AddLines(tracer.Render(/*include_stats=*/true), &out.relation));
   return out;
@@ -326,10 +429,23 @@ Result<std::string> Session::ExplainReport(const ::xsql::Query& query) {
                                        options_.exemptions);
   TypingResult strict = checker.Check(query, TypingMode::kStrict,
                                       options_.exemptions);
+  // The cost-based plan the evaluator would follow (outside-fragment
+  // queries plan from raw extent sizes: no range witness to refine
+  // them).
+  auto planner_lines = [&](const RangeMap* ranges) {
+    std::string lines;
+    Planner planner(*db_, options_.indexes);
+    QueryPlan qp = planner.Plan(query, ranges);
+    for (const std::string& d : qp.decisions) {
+      lines += "planner : " + d + "\n";
+    }
+    return lines;
+  };
   std::string out = "query   : " + query.ToString() + "\n";
   if (!strict.in_fragment) {
     out += "fragment: outside the typed fragment (" + strict.explanation +
            "); evaluated as liberally typed\n";
+    out += planner_lines(nullptr);
     return out;
   }
   out += "liberal : ";
@@ -356,6 +472,7 @@ Result<std::string> Session::ExplainReport(const ::xsql::Query& query) {
              "\n";
     }
   }
+  out += planner_lines(witness.well_typed ? &witness.ranges : nullptr);
   return out;
 }
 

@@ -11,8 +11,11 @@
 #include "common/status.h"
 #include "eval/evaluator.h"
 #include "eval/introspect.h"
+#include "eval/plan_cache.h"
 #include "eval/view.h"
 #include "store/database.h"
+#include "store/index.h"
+#include "typing/planner.h"
 #include "typing/type_checker.h"
 
 namespace xsql {
@@ -42,6 +45,19 @@ struct SessionOptions {
   /// disables the log. Statements whose wall time meets the threshold
   /// are appended to `Session::slow_query_log()`.
   uint64_t slow_query_us = 0;
+  /// Cost-based planning (selectivity-ordered enumeration, conjunct
+  /// ranks, hash joins). Off restores the greedy ready-first schedule —
+  /// the Theorem 6.1(1) baseline the differential tests compare
+  /// against.
+  bool use_planner = true;
+  /// Prepared-plan cache entries this session's (owned) cache keeps;
+  /// 0 disables caching, so every statement re-parses and re-plans.
+  /// Ignored when the session binds to a shared cache.
+  size_t plan_cache_capacity = 64;
+  /// [BERT89] path indexes the planner and evaluator may consult. Must
+  /// outlive the session; null means no indexes. Stale indexes are
+  /// ignored, never incorrect.
+  const PathIndexSet* indexes = nullptr;
 };
 
 /// One slow-query log entry (see SessionOptions::slow_query_us).
@@ -59,19 +75,28 @@ class Session {
   explicit Session(Database* db, SessionOptions options = {})
       : Session(db, std::move(options), /*shared_views=*/nullptr) {}
 
-  /// Binds the session to a view catalog owned elsewhere. The concurrent
-  /// server gives every connection its own Session (own guardrails, own
-  /// slow-query log, own evaluator scratch state) over ONE database and
-  /// ONE view catalog, so a view created on any connection resolves on
-  /// all of them. `shared_views` must outlive the session; null means
-  /// the session owns a private catalog (the historical behavior).
-  Session(Database* db, SessionOptions options, ViewManager* shared_views)
+  /// Binds the session to a view catalog (and optionally a prepared-
+  /// plan cache) owned elsewhere. The concurrent server gives every
+  /// connection its own Session (own guardrails, own slow-query log,
+  /// own evaluator scratch state) over ONE database, ONE view catalog,
+  /// and ONE plan cache, so a view created on any connection resolves
+  /// on all of them and a statement prepared by any connection skips
+  /// parse+typecheck on all of them. `shared_views` / `shared_plans`
+  /// must outlive the session; null means the session owns private
+  /// ones (the historical behavior).
+  Session(Database* db, SessionOptions options, ViewManager* shared_views,
+          PlanCache* shared_plans = nullptr)
       : db_(db),
         options_(std::move(options)),
         owned_views_(shared_views == nullptr
                          ? std::make_unique<ViewManager>(db)
                          : nullptr),
         views_(shared_views != nullptr ? shared_views : owned_views_.get()),
+        owned_plans_(shared_plans == nullptr
+                         ? std::make_unique<PlanCache>(
+                               options_.plan_cache_capacity)
+                         : nullptr),
+        plans_(shared_plans != nullptr ? shared_plans : owned_plans_.get()),
         evaluator_(db, views_) {
     // Catalog-as-methods (§2): classes answer attributes/superclasses/
     // subclasses/instances like ordinary objects. Idempotent.
@@ -127,6 +152,7 @@ class Session {
 
   Database& db() { return *db_; }
   ViewManager& views() { return *views_; }
+  PlanCache& plan_cache() { return *plans_; }
   Evaluator& evaluator() { return evaluator_; }
   const SessionOptions& options() const { return options_; }
   SessionOptions& mutable_options() { return options_; }
@@ -136,23 +162,43 @@ class Session {
   /// the slow-query log around one ExecuteParsed call.
   Result<EvalOutput> ExecuteTimed(const std::string& text, bool read_only);
 
-  /// Parse + dispatch: diagnostic statements (EXPLAIN, EXPLAIN ANALYZE,
-  /// SYSTEM METRICS) take their own paths; everything else runs guarded
-  /// and atomic through ExecuteGuarded.
+  /// Prepare + dispatch: diagnostic statements (EXPLAIN, EXPLAIN
+  /// ANALYZE, SYSTEM METRICS) take their own paths; everything else
+  /// runs guarded and atomic through ExecuteGuarded.
   Result<EvalOutput> ExecuteParsed(const std::string& text,
                                    bool read_only = false);
+
+  /// The prepared form of `text`: from the plan cache when a fresh
+  /// entry exists (skipping parse, typecheck, and planning — and their
+  /// spans), otherwise parse + PrepareStatement, publishing plain
+  /// queries back to the cache. Preparation is guard-exempt like
+  /// EXPLAIN: it reads the catalogs, evaluates nothing.
+  Result<std::shared_ptr<const PreparedPlan>> Prepare(
+      const std::string& text);
+
+  /// Fills typing + plan for an already-parsed statement (simple
+  /// queries; other kinds pass through).
+  void PrepareStatement(PreparedPlan* prepared);
+
+  /// The cache key for a statement text under this session's typing
+  /// configuration (mode, exemptions, index set identity).
+  std::string CacheKey(const std::string& text) const;
 
   /// Runs one non-diagnostic statement under a fresh guardrail context
   /// and an undo log. With `rollback_always` the statement's mutations
   /// are withdrawn even on success (EXPLAIN ANALYZE executes for real
   /// but must leave no trace). With `read_only` the undo log and the
   /// shared view-catalog context hook are skipped (see ExecuteReadOnly).
+  /// `prepared` carries the typing/plan computed at prepare time; null
+  /// makes kQuery statements type-check inline (legacy path).
   Result<EvalOutput> ExecuteGuarded(const Statement& stmt,
                                     bool rollback_always,
-                                    bool read_only = false);
+                                    bool read_only = false,
+                                    const PreparedPlan* prepared = nullptr);
 
-  /// The per-kind body: type-check + dispatch (context already armed).
-  Result<EvalOutput> ExecuteStatement(const Statement& stmt);
+  /// The per-kind body: dispatch (context already armed).
+  Result<EvalOutput> ExecuteStatement(const Statement& stmt,
+                                      const PreparedPlan* prepared);
 
   /// `EXPLAIN <q>`: the typing/plan report as a relation. Guard-exempt —
   /// nothing is evaluated.
@@ -172,6 +218,9 @@ class Session {
   /// or at the shared catalog passed to the constructor.
   std::unique_ptr<ViewManager> owned_views_;
   ViewManager* views_;
+  /// Same ownership pattern for the prepared-plan cache.
+  std::unique_ptr<PlanCache> owned_plans_;
+  PlanCache* plans_;
   Evaluator evaluator_;
   mutable std::mutex slow_query_mu_;
   std::vector<SlowQueryEntry> slow_query_log_;

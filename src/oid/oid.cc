@@ -1,6 +1,7 @@
 #include "oid/oid.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 
@@ -61,8 +62,17 @@ int Oid::Compare(const Oid& other) const {
     case OidKind::kBool:
     case OidKind::kInt:
       return int_ < other.int_ ? -1 : (int_ > other.int_ ? 1 : 0);
-    case OidKind::kReal:
+    case OidKind::kReal: {
+      // Compare is a TOTAL order (OidSet dedup and sorting depend on
+      // it), so NaN cannot be "unordered" here the way CompareOids
+      // reports it: a bare IEEE compare returns 0 for NaN vs anything,
+      // which used to merge NaN with arbitrary reals on set insertion.
+      // Order NaN after every ordered real instead.
+      const bool a_nan = std::isnan(real_);
+      const bool b_nan = std::isnan(other.real_);
+      if (a_nan || b_nan) return a_nan == b_nan ? 0 : (a_nan ? 1 : -1);
       return real_ < other.real_ ? -1 : (real_ > other.real_ ? 1 : 0);
+    }
     case OidKind::kString:
     case OidKind::kAtom: {
       int c = str_->compare(*other.str_);

@@ -148,8 +148,14 @@ Result<uint64_t> ConcurrencyManager::CreateSession(SessionOptions options) {
   // The Session constructor installs the introspection methods into the
   // shared database (idempotent, but still a write).
   XSQL_RETURN_IF_ERROR(latch_.AcquireExclusive(limits, cancel));
+  // Connections share one view catalog AND one prepared-plan cache: a
+  // statement prepared by any connection is a parse+typecheck saved on
+  // every other. Safe under the latch discipline — the cache takes its
+  // own mutex for parallel shared-latch readers, and writers (the only
+  // version bumps) run exclusively.
   auto session = std::make_unique<Session>(&dd_->db(), std::move(options),
-                                           &dd_->session().views());
+                                           &dd_->session().views(),
+                                           &dd_->session().plan_cache());
   PrewarmActiveDomain();
   latch_.ReleaseExclusive();
 

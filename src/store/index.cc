@@ -34,6 +34,7 @@ Status PathIndex::Build(const Database& db) {
       entries_ += heads.size() - before;
     }
   }
+  built_ = true;
   built_at_ = db.version();
   return Status::OK();
 }

@@ -35,9 +35,9 @@ class PathIndex {
 
   const Oid& anchor_class() const { return anchor_class_; }
   const std::vector<Oid>& path() const { return path_; }
-  bool built() const { return built_at_ != 0; }
+  bool built() const { return built_; }
   bool stale(const Database& db) const {
-    return built_at_ != db.version();
+    return !built_ || built_at_ != db.version();
   }
 
   /// Head objects reaching `value` through the path. Empty set when the
@@ -57,6 +57,10 @@ class PathIndex {
   std::vector<Oid> path_;
   std::unordered_map<Oid, OidSet, OidHash> by_value_;
   size_t entries_ = 0;
+  /// Explicit build flag: a version-0 database is a legal build target
+  /// (the constructor registers builtins without bumping the version),
+  /// so `built_at_ == 0` cannot double as "never built".
+  bool built_ = false;
   uint64_t built_at_ = 0;
 };
 

@@ -1,0 +1,144 @@
+// Comparator edge cases: IEEE-754 NaN and infinities through the
+// ordered comparators, and quantified comparisons mixing quantifiers
+// over sets containing unordered values. Regression suite for the
+// CompareOids NaN bug (NaN used to compare equal to everything the
+// three-way compare fell through on).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "eval/comparator.h"
+#include "oid/oid.h"
+
+namespace xsql {
+namespace {
+
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+const double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CompareOidsTest, NaNIsUnorderedAgainstEverything) {
+  // The regression: the old three-way compare returned 0 ("equal") for
+  // NaN pairs because neither < nor > held.
+  EXPECT_EQ(CompareOids(Oid::Real(kNaN), Oid::Real(kNaN)), std::nullopt);
+  EXPECT_EQ(CompareOids(Oid::Real(kNaN), Oid::Real(1.0)), std::nullopt);
+  EXPECT_EQ(CompareOids(Oid::Real(1.0), Oid::Real(kNaN)), std::nullopt);
+  EXPECT_EQ(CompareOids(Oid::Real(kNaN), Oid::Int(7)), std::nullopt);
+  EXPECT_EQ(CompareOids(Oid::Int(7), Oid::Real(kNaN)), std::nullopt);
+}
+
+TEST(CompareOidsTest, NaNSatisfiesNoOrderedRelation) {
+  for (CompOp op :
+       {CompOp::kLt, CompOp::kLe, CompOp::kGt, CompOp::kGe}) {
+    EXPECT_FALSE(OidsRelate(Oid::Real(kNaN), op, Oid::Real(kNaN)));
+    EXPECT_FALSE(OidsRelate(Oid::Real(kNaN), op, Oid::Real(0.0)));
+    EXPECT_FALSE(OidsRelate(Oid::Real(0.0), op, Oid::Real(kNaN)));
+  }
+}
+
+TEST(CompareOidsTest, EqualityIsOidIdentityNotIeee) {
+  // `=` in the language is oid identity, not IEEE float equality: the
+  // NaN oid IS itself (Oid::Compare is a total order with NaN sorting
+  // after every ordered real), but it equals no other real. The old
+  // Oid::Compare fell through to 0 for NaN-vs-anything, which made
+  // NaN equal to *every* real and merged them on set insertion.
+  EXPECT_TRUE(OidsRelate(Oid::Real(kNaN), CompOp::kEq, Oid::Real(kNaN)));
+  EXPECT_FALSE(OidsRelate(Oid::Real(kNaN), CompOp::kEq, Oid::Real(0.0)));
+  EXPECT_FALSE(OidsRelate(Oid::Real(0.0), CompOp::kEq, Oid::Real(kNaN)));
+  EXPECT_TRUE(OidsRelate(Oid::Real(kNaN), CompOp::kNe, Oid::Real(1.0)));
+  EXPECT_FALSE(OidsRelate(Oid::Real(kNaN), CompOp::kNe, Oid::Real(kNaN)));
+  // A set keeps NaN apart from ordered reals it used to swallow.
+  OidSet set;
+  set.Insert(Oid::Real(kNaN));
+  set.Insert(Oid::Real(0.0));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(CompareOidsTest, InfinitiesAreOrdered) {
+  EXPECT_EQ(CompareOids(Oid::Real(-kInf), Oid::Real(kInf)), -1);
+  EXPECT_EQ(CompareOids(Oid::Real(kInf), Oid::Real(-kInf)), 1);
+  EXPECT_EQ(CompareOids(Oid::Real(kInf), Oid::Real(kInf)), 0);
+  EXPECT_EQ(CompareOids(Oid::Real(-kInf), Oid::Real(-kInf)), 0);
+  EXPECT_EQ(CompareOids(Oid::Real(kInf), Oid::Int(1)), 1);
+  EXPECT_EQ(CompareOids(Oid::Int(1), Oid::Real(-kInf)), 1);
+  // Infinity is ordered; NaN against infinity is not.
+  EXPECT_EQ(CompareOids(Oid::Real(kInf), Oid::Real(kNaN)), std::nullopt);
+}
+
+TEST(CompareOidsTest, IntsAndRealsStillMix) {
+  EXPECT_EQ(CompareOids(Oid::Int(2), Oid::Real(2.0)), 0);
+  EXPECT_EQ(CompareOids(Oid::Int(2), Oid::Real(2.5)), -1);
+  EXPECT_EQ(CompareOids(Oid::Real(3.5), Oid::Int(3)), 1);
+}
+
+TEST(EvalComparisonTest, SomeQuantifierSkipsNaNElements) {
+  // {NaN, 30} some> 20: the NaN pair is unsatisfied, the 30 pair
+  // satisfies — the comparison holds through the ordered element.
+  OidSet lhs;
+  lhs.Insert(Oid::Real(kNaN));
+  lhs.Insert(Oid::Real(30.0));
+  OidSet rhs;
+  rhs.Insert(Oid::Real(20.0));
+  EXPECT_TRUE(EvalComparison(lhs, Quant::kSome, CompOp::kGt, Quant::kNone,
+                             rhs));
+  // {NaN} some> 20 has no satisfying pair at all.
+  OidSet only_nan;
+  only_nan.Insert(Oid::Real(kNaN));
+  EXPECT_FALSE(EvalComparison(only_nan, Quant::kSome, CompOp::kGt,
+                              Quant::kNone, rhs));
+}
+
+TEST(EvalComparisonTest, AllQuantifierFailsOnNaNElements) {
+  // {NaN, 30} all> 20: the NaN pair fails, so the universal fails —
+  // under the old "NaN equals everything" bug comparators could let
+  // unordered elements slip through quantifiers.
+  OidSet lhs;
+  lhs.Insert(Oid::Real(kNaN));
+  lhs.Insert(Oid::Real(30.0));
+  OidSet rhs;
+  rhs.Insert(Oid::Real(20.0));
+  EXPECT_FALSE(
+      EvalComparison(lhs, Quant::kAll, CompOp::kGt, Quant::kNone, rhs));
+}
+
+TEST(EvalComparisonTest, MixedQuantifiersWithInfinities) {
+  OidSet lhs;  // {-inf, 0}
+  lhs.Insert(Oid::Real(-kInf));
+  lhs.Insert(Oid::Real(0.0));
+  OidSet rhs;  // {1, +inf}
+  rhs.Insert(Oid::Real(1.0));
+  rhs.Insert(Oid::Real(kInf));
+  // some<all: 0 is below every element of the right side.
+  EXPECT_TRUE(
+      EvalComparison(lhs, Quant::kSome, CompOp::kLt, Quant::kAll, rhs));
+  // all<some: every left element is below +inf.
+  EXPECT_TRUE(
+      EvalComparison(lhs, Quant::kAll, CompOp::kLt, Quant::kSome, rhs));
+  // all>all is false: -inf exceeds nothing.
+  EXPECT_FALSE(
+      EvalComparison(lhs, Quant::kAll, CompOp::kGt, Quant::kAll, rhs));
+  // A NaN on the right poisons universals over the right side...
+  rhs.Insert(Oid::Real(kNaN));
+  EXPECT_FALSE(
+      EvalComparison(lhs, Quant::kSome, CompOp::kLt, Quant::kAll, rhs));
+  // ...but existentials still find the ordered witnesses.
+  EXPECT_TRUE(
+      EvalComparison(lhs, Quant::kAll, CompOp::kLt, Quant::kSome, rhs));
+}
+
+TEST(EvalComparisonTest, UnquantifiedSidesStillRequireSingletons) {
+  OidSet two;
+  two.Insert(Oid::Real(1.0));
+  two.Insert(Oid::Real(2.0));
+  OidSet one;
+  one.Insert(Oid::Real(1.0));
+  EXPECT_FALSE(
+      EvalComparison(two, Quant::kNone, CompOp::kLt, Quant::kNone, one));
+  EXPECT_FALSE(EvalComparison(OidSet{}, Quant::kNone, CompOp::kEq,
+                              Quant::kNone, one));
+  EXPECT_TRUE(
+      EvalComparison(one, Quant::kNone, CompOp::kEq, Quant::kNone, one));
+}
+
+}  // namespace
+}  // namespace xsql

@@ -517,6 +517,74 @@ TEST_F(ConcurrencyTest, CrashDuringGroupCommitRecovers) {
   }
 }
 
+// The shared prepared-plan cache under contention: parallel readers
+// repeat a small statement set (hammering Lookup/Insert on the one
+// cache every connection shares) while a writer mutates the schema
+// (bumping Database::version(), so cached entries keep going stale and
+// being re-prepared). Readers must always see current data — a stale
+// plan served after a mutation would return the pre-mutation answer.
+// Runs under TSan via ci.sh like the rest of this file.
+TEST_F(ConcurrencyTest, PlanCacheStressUnderDdl) {
+  constexpr int kReaders = 3;
+  constexpr int kRounds = 30;
+  auto dd = MustOpen(dir_);
+  ASSERT_NE(dd, nullptr);
+  MustExecute(dd.get(), Prelude());
+  ConcurrencyManager cm(dd.get());
+
+  std::atomic<int> failures{0};
+  std::atomic<bool> writer_done{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      auto sid = cm.CreateSession(SessionOptions{});
+      if (!sid.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      const char* statements[] = {
+          "SELECT T WHERE mary.Salary[T]",
+          "SELECT X FROM Person X",
+          "SELECT N WHERE mary.Name[N]",
+      };
+      int i = 0;
+      while (!writer_done.load(std::memory_order_relaxed) || i < kRounds) {
+        auto out = cm.Execute(*sid, statements[(t + i) % 3]);
+        if (!out.ok()) failures.fetch_add(1);
+        ++i;
+        if (i > 10000) break;  // paranoia bound
+      }
+      cm.CloseSession(*sid);
+    });
+  }
+  std::thread writer([&] {
+    auto sid = cm.CreateSession(SessionOptions{});
+    if (!sid.ok()) {
+      failures.fetch_add(1);
+      writer_done.store(true);
+      return;
+    }
+    for (int i = 0; i < kRounds; ++i) {
+      std::string stmt = "UPDATE CLASS Person SET mary.Salary = " +
+                         std::to_string(100 + i);
+      auto out = cm.Execute(*sid, stmt);
+      if (!out.ok()) failures.fetch_add(1);
+      // Read-your-write through whatever the cache serves right now.
+      auto check = cm.Execute(*sid, "SELECT T WHERE mary.Salary[T]");
+      if (!check.ok() || check->relation.size() != 1u ||
+          !check->relation.rows()[0][0].is_numeric() ||
+          check->relation.rows()[0][0].numeric_value() != 100 + i) {
+        failures.fetch_add(1);
+      }
+    }
+    cm.CloseSession(*sid);
+    writer_done.store(true);
+  });
+  writer.join();
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 // --------------------------------------------- shared-state regressions
 
 // Histogram dumps must be internally consistent while writers hammer

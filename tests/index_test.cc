@@ -158,5 +158,28 @@ TEST_F(IndexTest, RejectsEmptyPath) {
   EXPECT_FALSE(indexes.Add(db_, A("Person"), {}).ok());
 }
 
+TEST(IndexVersionZeroTest, IndexBuiltAtVersionZeroIsServed) {
+  // Regression: built() used to be inferred from `built_at_ != 0`, so
+  // an index built against a database that had never been mutated
+  // through the version counter (version 0 — the constructor installs
+  // builtins without Touch()) looked permanently unbuilt and Find()
+  // refused to serve it.
+  Database db;
+  ASSERT_EQ(db.version(), 0u);
+  PathIndexSet indexes;
+  ASSERT_TRUE(indexes.Add(db, A("Class"), {A("Name")}).ok());
+  // Still at version 0: nothing above went through Touch().
+  ASSERT_EQ(db.version(), 0u);
+  const PathIndex* index = indexes.Find(db, A("Class"), {A("Name")});
+  ASSERT_NE(index, nullptr);
+  EXPECT_TRUE(index->built());
+  EXPECT_FALSE(index->stale(db));
+  // The moment the database moves, the version-0 snapshot goes stale.
+  ASSERT_TRUE(
+      db.SetScalar(A("Class"), A("Name"), Oid::String("Class")).ok());
+  EXPECT_GT(db.version(), 0u);
+  EXPECT_EQ(indexes.Find(db, A("Class"), {A("Name")}), nullptr);
+}
+
 }  // namespace
 }  // namespace xsql

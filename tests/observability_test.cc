@@ -140,13 +140,16 @@ TEST_F(ObservabilityTest, SpanTreeGoldenShapeForFragment17) {
   }
   // Golden structure (timings stripped): the join order the greedy
   // ready-first driver picks on the Figure 1 corpus is deterministic.
-  // `parse` is a sibling of `statement`, not a child — parsing happens
-  // before the statement's guard context (and its span) is armed.
+  // `parse`, `typecheck`, and `plan` are siblings of `statement`, not
+  // children — preparation happens before the statement's guard context
+  // (and its span) is armed, and a cache hit skips all three.
   const char* kGolden =
       "parse\n"
+      "typecheck\n"
+      "plan SELECT X FROM Vehicle X WHERE (X.Manufacturer[M] and "
+      "M.President.OwnedVehicles[X])\n"
       "statement SELECT X FROM Vehicle X WHERE (X.Manufacturer[M] and "
       "M.President.OwnedVehicles[X])\n"
-      "  typecheck\n"
       "  eval/query SELECT X FROM Vehicle X WHERE (X.Manufacturer[M] and "
       "M.President.OwnedVehicles[X])\n"
       "    from Vehicle X\n"
@@ -201,12 +204,18 @@ TEST_F(ObservabilityTest, TracerAggregatesRepeatedStatements) {
     ASSERT_TRUE(session_->Query(kFragment17).ok());
     ASSERT_TRUE(session_->Query(kFragment17).ok());
   }
-  // Same (name, detail) merges: one parse node and one statement node,
-  // each with count 2, not four siblings — the property that keeps
-  // EXPLAIN ANALYZE output bounded by distinct operators.
-  ASSERT_EQ(tracer.root().children.size(), 2u);
+  // Same (name, detail) merges: one node per distinct operator, not a
+  // new sibling per execution — the property that keeps EXPLAIN ANALYZE
+  // output bounded by distinct operators. The statement span merges to
+  // count 2; parse/typecheck/plan ran only once, because the second
+  // execution was a plan-cache hit that skipped preparation entirely.
+  ASSERT_EQ(tracer.root().children.size(), 4u);
   for (const auto& child : tracer.root().children) {
-    EXPECT_EQ(child->count, 2u) << child->name;
+    if (child->name == "statement") {
+      EXPECT_EQ(child->count, 2u) << child->name;
+    } else {
+      EXPECT_EQ(child->count, 1u) << child->name;
+    }
   }
 }
 
