@@ -92,6 +92,13 @@ if [[ "$MODE" != "--plain-only" && "$MODE" != "--sanitize-only" ]]; then
   cmake -B build-tsan -S . -DXSQL_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan -L concurrency --output-on-failure
+  # The network-chaos sweep under TSan, with the seed and fuzz budgets
+  # bounded: TSan is ~10x, so CI proves the exactly-once contract on a
+  # handful of seeds and leaves the full default sweep to plain ctest.
+  echo "==> TSan chaos sweep (bounded)"
+  XSQL_CHAOS_SEEDS="${XSQL_CHAOS_SEEDS:-4}" \
+  XSQL_FUZZ_ITERS="${XSQL_FUZZ_ITERS:-40}" \
+    ctest --test-dir build-tsan -L chaos --output-on-failure
 fi
 
 echo "==> CI OK"

@@ -1,5 +1,8 @@
 // A line-oriented REPL over the XSQL wire protocol — the network twin
-// of xsql_shell.
+// of xsql_shell, built on the exactly-once RetryingClient: statements
+// are stamped with (client uuid, seq) and retried with backoff across
+// timeouts, resets, and even a mid-session server restart, without
+// ever applying a mutation twice.
 //
 //   $ ./xsql_client --port 7788
 //   xsql(127.0.0.1:7788)> SELECT T WHERE mary.Salary[T]
@@ -7,6 +10,10 @@
 //   100
 //   (1 rows)
 //   xsql(127.0.0.1:7788)> .quit
+//
+// When the server goes away mid-session the REPL prints a one-line
+// notice ("[xsql] connection lost ...; retrying") and keeps the
+// session: the next statement reconnects transparently.
 //
 // With --execute "<stmt>" it runs one statement non-interactively and
 // exits (used by ci.sh for the localhost smoke test).
@@ -21,15 +28,16 @@ namespace {
 
 void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--host H] [--port N] [--execute <stmt>]\n",
+               "usage: %s [--host H] [--port N] [--timeout-ms N] "
+               "[--retries N] [--execute <stmt>]\n",
                argv0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string host = "127.0.0.1";
-  int port = 7788;
+  xsql::server::RetryingClientOptions options;
+  options.port = 7788;
   std::string one_shot;
   bool have_one_shot = false;
   for (int i = 1; i < argc; ++i) {
@@ -40,11 +48,19 @@ int main(int argc, char** argv) {
     if (arg == "--host") {
       const char* v = next();
       if (!v) return Usage(argv[0]), 1;
-      host = v;
+      options.host = v;
     } else if (arg == "--port") {
       const char* v = next();
       if (!v) return Usage(argv[0]), 1;
-      port = std::atoi(v);
+      options.port = std::atoi(v);
+    } else if (arg == "--timeout-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]), 1;
+      options.timeout_ms = std::atoi(v);
+    } else if (arg == "--retries") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]), 1;
+      options.max_retries = std::atoi(v);
     } else if (arg == "--execute" || arg == "-e") {
       const char* v = next();
       if (!v) return Usage(argv[0]), 1;
@@ -55,50 +71,57 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  options.on_event = [](const std::string& line) {
+    std::printf("[xsql] %s\n", line.c_str());
+    std::fflush(stdout);
+  };
 
-  auto client = xsql::server::Client::Connect(host, port);
-  if (!client.ok()) {
-    std::fprintf(stderr, "connect %s:%d: %s\n", host.c_str(), port,
-                 client.status().ToString().c_str());
-    return 1;
-  }
+  xsql::server::RetryingClient client(options);
 
   if (have_one_shot) {
-    auto out = client->Execute(one_shot);
+    auto out = client.Execute(one_shot);
     if (!out.ok()) {
       std::fprintf(stderr, "error: %s\n",
                    out.status().ToString().c_str());
       return 1;
     }
     std::printf("%s", out->c_str());
-    (void)client->Quit();
+    client.Close();
     return 0;
   }
 
   std::printf("connected to %s:%d — statements end at end-of-line; "
               ".ping, .quit\n",
-              host.c_str(), port);
+              options.host.c_str(), options.port);
   std::string line;
   while (true) {
-    std::printf("xsql(%s:%d)> ", host.c_str(), port);
+    std::printf("xsql(%s:%d)> ", options.host.c_str(), options.port);
     std::fflush(stdout);
     if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
     if (line == ".quit" || line == ".q") break;
     if (line == ".ping") {
-      auto pong = client->Ping();
+      // A one-shot probe, deliberately unretried: .ping answers "is
+      // the server up right now", not "can it eventually be reached".
+      auto conn = xsql::server::Client::Connect(options.host,
+                                                options.port);
+      if (!conn.ok()) {
+        std::printf("down: %s\n", conn.status().ToString().c_str());
+        continue;
+      }
+      conn->set_timeout_ms(options.timeout_ms);
+      auto pong = conn->Ping();
       std::printf("%s\n", pong.ok() ? pong->c_str()
                                     : pong.status().ToString().c_str());
       continue;
     }
-    auto out = client->Execute(line);
+    auto out = client.Execute(line);
     if (!out.ok()) {
       std::printf("error: %s\n", out.status().ToString().c_str());
-      if (!client->connected()) break;
       continue;
     }
     std::printf("%s", out->c_str());
   }
-  (void)client->Quit();
+  client.Close();
   return 0;
 }

@@ -26,7 +26,9 @@ void HandleSignal(int) { g_stop = 1; }
 void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --dir <path> [--port N] [--max-connections N] "
-               "[--checkpoint-every N] [--deadline-ms N]\n",
+               "[--checkpoint-every N] [--deadline-ms N]\n"
+               "          [--max-inflight N] [--idle-timeout-ms N] "
+               "[--io-timeout-ms N] [--retry-after-ms N]\n",
                argv0);
 }
 
@@ -63,6 +65,22 @@ int main(int argc, char** argv) {
       if (!v) return Usage(argv[0]), 1;
       options.session.limits.deadline_ms =
           static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--max-inflight") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]), 1;
+      options.max_inflight_statements = std::atoi(v);
+    } else if (arg == "--idle-timeout-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]), 1;
+      options.idle_timeout_ms = std::atoi(v);
+    } else if (arg == "--io-timeout-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]), 1;
+      options.io_timeout_ms = std::atoi(v);
+    } else if (arg == "--retry-after-ms") {
+      const char* v = next();
+      if (!v) return Usage(argv[0]), 1;
+      options.retry_after_hint_ms = std::atoi(v);
     } else {
       Usage(argv[0]);
       return 1;

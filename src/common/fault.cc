@@ -56,13 +56,102 @@ void FaultInjector::Disarm() {
   armed_.store(false, std::memory_order_relaxed);
   fail_at_ = 0;
   permille_ = 0;
-  counts_[0] = counts_[1] = counts_[2] = 0;
+  counts_[0] = counts_[1] = counts_[2] = counts_[3] = 0;
   fired_ = false;
   fired_site_.clear();
   crash_armed_.store(false, std::memory_order_relaxed);
   crashed_.store(false, std::memory_order_relaxed);
   crash_budget_ = 0;
   crash_consumed_ = 0;
+  net_armed_.store(false, std::memory_order_relaxed);
+  net_random_mode_ = false;
+  net_permille_ = 0;
+  net_kinds_ = 0;
+  net_max_delay_ms_ = 0;
+  net_site_filter_.clear();
+  net_nth_kind_ = NetFault::kNone;
+  net_fail_at_ = 0;
+  net_nth_delay_ms_ = 0;
+  net_matched_ = 0;
+  net_fired_ = 0;
+}
+
+void FaultInjector::ArmNet(uint64_t seed, uint32_t permille,
+                           uint32_t kinds, uint32_t max_delay_ms,
+                           const std::string& site_filter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  net_random_mode_ = true;
+  net_rng_state_ = seed;
+  net_permille_ = permille;
+  net_kinds_ = kinds == 0 ? kNetAll : kinds;
+  net_max_delay_ms_ = max_delay_ms == 0 ? 1 : max_delay_ms;
+  net_site_filter_ = site_filter;
+  net_nth_kind_ = NetFault::kNone;
+  net_fail_at_ = 0;
+  net_matched_ = 0;
+  net_fired_ = 0;
+  net_armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::ArmNetNth(const std::string& site_filter, NetFault kind,
+                              uint64_t n, uint32_t delay_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  net_random_mode_ = false;
+  net_site_filter_ = site_filter;
+  net_nth_kind_ = kind;
+  net_fail_at_ = n;
+  net_nth_delay_ms_ = delay_ms;
+  net_matched_ = 0;
+  net_fired_ = 0;
+  net_armed_.store(true, std::memory_order_relaxed);
+}
+
+NetAction FaultInjector::NetNext(const char* site, uint64_t op_bytes) {
+  NetAction action;
+  if (!net_armed_.load(std::memory_order_relaxed)) return action;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counts_[static_cast<int>(Domain::kNet)];
+  if (!net_site_filter_.empty() &&
+      std::string(site).find(net_site_filter_) == std::string::npos) {
+    return action;
+  }
+  ++net_matched_;
+  if (net_random_mode_) {
+    if (net_permille_ == 0 ||
+        NextRandom(&net_rng_state_) % 1000 >= net_permille_) {
+      return action;
+    }
+    // Which kinds are enabled varies per test; draw until we hit one.
+    // The mask is never empty (ArmNet maps 0 to kNetAll).
+    do {
+      action.kind =
+          static_cast<NetFault>(1 + NextRandom(&net_rng_state_) % 4);
+    } while ((net_kinds_ & (1u << (static_cast<int>(action.kind) - 1))) ==
+             0);
+    if (action.kind == NetFault::kDelay) {
+      action.delay_ms = static_cast<uint32_t>(
+          1 + NextRandom(&net_rng_state_) % net_max_delay_ms_);
+    } else if (action.kind == NetFault::kTruncate) {
+      action.keep_bytes =
+          op_bytes == 0 ? 0 : NextRandom(&net_rng_state_) % op_bytes;
+    }
+  } else {
+    if (net_fail_at_ == 0 || net_matched_ != net_fail_at_) return action;
+    action.kind = net_nth_kind_;
+    action.delay_ms = net_nth_delay_ms_;
+    action.keep_bytes = op_bytes / 2;
+  }
+  if (action.kind != NetFault::kNone) {
+    ++net_fired_;
+    fired_ = true;
+    fired_site_ = site;
+  }
+  return action;
+}
+
+uint64_t FaultInjector::net_faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return net_fired_;
 }
 
 bool FaultInjector::crash_armed() const {

@@ -23,14 +23,19 @@ namespace xsql {
 ///  * `ArmRandom(domain, seed, permille)` — each check fails with the
 ///    given per-mille probability from a seeded deterministic stream.
 ///
-/// Three domains exist so a test can target one layer without also
+/// Four domains exist so a test can target one layer without also
 /// tripping the others:
 ///  * `kMutation` — every `Database` mutator entry plus selected
 ///    mid-operation points (partial-state hazards);
 ///  * `kGuard` — every `ExecutionContext` budget/deadline check;
 ///  * `kIo` — every durable-I/O operation in `storage::File` (open,
 ///    sync, rename); an injected failure there models a short write or
-///    a failed fsync that the process survives.
+///    a failed fsync that the process survives;
+///  * `kNet` — every socket read/write in the wire layer
+///    (`server/wire.cc`). Network faults are richer than pass/fail, so
+///    they use their own schedule (`ArmNet` / `ArmNetNth` / `NetNext`)
+///    returning an *action*: reset the connection, delay the
+///    operation, truncate a write mid-frame, or silently drop a frame.
 ///
 /// Orthogonal to the per-check schedules, `ArmCrashAtByte(k)` simulates
 /// a *process kill* at an exact point in the durable-I/O byte stream:
@@ -44,9 +49,34 @@ namespace xsql {
 ///
 /// The injector is a process-wide singleton (tests own the process);
 /// state is mutex-guarded once armed.
+/// What a network-domain fault does to the socket operation that drew
+/// it. Read-side operations treat kTruncate/kDrop as kReset (a dropped
+/// or torn inbound frame surfaces as a dead connection anyway).
+enum class NetFault : uint8_t {
+  kNone = 0,
+  kReset = 1,     // fail as if the peer reset the connection
+  kDelay = 2,     // sleep, then proceed normally (stalls the peer)
+  kTruncate = 3,  // writes: send a prefix of the bytes, then fail
+  kDrop = 4,      // writes: swallow the frame, report success (lost reply)
+};
+
+/// Kind mask bits for FaultInjector::ArmNet.
+constexpr uint32_t kNetReset = 1u << 0;
+constexpr uint32_t kNetDelay = 1u << 1;
+constexpr uint32_t kNetTruncate = 1u << 2;
+constexpr uint32_t kNetDrop = 1u << 3;
+constexpr uint32_t kNetAll = kNetReset | kNetDelay | kNetTruncate | kNetDrop;
+
+/// One drawn network fault: the kind plus its parameters.
+struct NetAction {
+  NetFault kind = NetFault::kNone;
+  uint32_t delay_ms = 0;    // kDelay: how long to stall
+  uint64_t keep_bytes = 0;  // kTruncate: prefix length that reaches the wire
+};
+
 class FaultInjector {
  public:
-  enum class Domain { kMutation = 0, kGuard = 1, kIo = 2 };
+  enum class Domain { kMutation = 0, kGuard = 1, kIo = 2, kNet = 3 };
 
   static FaultInjector& Global();
 
@@ -61,6 +91,37 @@ class FaultInjector {
   /// units (bytes fsynced / metadata ops) the crash fires. Coexists
   /// with the per-check schedules; `Disarm` clears both.
   void ArmCrashAtByte(uint64_t k);
+
+  // ---- Network faults (server/wire.cc is the only caller) -----------
+
+  /// Arms seeded random network faults: each socket operation whose
+  /// site contains `site_filter` (empty matches all) draws a fault
+  /// with probability `permille`/1000; the kind is drawn uniformly
+  /// from the `kinds` mask (kNet* bits) and kDelay stalls are uniform
+  /// in [1, max_delay_ms]. Coexists with the Check schedules and the
+  /// crash simulation; `Disarm` clears all three.
+  void ArmNet(uint64_t seed, uint32_t permille, uint32_t kinds,
+              uint32_t max_delay_ms, const std::string& site_filter = "");
+
+  /// Arms one deterministic network fault: the `n`-th (1-based) socket
+  /// operation whose site contains `site_filter` suffers `kind`
+  /// (kDelay stalls `delay_ms`; kTruncate keeps half the bytes).
+  void ArmNetNth(const std::string& site_filter, NetFault kind, uint64_t n,
+                 uint32_t delay_ms = 0);
+
+  /// Draws the action for one socket operation. `site` names the
+  /// operation (e.g. "net-srv-write"); `op_bytes` is the write size,
+  /// used to pick a torn prefix for kTruncate. Disarmed cost: one
+  /// relaxed atomic load. Thread-safe; concurrent connections share
+  /// the one seeded stream.
+  NetAction NetNext(const char* site, uint64_t op_bytes);
+
+  bool net_armed() const {
+    return net_armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Network faults fired (actions other than kNone) since ArmNet*.
+  uint64_t net_faults_fired() const;
 
   /// Disarms and resets counters/fired state.
   void Disarm();
@@ -114,9 +175,25 @@ class FaultInjector {
   uint64_t fail_at_ = 0;       // ArmNth target
   uint64_t rng_state_ = 0;     // ArmRandom stream
   uint32_t permille_ = 0;
-  uint64_t counts_[3] = {0, 0, 0};
+  uint64_t counts_[4] = {0, 0, 0, 0};
   bool fired_ = false;
   std::string fired_site_;
+
+  // Network-fault state. `net_armed_` is its own atomic so the
+  // disarmed fast path of NetNext stays lock-free, and so arming net
+  // faults does not start charging the Check domains (and vice versa).
+  std::atomic<bool> net_armed_{false};
+  bool net_random_mode_ = false;
+  uint64_t net_rng_state_ = 0;
+  uint32_t net_permille_ = 0;
+  uint32_t net_kinds_ = 0;
+  uint32_t net_max_delay_ms_ = 0;
+  std::string net_site_filter_;
+  NetFault net_nth_kind_ = NetFault::kNone;  // ArmNetNth target
+  uint64_t net_fail_at_ = 0;
+  uint32_t net_nth_delay_ms_ = 0;
+  uint64_t net_matched_ = 0;  // matching ops seen since ArmNet*
+  uint64_t net_fired_ = 0;
 
   // Crash-at-byte state. `crash_armed_` is its own atomic so the
   // disarmed fast path of ConsumePersistBudget stays lock-free.

@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnimplemented,
   kResourceExhausted, // an execution guardrail tripped (budget/deadline)
   kCancelled,         // cooperative cancellation was requested
+  kUnavailable,       // transient overload / node down; safe to retry
 };
 
 /// Exception-free error propagation, RocksDB/Arrow style.
@@ -59,6 +60,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

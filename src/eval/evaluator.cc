@@ -13,6 +13,33 @@
 
 namespace xsql {
 
+std::string RenderEvalOutput(const EvalOutput& out) {
+  std::string text;
+  if (out.objects_created) {
+    text += "(" + std::to_string(out.created.size()) + " objects created)\n";
+  }
+  const Relation& rel = out.relation;
+  if (rel.columns().empty()) return text;
+  for (size_t i = 0; i < rel.columns().size(); ++i) {
+    if (i > 0) text += " | ";
+    text += rel.columns()[i];
+  }
+  text += "\n";
+  for (const auto& row : rel.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) text += " | ";
+      text += row[i].ToString();
+    }
+    text += "\n";
+  }
+  text += "(" + std::to_string(rel.size()) + " rows)\n";
+  return text;
+}
+
+}  // namespace xsql
+
+namespace xsql {
+
 namespace {
 
 bool PathHasUnboundVar(const PathExpr& path, const Binding& binding) {

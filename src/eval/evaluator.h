@@ -126,6 +126,12 @@ struct EvalOutput {
   bool objects_created = false;
 };
 
+/// Renders an execution result as the human-readable text the server
+/// ships in kResult frames (also what the client REPLs print). Lives
+/// here rather than in the server so recovery can re-render replies
+/// while rebuilding the request-dedup table from the WAL.
+std::string RenderEvalOutput(const EvalOutput& out);
+
 /// Query evaluation engine (§3.4, §5 semantics).
 ///
 /// `Run` is the production evaluator: nested loops driven by the FROM

@@ -7,10 +7,61 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include "server/wire.h"
+#include <chrono>
+#include <optional>
+#include <random>
+#include <thread>
 
 namespace xsql {
 namespace server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::array<uint8_t, 16> MintUuid() {
+  std::random_device rd;
+  std::array<uint8_t, 16> out;
+  for (size_t i = 0; i < out.size(); i += 4) {
+    uint32_t word = rd();
+    out[i] = static_cast<uint8_t>(word & 0xFF);
+    out[i + 1] = static_cast<uint8_t>((word >> 8) & 0xFF);
+    out[i + 2] = static_cast<uint8_t>((word >> 16) & 0xFF);
+    out[i + 3] = static_cast<uint8_t>((word >> 24) & 0xFF);
+  }
+  return out;
+}
+
+uint64_t SeedFromUuid(const std::array<uint8_t, 16>& uuid) {
+  uint64_t seed = 0x9E3779B97F4A7C15ull;
+  for (uint8_t b : uuid) seed = (seed ^ b) * 0x100000001B3ull;
+  return seed == 0 ? 1 : seed;
+}
+
+bool AllZero(const std::array<uint8_t, 16>& uuid) {
+  for (uint8_t b : uuid) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+/// Transport failures are the retryable class: the request or its
+/// reply may have been lost in flight, so the statement's fate is
+/// unknown. Remote verdicts (kError frames) arrive intact and are
+/// final.
+bool RetryableTransport(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kNotFound:           // EOF / peer reset
+    case StatusCode::kResourceExhausted:  // reply deadline tripped
+    case StatusCode::kRuntimeError:       // socket-level failure
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
 
 Result<Client> Client::Connect(const std::string& host, int port) {
   int fd = socket(AF_INET, SOCK_STREAM, 0);
@@ -39,20 +90,34 @@ Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    timeout_ms_ = other.timeout_ms_;
     other.fd_ = -1;
   }
   return *this;
 }
 
+Result<Frame> Client::Transact(MsgType type, const std::string& payload) {
+  if (fd_ < 0) return Status::RuntimeError("client not connected");
+  IoOptions io;
+  io.io_timeout_ms = timeout_ms_;
+  // The reply wait is "idleness" in wire terms; bound it by the same
+  // per-request deadline.
+  io.idle_timeout_ms = timeout_ms_;
+  io.site = "cli";
+  XSQL_RETURN_IF_ERROR(WriteAll(fd_, EncodeFrame(type, payload), io));
+  return ReadFrame(fd_, io);
+}
+
 Result<std::string> Client::RoundTrip(uint8_t type,
                                       const std::string& payload) {
-  if (fd_ < 0) return Status::RuntimeError("client not connected");
-  XSQL_RETURN_IF_ERROR(
-      WriteAll(fd_, EncodeFrame(static_cast<MsgType>(type), payload)));
-  XSQL_ASSIGN_OR_RETURN(Frame reply, ReadFrame(fd_, nullptr));
+  XSQL_ASSIGN_OR_RETURN(
+      Frame reply, Transact(static_cast<MsgType>(type), payload));
   if (reply.type == MsgType::kError) {
     // The payload is the remote Status rendered "CodeName: message".
     return Status::RuntimeError(reply.payload);
+  }
+  if (reply.type == MsgType::kUnavailable) {
+    return Status::Unavailable(reply.payload);
   }
   if (reply.type != MsgType::kResult) {
     return Status::InvalidArgument("unexpected reply frame type");
@@ -62,6 +127,12 @@ Result<std::string> Client::RoundTrip(uint8_t type,
 
 Result<std::string> Client::Execute(const std::string& statement) {
   return RoundTrip(static_cast<uint8_t>(MsgType::kExecute), statement);
+}
+
+Result<std::string> Client::ExecuteWithId(const storage::RequestId& rid,
+                                          const std::string& statement) {
+  return RoundTrip(static_cast<uint8_t>(MsgType::kExecuteId),
+                   rid.Encode() + statement);
 }
 
 Result<std::string> Client::Ping() {
@@ -80,6 +151,132 @@ void Client::Close() {
     close(fd_);
     fd_ = -1;
   }
+}
+
+int ParseRetryAfterHint(const std::string& payload) {
+  int ms = 0;
+  size_t i = 0;
+  while (i < payload.size() && payload[i] >= '0' && payload[i] <= '9') {
+    ms = ms * 10 + (payload[i] - '0');
+    if (ms > 60000) return 60000;  // a hostile hint won't park us long
+    ++i;
+  }
+  return i == 0 ? 0 : ms;
+}
+
+RetryingClient::RetryingClient(RetryingClientOptions options)
+    : options_(std::move(options)),
+      uuid_(AllZero(options_.uuid) ? MintUuid() : options_.uuid),
+      rng_(options_.jitter_seed != 0 ? options_.jitter_seed
+                                     : SeedFromUuid(uuid_)) {}
+
+void RetryingClient::set_port(int port) {
+  options_.port = port;
+  conn_.Close();
+}
+
+void RetryingClient::Notice(const std::string& line) {
+  if (options_.on_event) options_.on_event(line);
+}
+
+Status RetryingClient::EnsureConnected() {
+  if (conn_.connected()) return Status::OK();
+  Result<Client> fresh = Client::Connect(options_.host, options_.port);
+  if (!fresh.ok()) return fresh.status();
+  conn_ = std::move(*fresh);
+  conn_.set_timeout_ms(options_.timeout_ms);
+  ++reconnects_;
+  if (ever_connected_) {
+    Notice("reconnected to " + options_.host + ":" +
+           std::to_string(options_.port));
+  }
+  ever_connected_ = true;
+  return Status::OK();
+}
+
+Result<std::string> RetryingClient::Execute(const std::string& statement) {
+  return ExecuteSeq(++next_seq_, statement);
+}
+
+Result<std::string> RetryingClient::ExecuteSeq(
+    uint64_t seq, const std::string& statement) {
+  if (seq > next_seq_) next_seq_ = seq;
+  storage::RequestId rid;
+  rid.uuid = uuid_;
+  rid.seq = seq;
+  const std::string payload = rid.Encode() + statement;
+
+  std::optional<Clock::time_point> deadline;
+  if (options_.deadline_ms != 0) {
+    deadline =
+        Clock::now() + std::chrono::milliseconds(options_.deadline_ms);
+  }
+  Status last = Status::RuntimeError("no attempt made");
+  int hint_ms = 0;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++retries_;
+      // Exponential backoff with jitter; the server's retry-after hint
+      // is a floor, not a cap (it knows its own load).
+      int shift = attempt - 1 > 16 ? 16 : attempt - 1;
+      int64_t sleep_ms = static_cast<int64_t>(options_.backoff_base_ms)
+                         << shift;
+      if (sleep_ms > options_.backoff_max_ms) {
+        sleep_ms = options_.backoff_max_ms;
+      }
+      if (sleep_ms > 0) {
+        sleep_ms += static_cast<int64_t>(
+            rng_.Uniform(static_cast<uint64_t>(sleep_ms) / 2 + 1));
+      }
+      if (sleep_ms < hint_ms) sleep_ms = hint_ms;
+      if (deadline.has_value() &&
+          Clock::now() + std::chrono::milliseconds(sleep_ms) >=
+              *deadline) {
+        return Status::ResourceExhausted(
+            "retry deadline exceeded after " + std::to_string(attempt) +
+            " attempts; last error: " + last.ToString());
+      }
+      if (sleep_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      }
+    }
+    hint_ms = 0;
+    Status conn = EnsureConnected();
+    if (!conn.ok()) {
+      last = conn;
+      continue;
+    }
+    Result<Frame> reply = conn_.Transact(MsgType::kExecuteId, payload);
+    if (!reply.ok()) {
+      // Request or reply lost in flight: the statement's fate is
+      // unknown. Drop the (possibly poisoned) connection and retry
+      // the same rid — the dedup table makes that exactly-once.
+      last = reply.status();
+      conn_.Close();
+      Notice("connection lost (" + last.ToString() + "); retrying");
+      continue;
+    }
+    switch (reply->type) {
+      case MsgType::kResult:
+        return reply->payload;
+      case MsgType::kError:
+        // Remote verdict: deterministic, retrying would just repeat it.
+        return Status::RuntimeError(reply->payload);
+      case MsgType::kUnavailable:
+        last = Status::Unavailable(reply->payload);
+        hint_ms = ParseRetryAfterHint(reply->payload);
+        Notice("server unavailable; backing off");
+        continue;
+      default:
+        return Status::InvalidArgument("unexpected reply frame type");
+    }
+  }
+  if (RetryableTransport(last)) {
+    return Status::ResourceExhausted(
+        "gave up after " + std::to_string(options_.max_retries + 1) +
+        " attempts; last error: " + last.ToString());
+  }
+  return last;
 }
 
 }  // namespace server

@@ -1,9 +1,15 @@
 #ifndef XSQL_SERVER_CLIENT_H_
 #define XSQL_SERVER_CLIENT_H_
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <string>
 
+#include "common/rng.h"
 #include "common/status.h"
+#include "server/wire.h"
+#include "storage/dedup.h"
 
 namespace xsql {
 namespace server {
@@ -16,16 +22,37 @@ class Client {
   static Result<Client> Connect(const std::string& host, int port);
 
   Client() = default;
-  Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), timeout_ms_(other.timeout_ms_) {
+    other.fd_ = -1;
+  }
   Client& operator=(Client&& other) noexcept;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
   ~Client() { Close(); }
 
+  /// Per-request reply deadline (0 = block forever). A tripped
+  /// deadline returns ResourceExhausted and the connection should be
+  /// treated as poisoned (a late reply would answer the wrong request).
+  void set_timeout_ms(int ms) { timeout_ms_ = ms; }
+
   /// Executes one statement; returns the rendered result text. A
   /// server-side failure comes back as a RuntimeError whose message is
-  /// the remote status (`CodeName: message`).
+  /// the remote status (`CodeName: message`); overload/shutdown comes
+  /// back as Unavailable (retryable).
   Result<std::string> Execute(const std::string& statement);
+
+  /// The exactly-once form: sends kExecuteId stamped with `rid`.
+  /// Retrying the same rid after a lost reply is safe — the server
+  /// returns the cached reply instead of re-executing.
+  Result<std::string> ExecuteWithId(const storage::RequestId& rid,
+                                    const std::string& statement);
+
+  /// One request/reply exchange returning the raw reply frame; fails
+  /// only on transport problems (send/recv/timeout), never on a
+  /// server-reported error. RetryingClient uses this to tell remote
+  /// verdicts (final) from transport losses (retryable).
+  Result<Frame> Transact(MsgType type, const std::string& payload);
 
   /// Liveness probe; returns the server's "pong".
   Result<std::string> Ping();
@@ -39,10 +66,94 @@ class Client {
  private:
   explicit Client(int fd) : fd_(fd) {}
 
-  /// One request/reply round trip.
+  /// Transact + verdict mapping (kError → RuntimeError, kUnavailable →
+  /// Unavailable, kResult → payload).
   Result<std::string> RoundTrip(uint8_t type, const std::string& payload);
 
   int fd_ = -1;
+  int timeout_ms_ = 0;
+};
+
+/// Extracts the retry-after hint from a kUnavailable payload
+/// ("<retry_after_ms> <message>"); 0 when malformed.
+int ParseRetryAfterHint(const std::string& payload);
+
+/// Policy for RetryingClient.
+struct RetryingClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Per-attempt reply deadline; a reply slower than this counts as
+  /// lost and triggers a retry. 0 disables (not recommended: a lost
+  /// reply then hangs the client forever).
+  int timeout_ms = 2000;
+  /// Retries after the first attempt.
+  int max_retries = 8;
+  /// Exponential backoff: sleep before retry k is
+  /// min(backoff_base_ms << (k-1), backoff_max_ms), plus jitter drawn
+  /// uniformly from [0, sleep/2], but never less than the server's
+  /// retry-after hint when one was received.
+  int backoff_base_ms = 5;
+  int backoff_max_ms = 500;
+  /// Overall wall-clock bound per statement, spanning all attempts and
+  /// backoff sleeps (0 = bounded only by max_retries).
+  uint64_t deadline_ms = 0;
+  /// Jitter stream seed; 0 derives one from the uuid so two clients
+  /// never share a backoff schedule.
+  uint64_t jitter_seed = 0;
+  /// The client identity for request IDs; all-zero mints a random one.
+  std::array<uint8_t, 16> uuid{};
+  /// One-line operational notices ("connection lost; retrying ...") —
+  /// the REPL prints these, tests capture them. May be null.
+  std::function<void(const std::string&)> on_event;
+};
+
+/// A wire client with exactly-once retry semantics: every statement is
+/// stamped with (client uuid, seq) and retried with deadline-bounded
+/// exponential backoff + jitter on timeouts, resets, EOF, and
+/// kUnavailable. Because the server's dedup table keys on the stamp, a
+/// retry of a statement whose reply was lost *after* commit returns
+/// the cached reply instead of executing twice — across reconnects and
+/// even across a server crash + recovery.
+///
+/// Not thread-safe: one RetryingClient per thread (each then has its
+/// own uuid, which is what keeps their request IDs distinct).
+class RetryingClient {
+ public:
+  explicit RetryingClient(RetryingClientOptions options);
+
+  /// Executes with the next sequence number.
+  Result<std::string> Execute(const std::string& statement);
+
+  /// Executes with an explicit sequence number — the crash-recovery
+  /// path: a caller that knows its last statement's fate is unknown
+  /// re-sends it with the *same* seq after the server restarts.
+  Result<std::string> ExecuteSeq(uint64_t seq,
+                                 const std::string& statement);
+
+  /// Retarget (e.g. the server restarted on a new port). The current
+  /// connection is dropped; the next attempt reconnects.
+  void set_port(int port);
+
+  const std::array<uint8_t, 16>& uuid() const { return uuid_; }
+  /// Seq of the most recently started statement (0 = none yet).
+  uint64_t last_seq() const { return next_seq_; }
+  uint64_t retries() const { return retries_; }
+  uint64_t reconnects() const { return reconnects_; }
+
+  void Close() { conn_.Close(); }
+
+ private:
+  Status EnsureConnected();
+  void Notice(const std::string& line);
+
+  RetryingClientOptions options_;
+  std::array<uint8_t, 16> uuid_;
+  Client conn_;
+  Rng rng_;
+  uint64_t next_seq_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t reconnects_ = 0;
+  bool ever_connected_ = false;
 };
 
 }  // namespace server

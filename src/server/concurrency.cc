@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "eval/evaluator.h"
 #include "obs/metrics.h"
 #include "parser/lexer.h"
 #include "store/method.h"
@@ -189,15 +190,77 @@ uint64_t ConcurrencyManager::open_sessions() const {
 
 Result<EvalOutput> ConcurrencyManager::Execute(uint64_t session_id,
                                                const std::string& text) {
-  static obs::Counter& reads = obs::MetricsRegistry::Global().GetCounter(
-      "xsql.server.read_statements");
-  static obs::Counter& writes = obs::MetricsRegistry::Global().GetCounter(
-      "xsql.server.write_statements");
   Session* session = this->session(session_id);
   if (session == nullptr) {
     return Status::InvalidArgument("unknown session id " +
                                    std::to_string(session_id));
   }
+  bool committed = false;
+  return ExecuteInternal(session, text, nullptr, &committed);
+}
+
+Result<std::string> ConcurrencyManager::ExecuteIdempotent(
+    uint64_t session_id, const storage::RequestId& rid,
+    const std::string& text) {
+  static obs::Counter& dedup_hits = obs::MetricsRegistry::Global()
+      .GetCounter("xsql.server.dedup_hits");
+  static obs::Counter& dedup_stale = obs::MetricsRegistry::Global()
+      .GetCounter("xsql.server.dedup_stale");
+  Session* session = this->session(session_id);
+  if (session == nullptr) {
+    return Status::InvalidArgument("unknown session id " +
+                                   std::to_string(session_id));
+  }
+  const ExecLimits limits = session->options().limits;
+  const std::shared_ptr<CancelToken> cancel = session->options().cancel;
+
+  std::string cached;
+  switch (dd_->dedup().Claim(rid, limits, cancel, &cached)) {
+    case storage::DedupTable::ClaimResult::kCached:
+      dedup_hits.Inc();
+      return cached;
+    case storage::DedupTable::ClaimResult::kStale:
+      dedup_stale.Inc();
+      return Status::InvalidArgument(
+          "stale request id " + rid.ToString() +
+          ": a later statement from this client already committed");
+    case storage::DedupTable::ClaimResult::kTimeout:
+      return Status::ResourceExhausted(
+          "deadline exceeded waiting for an in-flight duplicate "
+          "(guard: dedup-wait)");
+    case storage::DedupTable::ClaimResult::kExecute:
+      break;  // claimed — every path below must Complete or Abandon
+  }
+
+  bool committed = false;
+  Result<EvalOutput> out = ExecuteInternal(session, text, &rid, &committed);
+  if (!out.ok()) {
+    // Nothing durable happened under this rid (a failed commit wedges
+    // the database *without* an entry, so a post-recovery retry
+    // re-executes — the statement was never acknowledgeable).
+    dd_->dedup().Abandon(rid);
+    return out.status();
+  }
+  std::string reply = RenderEvalOutput(*out);
+  if (committed) {
+    // Durable now; the retry of this rid must never run again.
+    dd_->dedup().Complete(rid, reply);
+  } else {
+    // Read-only or diagnostic: re-executing a retry is safe (and the
+    // table only tracks statements whose effects must not repeat).
+    dd_->dedup().Abandon(rid);
+  }
+  return reply;
+}
+
+Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
+    Session* session, const std::string& text,
+    const storage::RequestId* rid, bool* committed) {
+  static obs::Counter& reads = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.server.read_statements");
+  static obs::Counter& writes = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.server.write_statements");
+  *committed = false;
   const ExecLimits limits = session->options().limits;
   const std::shared_ptr<CancelToken> cancel = session->options().cancel;
   statements_.fetch_add(1, std::memory_order_relaxed);
@@ -207,7 +270,7 @@ Result<EvalOutput> ConcurrencyManager::Execute(uint64_t session_id,
   XSQL_RETURN_IF_ERROR(latch_.AcquireShared(limits, cancel));
   if (dd_->wedged()) {
     latch_.ReleaseShared();
-    return Status::RuntimeError(
+    return Status::Unavailable(
         "durable database crashed; reopen the directory to recover");
   }
   storage::StatementClass cls =
@@ -228,7 +291,7 @@ Result<EvalOutput> ConcurrencyManager::Execute(uint64_t session_id,
   XSQL_RETURN_IF_ERROR(latch_.AcquireExclusive(limits, cancel));
   uint64_t ticket = 0;
   Result<EvalOutput> out =
-      dd_->ExecuteForCommit(session, text, &committer_, &ticket);
+      dd_->ExecuteForCommit(session, text, &committer_, &ticket, rid);
   PrewarmActiveDomain();
   latch_.ReleaseExclusive();
   writes.Inc();
@@ -245,6 +308,7 @@ Result<EvalOutput> ConcurrencyManager::Execute(uint64_t session_id,
     dd_->Wedge();
     return durable;
   }
+  *committed = true;
   const uint64_t since =
       mutations_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) +
       1;

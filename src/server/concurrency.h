@@ -130,6 +130,21 @@ class ConcurrencyManager {
   /// Runs one statement for `session_id` under the protocol above.
   Result<EvalOutput> Execute(uint64_t session_id, const std::string& text);
 
+  /// The exactly-once form: `rid` identifies the request across
+  /// retries. Consults the durable dedup table first — a retry of a
+  /// committed statement returns its cached rendered reply without
+  /// re-executing; a stale seq (superseded by a later statement from
+  /// the same client) is rejected; a duplicate racing the original
+  /// waits for it. Otherwise executes like Execute with the WAL record
+  /// stamped by `rid`, and records the rendered reply in the dedup
+  /// table only once the commit is durable — so a crash before the
+  /// fsync leaves no entry and the client's retry re-executes against
+  /// the recovered (statement-free) state. Returns the rendered reply
+  /// text (what the server ships in the kResult frame).
+  Result<std::string> ExecuteIdempotent(uint64_t session_id,
+                                        const storage::RequestId& rid,
+                                        const std::string& text);
+
   /// Drains in-flight commits and rotates the generation, all under the
   /// exclusive latch.
   Status Checkpoint();
@@ -142,6 +157,15 @@ class ConcurrencyManager {
   }
 
  private:
+  /// The shared body of Execute / ExecuteIdempotent: the three-phase
+  /// latch protocol. When `rid` is non-null the WAL record is stamped
+  /// with it; `*committed` reports whether a mutation became durable
+  /// (the caller then owns recording the reply in the dedup table).
+  Result<EvalOutput> ExecuteInternal(Session* session,
+                                     const std::string& text,
+                                     const storage::RequestId* rid,
+                                     bool* committed);
+
   /// Rebuilds Database::ActiveDomain()'s lazy cache. Called before
   /// every exclusive-latch release (mutation, rollback, and checkpoint
   /// paths alike): the cache is a mutable member the first reader would

@@ -8,10 +8,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <optional>
 #include <utility>
 
+#include "eval/evaluator.h"
 #include "obs/metrics.h"
 #include "server/wire.h"
+#include "storage/dedup.h"
 
 namespace xsql {
 namespace server {
@@ -21,29 +24,18 @@ namespace {
 constexpr int kAcceptSliceMs = 100;
 constexpr int kListenBacklog = 64;
 
+/// A kUnavailable frame: "<retry_after_ms> <reason>" (see wire.h).
+std::string UnavailablePayload(int retry_after_ms,
+                               const std::string& reason) {
+  return std::to_string(retry_after_ms) + " " + reason;
+}
+
 }  // namespace
 
 std::string RenderResult(const EvalOutput& out) {
-  std::string text;
-  if (out.objects_created) {
-    text += "(" + std::to_string(out.created.size()) + " objects created)\n";
-  }
-  const Relation& rel = out.relation;
-  if (rel.columns().empty()) return text;
-  for (size_t i = 0; i < rel.columns().size(); ++i) {
-    if (i > 0) text += " | ";
-    text += rel.columns()[i];
-  }
-  text += "\n";
-  for (const auto& row : rel.rows()) {
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i > 0) text += " | ";
-      text += row[i].ToString();
-    }
-    text += "\n";
-  }
-  text += "(" + std::to_string(rel.size()) + " rows)\n";
-  return text;
+  // The canonical renderer lives in eval (recovery re-renders replies
+  // for the dedup table); this name survives for the server's callers.
+  return RenderEvalOutput(out);
 }
 
 Result<std::unique_ptr<Server>> Server::Start(storage::DurableDatabase* dd,
@@ -125,9 +117,19 @@ void Server::AcceptLoop() {
     if (fd < 0) continue;
     if (active_connections_.load(std::memory_order_relaxed) >=
         options_.max_connections) {
-      (void)WriteAll(fd, EncodeFrame(MsgType::kError,
-                                     "RuntimeError: server at connection "
-                                     "capacity"));
+      static obs::Counter& shed_conns =
+          obs::MetricsRegistry::Global().GetCounter(
+              "xsql.server.shed_connections");
+      shed_conns.Inc();
+      IoOptions io;
+      io.io_timeout_ms = 1000;  // a stalled stranger won't park accept
+      io.site = "srv";
+      (void)WriteAll(fd,
+                     EncodeFrame(MsgType::kUnavailable,
+                                 UnavailablePayload(
+                                     options_.retry_after_hint_ms,
+                                     "server at connection capacity")),
+                     io);
       close(fd);
       continue;
     }
@@ -141,46 +143,154 @@ void Server::AcceptLoop() {
 void Server::HandleConnection(int fd) {
   static obs::Counter& served = obs::MetricsRegistry::Global().GetCounter(
       "xsql.server.statements_served");
+  static obs::Counter& write_failures =
+      obs::MetricsRegistry::Global().GetCounter(
+          "xsql.server.write_failures");
+  static obs::Counter& idle_reaped =
+      obs::MetricsRegistry::Global().GetCounter(
+          "xsql.server.idle_reaped");
+  static obs::Counter& shed_statements =
+      obs::MetricsRegistry::Global().GetCounter(
+          "xsql.server.shed_statements");
+  static obs::Gauge& inflight_gauge =
+      obs::MetricsRegistry::Global().GetGauge(
+          "xsql.server.inflight_statements");
+
+  IoOptions io;
+  io.stop = &stop_;
+  io.idle_timeout_ms = options_.idle_timeout_ms;
+  io.io_timeout_ms = options_.io_timeout_ms;
+  io.site = "srv";
+
+  // Every reply goes through here: a failed or short write poisons the
+  // connection (the peer would misparse everything after the gap), so
+  // it is counted, the socket is closed, and the thread exits — it
+  // must never crash (SIGPIPE) or wedge (unbounded blocking write).
+  auto reply_or_close = [&](const std::string& frame) -> bool {
+    Status st = WriteAll(fd, frame, io);
+    if (st.ok()) return true;
+    write_failures.Inc();
+    return false;
+  };
+
   SessionOptions session_options = options_.session;
   // A fresh token per connection: cancelling one statement (or losing
   // one peer) never aborts a neighbor.
   session_options.cancel = std::make_shared<CancelToken>();
   Result<uint64_t> sid = cm_.CreateSession(std::move(session_options));
   if (!sid.ok()) {
-    (void)WriteAll(
-        fd, EncodeFrame(MsgType::kError, sid.status().ToString()));
+    (void)reply_or_close(
+        EncodeFrame(MsgType::kError, sid.status().ToString()));
     close(fd);
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
+
+  // Admission check for one execute frame; on shed, sends kUnavailable
+  // with the retry-after hint. Returns whether the statement may run
+  // (true = the inflight slot is held and must be released).
+  auto admit = [&]() -> bool {
+    const int cap = options_.max_inflight_statements;
+    const int now =
+        inflight_statements_.fetch_add(1, std::memory_order_relaxed) + 1;
+    inflight_gauge.Set(now);
+    if (cap <= 0 || now <= cap) return true;
+    inflight_statements_.fetch_sub(1, std::memory_order_relaxed);
+    shed_statements.Inc();
+    return false;
+  };
+  auto release = [&]() {
+    inflight_gauge.Set(
+        inflight_statements_.fetch_sub(1, std::memory_order_relaxed) - 1);
+  };
+
   while (!stop_.load(std::memory_order_relaxed)) {
-    Result<Frame> frame = ReadFrame(fd, &stop_);
-    if (!frame.ok()) break;  // stop, EOF, or a hopeless peer
+    Result<Frame> frame = ReadFrame(fd, io);
+    if (!frame.ok()) {
+      if (frame.status().code() == StatusCode::kResourceExhausted &&
+          frame.status().message().find("idle timeout") !=
+              std::string::npos) {
+        idle_reaped.Inc();
+      }
+      break;  // stop, EOF, timeout, or a hopeless peer
+    }
     bool done = false;
     switch (frame->type) {
       case MsgType::kExecute: {
+        if (!admit()) {
+          done = !reply_or_close(EncodeFrame(
+              MsgType::kUnavailable,
+              UnavailablePayload(options_.retry_after_hint_ms,
+                                 "server overloaded: too many "
+                                 "statements in flight")));
+          break;
+        }
         Result<EvalOutput> out = cm_.Execute(*sid, frame->payload);
+        release();
         served.Inc();
-        std::string reply =
-            out.ok() ? EncodeFrame(MsgType::kResult, RenderResult(*out))
-                     : EncodeFrame(MsgType::kError,
-                                   out.status().ToString());
-        if (!WriteAll(fd, reply).ok()) done = true;
+        std::string reply;
+        if (out.ok()) {
+          reply = EncodeFrame(MsgType::kResult, RenderResult(*out));
+        } else if (out.status().code() == StatusCode::kUnavailable) {
+          reply = EncodeFrame(
+              MsgType::kUnavailable,
+              UnavailablePayload(options_.retry_after_hint_ms,
+                                 out.status().message()));
+        } else {
+          reply = EncodeFrame(MsgType::kError, out.status().ToString());
+        }
+        if (!reply_or_close(reply)) done = true;
+        break;
+      }
+      case MsgType::kExecuteId: {
+        // Payload: [16B uuid][u64 seq LE][statement text].
+        std::optional<storage::RequestId> rid =
+            storage::RequestId::Decode(frame->payload, 0);
+        if (!rid.has_value()) {
+          done = !reply_or_close(
+              EncodeFrame(MsgType::kError,
+                          "InvalidArgument: malformed request id"));
+          break;
+        }
+        if (!admit()) {
+          done = !reply_or_close(EncodeFrame(
+              MsgType::kUnavailable,
+              UnavailablePayload(options_.retry_after_hint_ms,
+                                 "server overloaded: too many "
+                                 "statements in flight")));
+          break;
+        }
+        Result<std::string> out = cm_.ExecuteIdempotent(
+            *sid, *rid, frame->payload.substr(24));
+        release();
+        served.Inc();
+        std::string reply;
+        if (out.ok()) {
+          reply = EncodeFrame(MsgType::kResult, *out);
+        } else if (out.status().code() == StatusCode::kUnavailable) {
+          reply = EncodeFrame(
+              MsgType::kUnavailable,
+              UnavailablePayload(options_.retry_after_hint_ms,
+                                 out.status().message()));
+        } else {
+          reply = EncodeFrame(MsgType::kError, out.status().ToString());
+        }
+        if (!reply_or_close(reply)) done = true;
         break;
       }
       case MsgType::kPing:
-        if (!WriteAll(fd, EncodeFrame(MsgType::kResult, "pong")).ok()) {
+        if (!reply_or_close(EncodeFrame(MsgType::kResult, "pong"))) {
           done = true;
         }
         break;
       case MsgType::kQuit:
-        (void)WriteAll(fd, EncodeFrame(MsgType::kResult, "bye"));
+        (void)reply_or_close(EncodeFrame(MsgType::kResult, "bye"));
         done = true;
         break;
       default:
-        (void)WriteAll(fd, EncodeFrame(MsgType::kError,
-                                       "InvalidArgument: unknown message "
-                                       "type"));
+        (void)reply_or_close(EncodeFrame(MsgType::kError,
+                                         "InvalidArgument: unknown "
+                                         "message type"));
         done = true;
         break;
     }

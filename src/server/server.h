@@ -22,10 +22,24 @@ struct ServerOptions {
   /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back
   /// from Server::port()).
   int port = 0;
-  /// Connection cap: arrivals beyond it get an error frame and an
-  /// immediate close, so a stampede degrades loudly instead of piling
-  /// up threads.
+  /// Connection cap: arrivals beyond it get a kUnavailable frame (with
+  /// the retry-after hint) and an immediate close, so a stampede
+  /// degrades loudly instead of piling up threads.
   int max_connections = 32;
+  /// Statement admission cap across all connections: an execute frame
+  /// arriving while this many statements are already in flight is shed
+  /// with kUnavailable instead of queuing behind the latch. 0 = no cap.
+  int max_inflight_statements = 0;
+  /// Reap a connection that sends nothing for this long (ms); the idle
+  /// slot goes back to the accept pool. 0 = never.
+  int idle_timeout_ms = 0;
+  /// Per-frame socket budget (ms): a peer that starts a frame (or is
+  /// receiving a reply) must make progress within it, or the
+  /// connection is dropped — slow-peer defense. 0 = never.
+  int io_timeout_ms = 0;
+  /// The hint shipped in every kUnavailable frame: how long a polite
+  /// client should wait before retrying.
+  int retry_after_hint_ms = 50;
   /// Per-connection session template (guardrails, typing mode, slow-
   /// query log). Each connection gets a fresh Session and cancel token;
   /// `session.limits.deadline_ms` therefore acts as the per-connection
@@ -87,6 +101,7 @@ class Server {
   std::mutex threads_mu_;
   std::vector<std::thread> conn_threads_;
   std::atomic<int> active_connections_{0};
+  std::atomic<int> inflight_statements_{0};
   std::atomic<uint64_t> connections_served_{0};
 };
 

@@ -16,18 +16,24 @@ namespace server {
 ///     [u8  type]                        — MsgType
 ///     [frame_len - 1 payload bytes]
 ///
-/// Client → server: kExecute (payload = statement text), kPing (empty),
-/// kQuit (empty). Server → client, one reply per request: kResult
-/// (payload = rendered result text) or kError (payload = the Status
-/// rendered as `CodeName: message`, machine-splittable on the first
-/// `: `). Frames above kMaxFrame are a protocol error — the peer is
-/// garbage or hostile, and the connection drops.
+/// Client → server: kExecute (payload = statement text), kExecuteId
+/// (payload = [16-byte client uuid][u64 seq LE][statement text] — the
+/// exactly-once form, see storage/dedup.h), kPing (empty), kQuit
+/// (empty). Server → client, one reply per request: kResult (payload =
+/// rendered result text), kError (payload = the Status rendered as
+/// `CodeName: message`, machine-splittable on the first `: `), or
+/// kUnavailable (transient overload / shutdown pending; payload =
+/// `<retry_after_ms> <message>` — safe to retry after the hint).
+/// Frames above kMaxFrame are a protocol error — the peer is garbage
+/// or hostile, and the connection drops.
 enum class MsgType : uint8_t {
   kExecute = 0x01,
   kPing = 0x02,
   kQuit = 0x03,
+  kExecuteId = 0x04,
   kResult = 0x11,
   kError = 0x12,
+  kUnavailable = 0x13,
 };
 
 /// Frame size cap (length field value): 16 MiB.
@@ -39,16 +45,48 @@ struct Frame {
   std::string payload;
 };
 
+/// Per-connection socket I/O policy. The zero value reproduces the
+/// legacy behavior: block forever, no fault-injection site.
+struct IoOptions {
+  /// Checked between poll slices; non-null on the server side so
+  /// shutdown interrupts parked reads.
+  const std::atomic<bool>* stop = nullptr;
+  /// Max wait for the *first* byte of the next frame (0 = forever).
+  /// Tripping it returns ResourceExhausted mentioning "idle timeout" —
+  /// the server's idle-connection reaper.
+  int idle_timeout_ms = 0;
+  /// Max wall-clock for finishing a frame once its first byte arrived,
+  /// and for draining one reply write (0 = forever). Defends against
+  /// slow/stalled peers holding a thread and its buffers.
+  int io_timeout_ms = 0;
+  /// Fault-injection side tag ("srv" / "cli"); read ops draw from site
+  /// "net-<site>-read", writes from "net-<site>-write" (see
+  /// FaultInjector::ArmNet). Empty still participates when the armed
+  /// filter is empty.
+  const char* site = "";
+};
+
 /// Encodes a frame ready for the socket.
 std::string EncodeFrame(MsgType type, const std::string& payload);
 
-/// Reads one full frame, polling in 100 ms slices. Aborts with
-/// kCancelled when `*stop` becomes true (server shutdown), and with an
-/// error on EOF, a malformed length, or a socket failure. `stop` may
-/// be null (client side: block until the reply lands).
+/// Reads one full frame under `io` (timeouts, stop flag, injected
+/// faults). Errors: kCancelled when `io.stop` trips, ResourceExhausted
+/// on a timeout, NotFound on EOF, InvalidArgument on a malformed
+/// length, RuntimeError on socket failure or an injected reset.
+Result<Frame> ReadFrame(int fd, const IoOptions& io);
+
+/// Legacy form: block forever (server passes the stop flag).
 Result<Frame> ReadFrame(int fd, const std::atomic<bool>* stop);
 
-/// Writes all of `data`, retrying short writes.
+/// Writes all of `data` under `io`, or fails having possibly sent a
+/// prefix — the caller must treat any error as a poisoned connection
+/// and close it (the peer then sees EOF mid-frame instead of a hang).
+/// Uses MSG_NOSIGNAL + poll, so a dead peer yields EPIPE/ECONNRESET as
+/// a NotFound status, never a SIGPIPE crash; ResourceExhausted when
+/// `io.io_timeout_ms` expires before the final byte is accepted.
+Status WriteAll(int fd, const std::string& data, const IoOptions& io);
+
+/// Legacy form: no timeout, no site.
 Status WriteAll(int fd, const std::string& data);
 
 }  // namespace server

@@ -1,0 +1,198 @@
+#include "storage/dedup.h"
+
+#include <chrono>
+
+#include "storage/wal.h"
+
+namespace xsql {
+namespace storage {
+
+namespace {
+
+/// In-flight waits poll in short slices, like the statement latch, so
+/// a duplicate parked behind a slow original honors its deadline.
+constexpr std::chrono::milliseconds kWaitSlice(10);
+
+using Clock = std::chrono::steady_clock;
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+uint64_t GetU64(const std::string& in, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(
+             static_cast<unsigned char>(in[offset + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string RequestId::UuidKey() const {
+  return std::string(reinterpret_cast<const char*>(uuid.data()),
+                     uuid.size());
+}
+
+std::string RequestId::ToString() const {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(32 + 1 + 20);
+  for (uint8_t b : uuid) {
+    out.push_back(hex[b >> 4]);
+    out.push_back(hex[b & 0xF]);
+  }
+  out.push_back(':');
+  out += std::to_string(seq);
+  return out;
+}
+
+std::string RequestId::Encode() const {
+  std::string out = UuidKey();
+  PutU64(&out, seq);
+  return out;
+}
+
+std::optional<RequestId> RequestId::Decode(const std::string& bytes,
+                                           size_t offset) {
+  if (bytes.size() < offset + 24) return std::nullopt;
+  RequestId rid;
+  for (size_t i = 0; i < 16; ++i) {
+    rid.uuid[i] = static_cast<uint8_t>(bytes[offset + i]);
+  }
+  rid.seq = GetU64(bytes, offset + 16);
+  return rid;
+}
+
+std::string EncodeRidPayload(const RequestId& rid,
+                             const std::string& text) {
+  std::string out;
+  out.reserve(1 + 24 + text.size());
+  out.push_back(kRidTag);
+  out += rid.Encode();
+  out += text;
+  return out;
+}
+
+std::pair<std::optional<RequestId>, std::string> DecodeRidPayload(
+    const std::string& payload) {
+  if (payload.empty() || payload[0] != kRidTag) {
+    return {std::nullopt, payload};
+  }
+  std::optional<RequestId> rid = RequestId::Decode(payload, 1);
+  if (!rid.has_value()) return {std::nullopt, payload};  // corrupt stamp
+  return {rid, payload.substr(1 + 24)};
+}
+
+DedupTable::ClaimResult DedupTable::Claim(
+    const RequestId& rid, const ExecLimits& limits,
+    const std::shared_ptr<CancelToken>& cancel, std::string* cached_reply) {
+  const std::string key = rid.UuidKey();
+  const std::string flight_key = rid.Encode();
+  std::optional<Clock::time_point> deadline;
+  if (limits.deadline_ms != 0) {
+    deadline = Clock::now() + std::chrono::milliseconds(limits.deadline_ms);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    auto it = committed_.find(key);
+    if (it != committed_.end() && rid.seq <= it->second.seq) {
+      if (rid.seq == it->second.seq) {
+        ++hits_;
+        if (cached_reply != nullptr) *cached_reply = it->second.reply;
+        return ClaimResult::kCached;
+      }
+      return ClaimResult::kStale;
+    }
+    if (inflight_.count(flight_key) == 0) {
+      inflight_.insert(flight_key);
+      return ClaimResult::kExecute;
+    }
+    // The original is still executing on another thread; wait for it
+    // to resolve, then look again.
+    if (cancel != nullptr && cancel->cancelled()) {
+      return ClaimResult::kTimeout;
+    }
+    if (deadline.has_value() && Clock::now() >= *deadline) {
+      return ClaimResult::kTimeout;
+    }
+    cv_.wait_for(lock, kWaitSlice);
+  }
+}
+
+void DedupTable::Complete(const RequestId& rid, std::string reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(rid.Encode());
+  Outcome& out = committed_[rid.UuidKey()];
+  if (rid.seq >= out.seq) {
+    out.seq = rid.seq;
+    out.reply = std::move(reply);
+  }
+  cv_.notify_all();
+}
+
+void DedupTable::Abandon(const RequestId& rid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(rid.Encode());
+  cv_.notify_all();
+}
+
+void DedupTable::Record(const RequestId& rid, std::string reply) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Outcome& out = committed_[rid.UuidKey()];
+  if (rid.seq >= out.seq) {
+    out.seq = rid.seq;
+    out.reply = std::move(reply);
+  }
+}
+
+std::string DedupTable::Serialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out(Wal::kMagic);
+  for (const auto& [key, outcome] : committed_) {
+    std::string record = key;
+    PutU64(&record, outcome.seq);
+    record += outcome.reply;
+    out += Wal::EncodeRecord(record);
+  }
+  return out;
+}
+
+Status DedupTable::Load(const std::string& contents) {
+  XSQL_ASSIGN_OR_RETURN(Wal::Scan scan, Wal::ScanContents(contents));
+  if (scan.torn) {
+    // Written atomically at checkpoint, never appended: a torn tail is
+    // real corruption, like the DDL log.
+    return Status::InvalidArgument("corrupt dedup table: " +
+                                   scan.torn_detail);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_.clear();
+  for (const std::string& record : scan.records) {
+    if (record.size() < 24) {
+      return Status::InvalidArgument("corrupt dedup record (short)");
+    }
+    Outcome out;
+    out.seq = GetU64(record, 16);
+    out.reply = record.substr(24);
+    committed_[record.substr(0, 16)] = std::move(out);
+  }
+  return Status::OK();
+}
+
+uint64_t DedupTable::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_.size();
+}
+
+uint64_t DedupTable::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+}  // namespace storage
+}  // namespace xsql

@@ -1,0 +1,139 @@
+#ifndef XSQL_STORAGE_DEDUP_H_
+#define XSQL_STORAGE_DEDUP_H_
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+
+namespace xsql {
+namespace storage {
+
+/// The identity of one client request: a 16-byte session UUID the
+/// client mints at startup plus a per-session sequence number it bumps
+/// for every *new* statement (a retry re-sends the same seq). The pair
+/// names a statement across connections, reconnects, and server
+/// restarts, which is what exactly-once retries hang off.
+struct RequestId {
+  std::array<uint8_t, 16> uuid{};
+  uint64_t seq = 0;
+
+  /// The UUID as a 16-byte binary string (map key).
+  std::string UuidKey() const;
+  /// "hex-uuid:seq" for logs and errors.
+  std::string ToString() const;
+
+  /// Serializes to the 24-byte wire/WAL form: uuid then u64 seq (LE).
+  std::string Encode() const;
+  /// Parses the leading 24 bytes; null on short input.
+  static std::optional<RequestId> Decode(const std::string& bytes,
+                                         size_t offset = 0);
+};
+
+/// ---- WAL payload stamping -------------------------------------------
+///
+/// A WAL record payload is normally the bare statement text. A
+/// statement executed on behalf of a client request ID is stamped:
+///
+///     [0x01] [16-byte uuid] [u64 seq LE] [statement text]
+///
+/// Statement text never begins with byte 0x01 (the lexer rejects
+/// control characters), so the two forms are unambiguous and old logs
+/// (all bare text) keep replaying. Recovery uses the stamp to rebuild
+/// the dedup table: replaying a stamped record re-renders its reply
+/// and re-records the (uuid, seq) → reply entry, so a client retrying
+/// into a freshly recovered server still gets the cached reply instead
+/// of a second execution.
+constexpr char kRidTag = 0x01;
+
+/// Stamps `text` with `rid` in the WAL payload form above.
+std::string EncodeRidPayload(const RequestId& rid, const std::string& text);
+
+/// Splits a WAL payload into its optional request ID and the statement
+/// text. Bare payloads return {nullopt, payload}.
+std::pair<std::optional<RequestId>, std::string> DecodeRidPayload(
+    const std::string& payload);
+
+/// The server-side exactly-once table: per client session UUID, the
+/// highest committed sequence number and its rendered reply, plus the
+/// set of requests currently executing.
+///
+/// Protocol (ConcurrencyManager::ExecuteIdempotent drives it):
+///   1. `Claim(rid)` — kExecute: this thread owns the request and must
+///      finish with Complete (committed) or Abandon (failed / not a
+///      mutation). kCached: the statement already committed; the
+///      cached reply is returned without re-executing. kStale: an
+///      older seq than the last committed one — it was applied, but
+///      its reply has been discarded. A duplicate that arrives while
+///      the original is still executing *blocks* (deadline/cancel
+///      aware) until the original resolves, then re-claims.
+///   2. On commit, `Complete(rid, reply)` records the outcome; only
+///      the latest seq per UUID is retained — a client has at most one
+///      statement in flight, so an older entry can never be retried
+///      by a correct client (and an incorrect one gets kStale, never
+///      a re-execution).
+///   3. `Record(rid, reply)` is the replay path: recovery rebuilding
+///      the table from stamped WAL records, no claim involved.
+///
+/// Memory is bounded at one entry per client session UUID.
+class DedupTable {
+ public:
+  enum class ClaimResult { kExecute, kCached, kStale, kTimeout };
+
+  /// See protocol above. Blocks while the same rid is in flight on
+  /// another thread, polling `limits.deadline_ms` / `cancel` like the
+  /// statement latch; a tripped wait returns kTimeout.
+  ClaimResult Claim(const RequestId& rid, const ExecLimits& limits,
+                    const std::shared_ptr<CancelToken>& cancel,
+                    std::string* cached_reply);
+
+  /// Releases the claim and records the committed reply.
+  void Complete(const RequestId& rid, std::string reply);
+
+  /// Releases the claim without recording (failed statement, read-only
+  /// statement, load-shed). A retry will re-execute, which is safe:
+  /// nothing committed.
+  void Abandon(const RequestId& rid);
+
+  /// Replay path: records a committed outcome with no claim dance.
+  /// Keeps the highest seq per UUID (WAL order can interleave).
+  void Record(const RequestId& rid, std::string reply);
+
+  /// Snapshot of the committed entries as a WAL-format file image
+  /// (magic + one record per UUID: [uuid][seq][reply]); written as
+  /// `dedup-<gen>.tab` at checkpoint so entries survive WAL rotation.
+  std::string Serialize() const;
+
+  /// Loads a Serialize image, replacing current entries. A missing
+  /// file (old directories) is represented by loading nothing.
+  Status Load(const std::string& contents);
+
+  uint64_t entries() const;
+  uint64_t hits() const;
+
+ private:
+  struct Outcome {
+    uint64_t seq = 0;
+    std::string reply;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Outcome> committed_;    // uuid key → last outcome
+  std::set<std::string> inflight_;              // uuid key + seq bytes
+  uint64_t hits_ = 0;
+};
+
+}  // namespace storage
+}  // namespace xsql
+
+#endif  // XSQL_STORAGE_DEDUP_H_

@@ -85,6 +85,10 @@ std::string DurableDatabase::DdlPath(const std::string& dir, uint64_t gen) {
 std::string DurableDatabase::WalPath(const std::string& dir, uint64_t gen) {
   return dir + "/wal-" + std::to_string(gen) + ".log";
 }
+std::string DurableDatabase::DedupPath(const std::string& dir,
+                                       uint64_t gen) {
+  return dir + "/dedup-" + std::to_string(gen) + ".tab";
+}
 
 Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
     const std::string& dir, DurableOptions options) {
@@ -160,13 +164,25 @@ Status DurableDatabase::Recover() {
   ddl_span->AddRows(ddl.records.size());
   ddl_span.reset();
 
+  // Re-seed the exactly-once table from the last checkpoint's
+  // snapshot of it (absent in pre-dedup directories: empty table).
+  if (File::Exists(DedupPath(dir_, gen))) {
+    XSQL_ASSIGN_OR_RETURN(std::string dedup_image,
+                          File::ReadAll(DedupPath(dir_, gen)));
+    XSQL_RETURN_IF_ERROR(dedup_.Load(dedup_image));
+  }
+
   // Replay the WAL tail; a torn last record (crash mid-append) is
-  // truncated away — it was never acknowledged.
+  // truncated away — it was never acknowledged. Request-ID-stamped
+  // records also rebuild their dedup entry, re-rendering the reply the
+  // original execution produced, so a client that retries into this
+  // freshly recovered process gets the cached reply, not a second
+  // execution.
   obs::Span wal_span("recovery/wal-replay");
   XSQL_ASSIGN_OR_RETURN(Wal::Scan scan, Wal::ScanFile(WalPath(dir_, gen)));
   recovered_torn_tail_ = scan.torn;
   for (size_t i = 0; i < scan.records.size(); ++i) {
-    const std::string& stmt = scan.records[i];
+    auto [rid, stmt] = DecodeRidPayload(scan.records[i]);
     StatementClass cls = ClassifyStatement(stmt, *db_);
     Result<EvalOutput> replay = session_->Execute(stmt);
     if (!replay.ok()) {
@@ -174,6 +190,7 @@ Status DurableDatabase::Recover() {
           "WAL replay failed at record " + std::to_string(i) + " ('" +
           stmt + "'): " + replay.status().ToString());
     }
+    if (rid.has_value()) dedup_.Record(*rid, RenderEvalOutput(*replay));
     if (cls.is_definition) ddl_statements_.push_back(stmt);
   }
   replayed_statements_ = scan.records.size();
@@ -253,7 +270,7 @@ Result<Relation> DurableDatabase::Query(const std::string& text) {
 
 Result<EvalOutput> DurableDatabase::ExecuteForCommit(
     Session* session, const std::string& text, GroupCommitter* committer,
-    uint64_t* ticket) {
+    uint64_t* ticket, const RequestId* rid) {
   *ticket = 0;
   if (wedged()) return WedgedStatus();
   StatementClass cls = ClassifyStatement(text, *db_);
@@ -293,7 +310,8 @@ Result<EvalOutput> DurableDatabase::ExecuteForCommit(
   // DDL bookkeeping happens here too — if the batch later fails the
   // whole instance wedges, so a bookkeeping entry for a never-durable
   // statement can never leak into a checkpoint.
-  *ticket = committer->Enqueue(text);
+  *ticket = committer->Enqueue(
+      rid == nullptr ? text : EncodeRidPayload(*rid, text));
   ++records_since_checkpoint_;
   if (cls.is_definition) ddl_statements_.push_back(text);
   return out;
@@ -313,6 +331,7 @@ Status DurableDatabase::Checkpoint() {
       (void)File::Remove(SnapshotPath(dir_, next));
       (void)File::Remove(DdlPath(dir_, next));
       (void)File::Remove(WalPath(dir_, next));
+      (void)File::Remove(DedupPath(dir_, next));
     }
     return st;
   };
@@ -327,6 +346,12 @@ Status DurableDatabase::Checkpoint() {
   st = File::WriteAtomic(DdlPath(dir_, next), ddl);
   if (!st.ok()) return fail(std::move(st));
   st = File::WriteAtomic(WalPath(dir_, next), Wal::kMagic);
+  if (!st.ok()) return fail(std::move(st));
+  // The dedup table travels with the checkpoint: rotation folds the
+  // WAL (and its request-ID stamps) into the snapshot, so the entries
+  // must be carried explicitly or a post-checkpoint retry would
+  // re-execute an already-committed statement.
+  st = File::WriteAtomic(DedupPath(dir_, next), dedup_.Serialize());
   if (!st.ok()) return fail(std::move(st));
   // The commit point: flipping CURRENT atomically adopts the new
   // generation. Before this rename, recovery uses the old files (all
@@ -351,6 +376,7 @@ Status DurableDatabase::Checkpoint() {
   (void)File::Remove(SnapshotPath(dir_, old));
   (void)File::Remove(DdlPath(dir_, old));
   (void)File::Remove(WalPath(dir_, old));
+  (void)File::Remove(DedupPath(dir_, old));
   return Status::OK();
 }
 

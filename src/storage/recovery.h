@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "eval/session.h"
+#include "storage/dedup.h"
 #include "storage/wal.h"
 #include "store/database.h"
 
@@ -114,10 +115,17 @@ class DurableDatabase {
   /// exactly the simulated-crash situation. Auto-checkpointing is
   /// disabled on this path (rotation must be coordinated with the
   /// latch; see ConcurrencyManager::MaybeCheckpoint).
+  ///
+  /// When `rid` is non-null the statement carries a client request ID:
+  /// its WAL record is stamped with it (see EncodeRidPayload), so
+  /// recovery can rebuild the exactly-once dedup table. The *caller*
+  /// records the reply in `dedup()` once the ticket is durable — an
+  /// entry must never exist for an unacknowledgeable statement.
   Result<EvalOutput> ExecuteForCommit(Session* session,
                                       const std::string& text,
                                       GroupCommitter* committer,
-                                      uint64_t* ticket);
+                                      uint64_t* ticket,
+                                      const RequestId* rid = nullptr);
 
   /// Rotates snapshot + DDL log + WAL into a new generation. Logical
   /// state is unchanged; a crash mid-rotation is always recoverable.
@@ -143,11 +151,18 @@ class DurableDatabase {
   /// The live WAL appender (rebind GroupCommitter after Checkpoint).
   Wal* wal() { return wal_.get(); }
 
+  /// The exactly-once request table: rebuilt on open from the
+  /// checkpointed `dedup-<gen>.tab` plus the stamped WAL tail, and
+  /// persisted at every checkpoint. The server consults it before
+  /// executing any request-ID-stamped statement.
+  DedupTable& dedup() { return dedup_; }
+
   // File-name helpers, exposed for tests.
   static std::string CurrentPath(const std::string& dir);
   static std::string SnapshotPath(const std::string& dir, uint64_t gen);
   static std::string DdlPath(const std::string& dir, uint64_t gen);
   static std::string WalPath(const std::string& dir, uint64_t gen);
+  static std::string DedupPath(const std::string& dir, uint64_t gen);
 
  private:
   explicit DurableDatabase(std::string dir, DurableOptions options)
@@ -162,6 +177,7 @@ class DurableDatabase {
   std::unique_ptr<Database> db_;
   std::unique_ptr<Session> session_;
   std::unique_ptr<Wal> wal_;
+  DedupTable dedup_;
   /// Definition statements to carry into the next checkpoint's DDL log.
   std::vector<std::string> ddl_statements_;
   uint64_t records_since_checkpoint_ = 0;

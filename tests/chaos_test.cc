@@ -1,0 +1,345 @@
+// The chaos stress sweep: many seeds × concurrent retrying clients
+// through a fault-injected transport (drops, delays, truncations,
+// resets, in both directions), asserting the exactly-once contract
+// afterwards:
+//
+//   * every acknowledged mutation appears in the durable history
+//     exactly once;
+//   * every unacknowledged mutation appears at most once;
+//   * the recovered database equals a serial replay of the history;
+//   * a mid-sweep crash (simulated process kill inside group commit)
+//     plus post-recovery retries of each client's unresolved statement
+//     preserves all of the above.
+//
+// Seed count scales with XSQL_CHAOS_SEEDS (default 24 fault seeds plus
+// a crash-mode sweep); ci.sh bounds it for the TSan build.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/dedup.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace xsql {
+namespace server {
+namespace {
+
+using storage::DurableDatabase;
+using storage::Wal;
+
+constexpr int kClientThreads = 4;
+constexpr int kStatementsPerThread = 5;
+
+int SeedBudget(int fallback) {
+  const char* env = std::getenv("XSQL_CHAOS_SEEDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  int n = std::atoi(env);
+  return n < 1 ? 1 : n;
+}
+
+/// What one client thread observed during a sweep.
+struct ThreadLog {
+  std::vector<std::string> acked_mutations;
+  std::vector<std::string> attempted_mutations;
+  std::string last_text;  // last statement whose fate may be unresolved
+  uint64_t last_seq = 0;
+  bool sent_anything = false;
+};
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = ::testing::TempDir() + "/xsql_chaos_" + info->name();
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().Disarm();
+    std::filesystem::remove_all(root_);
+  }
+
+  std::string SeedDir(int seed) {
+    return root_ + "/seed" + std::to_string(seed);
+  }
+
+  static std::unique_ptr<DurableDatabase> OpenWithPrelude(
+      const std::string& dir) {
+    auto dd = DurableDatabase::Open(dir);
+    EXPECT_TRUE(dd.ok()) << dd.status().ToString();
+    if (!dd.ok()) return nullptr;
+    for (const char* stmt :
+         {"ALTER CLASS Person ADD SIGNATURE Name => String",
+          "ALTER CLASS Person ADD SIGNATURE Salary => Numeral",
+          "UPDATE CLASS Person SET mary.Name = 'mary'",
+          "UPDATE CLASS Person SET mary.Salary = 100"}) {
+      auto out = (*dd)->Execute(stmt);
+      EXPECT_TRUE(out.ok()) << stmt << ": " << out.status().ToString();
+      if (!out.ok()) return nullptr;
+    }
+    return std::move(*dd);
+  }
+
+  /// The full decoded statement history of the live generation's WAL.
+  static std::vector<std::string> WalHistory(const std::string& dir,
+                                             uint64_t gen) {
+    auto scan = Wal::ScanFile(DurableDatabase::WalPath(dir, gen));
+    EXPECT_TRUE(scan.ok()) << scan.status().ToString();
+    std::vector<std::string> texts;
+    if (!scan.ok()) return texts;
+    for (const std::string& record : scan->records) {
+      texts.push_back(storage::DecodeRidPayload(record).second);
+    }
+    return texts;
+  }
+
+  static std::map<std::string, int> Occurrences(
+      const std::vector<std::string>& history) {
+    std::map<std::string, int> counts;
+    for (const std::string& text : history) ++counts[text];
+    return counts;
+  }
+
+  /// Runs the concurrent client sweep against `port`. When
+  /// `crash_after_ms` >= 0, the main thread arms the simulated process
+  /// kill that long into the sweep (mid-flight group commits then die).
+  void RunClients(int seed, int port,
+                  std::vector<std::unique_ptr<RetryingClient>>* clients,
+                  std::vector<ThreadLog>* logs, int crash_after_ms,
+                  uint64_t crash_budget) {
+    clients->clear();
+    logs->assign(kClientThreads, ThreadLog{});
+    for (int t = 0; t < kClientThreads; ++t) {
+      RetryingClientOptions options;
+      options.port = port;
+      options.timeout_ms = 300;
+      options.max_retries = 10;
+      options.backoff_base_ms = 5;
+      options.backoff_max_ms = 100;
+      options.deadline_ms = 15000;
+      options.jitter_seed = static_cast<uint64_t>(seed) * 131 + t + 1;
+      clients->push_back(
+          std::make_unique<RetryingClient>(std::move(options)));
+    }
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kClientThreads; ++t) {
+      threads.emplace_back([&, t] {
+        RetryingClient& client = *(*clients)[t];
+        ThreadLog& log = (*logs)[t];
+        int consecutive_failures = 0;
+        for (int i = 0; i < kStatementsPerThread; ++i) {
+          const bool is_read = (i % 3 == 2);
+          const std::string stmt =
+              is_read ? "SELECT T WHERE mary.Salary[T]"
+                      : "UPDATE CLASS Person SET mary.Salary = " +
+                            std::to_string(100000000ull +
+                                           static_cast<uint64_t>(seed) *
+                                               100000 +
+                                           t * 100 + i);
+          log.sent_anything = true;
+          if (!is_read) log.attempted_mutations.push_back(stmt);
+          auto out = client.Execute(stmt);
+          log.last_text = stmt;
+          log.last_seq = client.last_seq();
+          if (out.ok()) {
+            consecutive_failures = 0;
+            if (!is_read) log.acked_mutations.push_back(stmt);
+          } else if (++consecutive_failures >= 2) {
+            break;  // the server is gone; the sweep is over for us
+          }
+        }
+      });
+    }
+    if (crash_after_ms >= 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(crash_after_ms));
+      FaultInjector::Global().ArmCrashAtByte(crash_budget);
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  /// Asserts exactly-once over the durable history and that recovery
+  /// equals a serial replay of it. Returns the recovered database so
+  /// crash mode can keep going.
+  std::unique_ptr<DurableDatabase> VerifySeed(
+      int seed, const std::string& dir,
+      const std::vector<ThreadLog>& logs) {
+    auto reopened = DurableDatabase::Open(dir);
+    EXPECT_TRUE(reopened.ok())
+        << "seed " << seed << ": " << reopened.status().ToString();
+    if (!reopened.ok()) return nullptr;
+    const std::vector<std::string> history =
+        WalHistory(dir, (*reopened)->generation());
+    const std::map<std::string, int> counts = Occurrences(history);
+    for (const ThreadLog& log : logs) {
+      for (const std::string& stmt : log.acked_mutations) {
+        auto it = counts.find(stmt);
+        EXPECT_TRUE(it != counts.end() && it->second == 1)
+            << "seed " << seed << ": acked statement applied "
+            << (it == counts.end() ? 0 : it->second) << " times: "
+            << stmt;
+      }
+      for (const std::string& stmt : log.attempted_mutations) {
+        auto it = counts.find(stmt);
+        EXPECT_LE(it == counts.end() ? 0 : it->second, 1)
+            << "seed " << seed << ": statement applied twice: " << stmt;
+      }
+    }
+    // Recovery == serial replay of the durable history into a fresh
+    // database (the history IS the acked prefix plus at most the
+    // in-doubt tail, each exactly once).
+    const std::string replay_dir = dir + "_replay";
+    std::filesystem::remove_all(replay_dir);
+    auto replayed = DurableDatabase::Open(replay_dir);
+    EXPECT_TRUE(replayed.ok()) << replayed.status().ToString();
+    if (replayed.ok()) {
+      for (const std::string& text : history) {
+        auto out = (*replayed)->Execute(text);
+        EXPECT_TRUE(out.ok())
+            << "seed " << seed << " replay: " << text << ": "
+            << out.status().ToString();
+      }
+      EXPECT_EQ(storage::SaveSnapshot((*reopened)->db()),
+                storage::SaveSnapshot((*replayed)->db()))
+          << "seed " << seed
+          << ": recovered state != serial replay of the WAL history";
+    }
+    std::filesystem::remove_all(replay_dir);
+    return std::move(*reopened);
+  }
+
+  std::string root_;
+};
+
+TEST_F(ChaosTest, FaultSweepIsExactlyOnce) {
+  const int seeds = SeedBudget(24);
+  for (int seed = 0; seed < seeds; ++seed) {
+    const std::string dir = SeedDir(seed);
+    auto dd = OpenWithPrelude(dir);
+    ASSERT_NE(dd, nullptr) << "seed " << seed;
+    ServerOptions options;
+    options.io_timeout_ms = 2000;
+    auto server = Server::Start(dd.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+    // Both directions, all four fault kinds, seeded.
+    FaultInjector::Global().ArmNet(static_cast<uint64_t>(seed) + 1,
+                                   /*permille=*/50, kNetAll,
+                                   /*max_delay_ms=*/20);
+    std::vector<std::unique_ptr<RetryingClient>> clients;
+    std::vector<ThreadLog> logs;
+    RunClients(seed, (*server)->port(), &clients, &logs,
+               /*crash_after_ms=*/-1, 0);
+    FaultInjector::Global().Disarm();
+    (*server)->Shutdown();
+    server->reset();
+
+    const std::string live = storage::SaveSnapshot(dd->db());
+    const bool wedged = dd->wedged();
+    dd.reset();
+    auto recovered = VerifySeed(seed, dir, logs);
+    ASSERT_NE(recovered, nullptr);
+    if (!wedged) {
+      // No crash: the recovered state must equal what the live server
+      // had when the sweep ended.
+      EXPECT_EQ(storage::SaveSnapshot(recovered->db()), live)
+          << "seed " << seed;
+    }
+    recovered.reset();
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST_F(ChaosTest, MidSweepCrashThenRetryIsExactlyOnce) {
+  const int seeds = std::max(4, SeedBudget(24) / 3);
+  for (int seed = 0; seed < seeds; ++seed) {
+    const std::string dir = SeedDir(seed);
+    auto dd = OpenWithPrelude(dir);
+    ASSERT_NE(dd, nullptr) << "seed " << seed;
+    auto server = Server::Start(dd.get(), ServerOptions{});
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+    FaultInjector::Global().ArmNet(static_cast<uint64_t>(seed) + 7001,
+                                   /*permille=*/40, kNetAll,
+                                   /*max_delay_ms=*/15);
+    std::vector<std::unique_ptr<RetryingClient>> clients;
+    std::vector<ThreadLog> logs;
+    // The kill lands a seeded number of persistence units into the
+    // sweep: mid-WAL-record, mid-fsync, wherever the budget runs out.
+    RunClients(seed, (*server)->port(), &clients, &logs,
+               /*crash_after_ms=*/30 + (seed % 5) * 25,
+               /*crash_budget=*/1 + (static_cast<uint64_t>(seed) * 37) % 200);
+    FaultInjector::Global().Disarm();
+    (*server)->Shutdown();
+    server->reset();
+    dd.reset();
+
+    // Recovery truncates any torn tail and rebuilds the dedup table.
+    auto recovered = VerifySeed(seed, dir, logs);
+    ASSERT_NE(recovered, nullptr);
+
+    // The survivors reconnect to a fresh server over the recovered
+    // database and re-send their unresolved last statement with the
+    // SAME sequence number: committed ones must dedup (stay
+    // exactly-once), uncommitted ones must apply now, once.
+    auto server2 = Server::Start(recovered.get(), ServerOptions{});
+    ASSERT_TRUE(server2.ok()) << server2.status().ToString();
+    for (int t = 0; t < kClientThreads; ++t) {
+      ThreadLog& log = logs[t];
+      if (!log.sent_anything) continue;
+      clients[t]->set_port((*server2)->port());
+      auto out = clients[t]->ExecuteSeq(log.last_seq, log.last_text);
+      EXPECT_TRUE(out.ok()) << "seed " << seed << " thread " << t << ": "
+                            << out.status().ToString();
+    }
+    (*server2)->Shutdown();
+    server2->reset();
+
+    // Post-retry, the whole history must still be exactly-once.
+    const std::vector<std::string> history =
+        WalHistory(dir, recovered->generation());
+    const std::map<std::string, int> counts = Occurrences(history);
+    for (const ThreadLog& log : logs) {
+      for (const std::string& stmt : log.attempted_mutations) {
+        auto it = counts.find(stmt);
+        EXPECT_LE(it == counts.end() ? 0 : it->second, 1)
+            << "seed " << seed << ": applied twice after crash+retry: "
+            << stmt;
+      }
+      for (const std::string& stmt : log.acked_mutations) {
+        auto it = counts.find(stmt);
+        EXPECT_TRUE(it != counts.end() && it->second == 1)
+            << "seed " << seed << ": acked statement not exactly-once "
+            << "after crash+retry: " << stmt;
+      }
+      // The re-sent last statement resolved, so it is durable now.
+      if (!log.last_text.empty() &&
+          log.last_text.rfind("UPDATE", 0) == 0) {
+        auto it = counts.find(log.last_text);
+        EXPECT_TRUE(it != counts.end() && it->second == 1)
+            << "seed " << seed << ": retried statement missing or "
+            << "duplicated: " << log.last_text;
+      }
+    }
+    recovered.reset();
+    std::filesystem::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xsql

@@ -1,0 +1,549 @@
+// Network & overload resilience: the exactly-once request machinery
+// (request IDs, the dedup table, WAL stamping, recovery rebuild), the
+// kNet fault-injection domain, the retrying client, and the server's
+// overload defenses (admission shed, idle reaper, slow-peer deadlines,
+// counted-never-fatal reply failures).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "storage/dedup.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace xsql {
+namespace server {
+namespace {
+
+using storage::DedupTable;
+using storage::DurableDatabase;
+using storage::RequestId;
+using storage::Wal;
+
+RequestId MakeRid(uint8_t tag, uint64_t seq) {
+  RequestId rid;
+  rid.uuid.fill(tag);
+  rid.seq = seq;
+  return rid;
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+// ---- Request IDs and WAL stamping -----------------------------------
+
+TEST(RequestIdTest, EncodeDecodeRoundTrip) {
+  RequestId rid = MakeRid(0xAB, 0x1122334455667788ull);
+  std::string bytes = rid.Encode();
+  ASSERT_EQ(bytes.size(), 24u);
+  auto back = RequestId::Decode(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->uuid, rid.uuid);
+  EXPECT_EQ(back->seq, rid.seq);
+  // Short input is rejected, not misparsed.
+  EXPECT_FALSE(RequestId::Decode(bytes.substr(0, 23)).has_value());
+  // ToString is hex-uuid:seq.
+  EXPECT_NE(rid.ToString().find(":1234605616436508552"),
+            std::string::npos);
+}
+
+TEST(RequestIdTest, RidPayloadStampRoundTrips) {
+  RequestId rid = MakeRid(7, 42);
+  const std::string text = "UPDATE CLASS Person SET mary.Salary = 1";
+  std::string stamped = storage::EncodeRidPayload(rid, text);
+  EXPECT_EQ(stamped[0], storage::kRidTag);
+  auto [got_rid, got_text] = storage::DecodeRidPayload(stamped);
+  ASSERT_TRUE(got_rid.has_value());
+  EXPECT_EQ(got_rid->seq, 42u);
+  EXPECT_EQ(got_text, text);
+  // A bare (legacy) payload passes through untouched.
+  auto [none, bare] = storage::DecodeRidPayload(text);
+  EXPECT_FALSE(none.has_value());
+  EXPECT_EQ(bare, text);
+}
+
+// ---- DedupTable protocol --------------------------------------------
+
+TEST(DedupTableTest, ClaimCompleteCachedStale) {
+  DedupTable table;
+  RequestId r1 = MakeRid(1, 1);
+  std::string cached;
+  EXPECT_EQ(table.Claim(r1, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExecute);
+  table.Complete(r1, "reply-1");
+  // A retry of the committed seq returns the cached reply.
+  EXPECT_EQ(table.Claim(r1, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kCached);
+  EXPECT_EQ(cached, "reply-1");
+  EXPECT_EQ(table.hits(), 1u);
+  // A later seq executes; after it commits, the older seq is stale.
+  RequestId r2 = MakeRid(1, 2);
+  EXPECT_EQ(table.Claim(r2, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExecute);
+  table.Complete(r2, "reply-2");
+  EXPECT_EQ(table.Claim(r1, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kStale);
+  // One entry per client uuid, not per statement.
+  EXPECT_EQ(table.entries(), 1u);
+}
+
+TEST(DedupTableTest, AbandonAllowsReexecution) {
+  DedupTable table;
+  RequestId rid = MakeRid(2, 1);
+  std::string cached;
+  ASSERT_EQ(table.Claim(rid, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExecute);
+  table.Abandon(rid);  // failed / read-only: nothing committed
+  EXPECT_EQ(table.Claim(rid, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExecute);
+  table.Abandon(rid);
+}
+
+TEST(DedupTableTest, DuplicateBlocksBehindInflightOriginal) {
+  DedupTable table;
+  RequestId rid = MakeRid(3, 1);
+  std::string cached;
+  ASSERT_EQ(table.Claim(rid, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExecute);
+  std::atomic<bool> resolved{false};
+  std::thread dup([&] {
+    std::string dup_cached;
+    DedupTable::ClaimResult r =
+        table.Claim(rid, ExecLimits{}, nullptr, &dup_cached);
+    EXPECT_EQ(r, DedupTable::ClaimResult::kCached);
+    EXPECT_EQ(dup_cached, "the-reply");
+    EXPECT_TRUE(resolved.load()) << "duplicate ran before the original "
+                                    "resolved";
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  resolved.store(true);
+  table.Complete(rid, "the-reply");
+  dup.join();
+}
+
+TEST(DedupTableTest, DuplicateWaitHonorsDeadline) {
+  DedupTable table;
+  RequestId rid = MakeRid(4, 1);
+  std::string cached;
+  ASSERT_EQ(table.Claim(rid, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExecute);
+  ExecLimits limits;
+  limits.deadline_ms = 80;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(table.Claim(rid, limits, nullptr, &cached),
+            DedupTable::ClaimResult::kTimeout);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(waited)
+                .count(),
+            5000);
+  table.Abandon(rid);
+}
+
+TEST(DedupTableTest, SerializeLoadRoundTrip) {
+  DedupTable table;
+  table.Record(MakeRid(1, 5), "alpha");
+  table.Record(MakeRid(2, 9), "beta");
+  table.Record(MakeRid(2, 3), "old");  // lower seq: must not clobber
+  std::string image = table.Serialize();
+
+  DedupTable loaded;
+  ASSERT_TRUE(loaded.Load(image).ok());
+  EXPECT_EQ(loaded.entries(), 2u);
+  std::string cached;
+  EXPECT_EQ(loaded.Claim(MakeRid(2, 9), ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kCached);
+  EXPECT_EQ(cached, "beta");
+  EXPECT_EQ(loaded.Claim(MakeRid(2, 3), ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kStale);
+
+  // A torn image is corruption (the file is written atomically).
+  DedupTable corrupt;
+  EXPECT_FALSE(corrupt.Load(image.substr(0, image.size() - 3)).ok());
+}
+
+// ---- kNet fault-injection domain ------------------------------------
+
+TEST(NetFaultTest, NthSchedulesExactlyOneMatchingOp) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.ArmNetNth("alpha", NetFault::kDelay, 2, 30);
+  EXPECT_EQ(fi.NetNext("net-alpha-read", 10).kind, NetFault::kNone);
+  EXPECT_EQ(fi.NetNext("net-beta-read", 10).kind,
+            NetFault::kNone);  // filtered out, does not consume
+  NetAction hit = fi.NetNext("net-alpha-write", 10);
+  EXPECT_EQ(hit.kind, NetFault::kDelay);
+  EXPECT_EQ(hit.delay_ms, 30u);
+  EXPECT_EQ(fi.NetNext("net-alpha-read", 10).kind, NetFault::kNone);
+  EXPECT_EQ(fi.net_faults_fired(), 1u);
+  fi.Disarm();
+  EXPECT_FALSE(fi.net_armed());
+}
+
+TEST(NetFaultTest, RandomScheduleIsDeterministicPerSeed) {
+  FaultInjector& fi = FaultInjector::Global();
+  auto draw = [&](uint64_t seed) {
+    fi.ArmNet(seed, 500, kNetAll, 50);
+    std::vector<int> kinds;
+    for (int i = 0; i < 32; ++i) {
+      kinds.push_back(static_cast<int>(fi.NetNext("net-x-write", 64).kind));
+    }
+    fi.Disarm();
+    return kinds;
+  };
+  std::vector<int> a = draw(42), b = draw(42), c = draw(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide
+  bool any_fault = false;
+  for (int k : a) any_fault |= (k != 0);
+  EXPECT_TRUE(any_fault);
+}
+
+TEST(NetFaultTest, TruncateKeepsAPrefix) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.ArmNetNth("w", NetFault::kTruncate, 1);
+  NetAction a = fi.NetNext("net-w-write", 100);
+  EXPECT_EQ(a.kind, NetFault::kTruncate);
+  EXPECT_LT(a.keep_bytes, 100u);
+  fi.Disarm();
+}
+
+TEST(UnavailableFrameTest, RetryAfterHintParses) {
+  EXPECT_EQ(ParseRetryAfterHint("120 server overloaded"), 120);
+  EXPECT_EQ(ParseRetryAfterHint("0 now"), 0);
+  EXPECT_EQ(ParseRetryAfterHint("junk"), 0);
+  EXPECT_EQ(ParseRetryAfterHint("999999999 hostile"), 60000);
+}
+
+// ---- Wire-level scenarios against a live server ---------------------
+
+class NetResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = ::testing::TempDir() + "/xsql_net_" + info->name();
+    std::filesystem::remove_all(dir_);
+    OpenDb();
+    for (const char* stmt :
+         {"ALTER CLASS Person ADD SIGNATURE Name => String",
+          "ALTER CLASS Person ADD SIGNATURE Salary => Numeral",
+          "UPDATE CLASS Person SET mary.Name = 'mary'",
+          "UPDATE CLASS Person SET mary.Salary = 100"}) {
+      auto out = dd_->Execute(stmt);
+      ASSERT_TRUE(out.ok()) << stmt << ": " << out.status().ToString();
+    }
+  }
+
+  void TearDown() override {
+    server_.reset();
+    dd_.reset();
+    FaultInjector::Global().Disarm();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void OpenDb() {
+    auto dd = DurableDatabase::Open(dir_);
+    ASSERT_TRUE(dd.ok()) << dd.status().ToString();
+    dd_ = std::move(*dd);
+  }
+
+  void StartServer(ServerOptions options = {}) {
+    auto server = Server::Start(dd_.get(), std::move(options));
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  Client MustConnect() {
+    auto client = Client::Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return client.ok() ? std::move(*client) : Client();
+  }
+
+  RetryingClientOptions FastRetryOptions() {
+    RetryingClientOptions options;
+    options.port = server_->port();
+    options.timeout_ms = 300;
+    options.max_retries = 10;
+    options.backoff_base_ms = 5;
+    options.backoff_max_ms = 100;
+    options.deadline_ms = 20000;
+    return options;
+  }
+
+  /// How many live-WAL records carry exactly `text` as their statement.
+  int WalOccurrences(const std::string& text) {
+    auto scan = Wal::ScanFile(
+        DurableDatabase::WalPath(dir_, dd_->generation()));
+    EXPECT_TRUE(scan.ok()) << scan.status().ToString();
+    if (!scan.ok()) return -1;
+    int count = 0;
+    for (const std::string& record : scan->records) {
+      if (storage::DecodeRidPayload(record).second == text) ++count;
+    }
+    return count;
+  }
+
+  std::string dir_;
+  std::unique_ptr<DurableDatabase> dd_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(NetResilienceTest, ExecuteWithIdDedupsASecondSend) {
+  StartServer();
+  Client client = MustConnect();
+  RequestId rid = MakeRid(0x11, 1);
+  const std::string stmt = "UPDATE CLASS Person SET mary.Salary = 31337";
+  auto first = client.ExecuteWithId(rid, stmt);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Same rid again: cached reply, no second WAL record.
+  auto again = client.ExecuteWithId(rid, stmt);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(*again, *first);
+  EXPECT_EQ(WalOccurrences(stmt), 1);
+  EXPECT_GE(dd_->dedup().hits(), 1u);
+}
+
+TEST_F(NetResilienceTest, LostReplyRetryAppliesExactlyOnce) {
+  StartServer();
+  RetryingClient client(FastRetryOptions());
+  // The server's next reply write swallows the frame: the classic
+  // lost-acknowledgement. The retry must return the ORIGINAL outcome
+  // without running the statement twice.
+  const std::string stmt = "UPDATE CLASS Person SET mary.Salary = 41414";
+  FaultInjector::Global().ArmNetNth("srv-write", NetFault::kDrop, 1);
+  auto out = client.Execute(stmt);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_GE(client.retries(), 1u);
+  EXPECT_EQ(WalOccurrences(stmt), 1);
+  EXPECT_GE(dd_->dedup().hits(), 1u);
+  // The value really is there, once.
+  auto check = client.Execute("SELECT T WHERE mary.Salary[T]");
+  ASSERT_TRUE(check.ok());
+  EXPECT_NE(check->find("41414"), std::string::npos) << *check;
+}
+
+TEST_F(NetResilienceTest, RetryAfterServerRestartHitsRecoveredDedup) {
+  StartServer();
+  RetryingClientOptions options = FastRetryOptions();
+  options.max_retries = 0;  // this attempt must NOT recover by itself
+  RetryingClient client(options);
+  ASSERT_TRUE(client.Execute("UPDATE CLASS Person SET mary.Salary = 1")
+                  .ok());
+
+  // The reply to the next statement is dropped; with retries off the
+  // client reports failure while the statement is in fact committed.
+  const std::string stmt = "UPDATE CLASS Person SET mary.Salary = 52525";
+  FaultInjector::Global().ArmNetNth("srv-write", NetFault::kDrop, 1);
+  const uint64_t seq = client.last_seq() + 1;
+  auto lost = client.ExecuteSeq(seq, stmt);
+  EXPECT_FALSE(lost.ok());
+  FaultInjector::Global().Disarm();
+  EXPECT_EQ(WalOccurrences(stmt), 1);
+
+  // Server restarts: recovery replays the stamped WAL and rebuilds the
+  // dedup table from it.
+  server_.reset();
+  dd_.reset();
+  OpenDb();
+  ASSERT_NE(dd_, nullptr);
+  StartServer();
+  client.set_port(server_->port());
+
+  // The client re-sends its unresolved statement with the SAME seq:
+  // the recovered table answers from cache instead of re-executing.
+  const uint64_t hits_before = dd_->dedup().hits();
+  auto retried = client.ExecuteSeq(seq, stmt);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(WalOccurrences(stmt), 1);
+  EXPECT_GT(dd_->dedup().hits(), hits_before);
+}
+
+TEST_F(NetResilienceTest, StaleSequenceNumberIsRejectedNotReplayed) {
+  StartServer();
+  Client client = MustConnect();
+  RequestId r1 = MakeRid(0x22, 1);
+  RequestId r2 = MakeRid(0x22, 2);
+  ASSERT_TRUE(client
+                  .ExecuteWithId(
+                      r1, "UPDATE CLASS Person SET mary.Salary = 201")
+                  .ok());
+  ASSERT_TRUE(client
+                  .ExecuteWithId(
+                      r2, "UPDATE CLASS Person SET mary.Salary = 202")
+                  .ok());
+  const std::string replay = "UPDATE CLASS Person SET mary.Salary = 203";
+  auto stale = client.ExecuteWithId(r1, replay);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_NE(stale.status().message().find("stale"), std::string::npos)
+      << stale.status().ToString();
+  EXPECT_EQ(WalOccurrences(replay), 0);  // never executed
+}
+
+TEST_F(NetResilienceTest, AdmissionControlShedsWithRetryAfterHint) {
+  ServerOptions options;
+  options.max_inflight_statements = 1;
+  options.retry_after_hint_ms = 25;
+  StartServer(options);
+
+  // Establish both sessions BEFORE grabbing the latch: session creation
+  // itself runs under the exclusive latch, so a late connection would
+  // park there instead of reaching its statement.
+  Client a = MustConnect();
+  ASSERT_TRUE(a.Ping().ok());
+  Client b = MustConnect();
+  ASSERT_TRUE(b.Ping().ok());
+
+  // Hold the statement latch exclusively: the next statement parks
+  // inside its in-flight slot, deterministically saturating admission.
+  ASSERT_TRUE(
+      server_->manager().latch().AcquireExclusive(ExecLimits{}, nullptr)
+          .ok());
+  std::thread holder([&] {
+    auto out = a.Execute("UPDATE CLASS Person SET mary.Salary = 300");
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+  });
+  // Give the holder time to be admitted and park on the latch.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  auto shed = b.Execute("SELECT T WHERE mary.Name[T]");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(static_cast<int>(shed.status().code()),
+            static_cast<int>(StatusCode::kUnavailable))
+      << shed.status().ToString();
+  EXPECT_NE(shed.status().message().find("overloaded"), std::string::npos);
+  EXPECT_EQ(ParseRetryAfterHint(shed.status().message()), 25);
+  // The shed connection is still usable.
+  EXPECT_TRUE(b.Ping().ok());
+
+  // A retrying client parked on the overload succeeds once it clears.
+  RetryingClient c(FastRetryOptions());
+  std::thread retrier([&] {
+    auto out = c.Execute("SELECT T WHERE mary.Name[T]");
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  server_->manager().latch().ReleaseExclusive();
+  holder.join();
+  retrier.join();
+  EXPECT_GE(CounterValue("xsql.server.shed_statements"), 1u);
+}
+
+TEST_F(NetResilienceTest, IdleConnectionsAreReaped) {
+  const uint64_t reaped_before = CounterValue("xsql.server.idle_reaped");
+  ServerOptions options;
+  options.idle_timeout_ms = 150;
+  StartServer(options);
+  Client client = MustConnect();
+  ASSERT_TRUE(client.Ping().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  // The server reaped the idle connection; the next round trip fails.
+  EXPECT_FALSE(client.Ping().ok());
+  EXPECT_GT(CounterValue("xsql.server.idle_reaped"), reaped_before);
+  // Fresh connections still work.
+  Client fresh = MustConnect();
+  EXPECT_TRUE(fresh.Ping().ok());
+}
+
+TEST_F(NetResilienceTest, SlowPeerMidFrameIsDisconnected) {
+  ServerOptions options;
+  options.io_timeout_ms = 150;
+  StartServer(options);
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(server_->port()));
+  ASSERT_EQ(connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+  // Start a frame claiming 50 payload bytes, deliver 1, then stall.
+  const char partial[] = {50, 0, 0, 0, 0x01};
+  ASSERT_EQ(write(fd, partial, sizeof(partial)),
+            static_cast<ssize_t>(sizeof(partial)));
+  // The io deadline trips server-side and the connection is closed:
+  // we observe EOF well before any idle policy could explain it.
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  ASSERT_GT(poll(&pfd, 1, 5000), 0) << "server never closed the socket";
+  char buf[8];
+  EXPECT_EQ(read(fd, buf, sizeof(buf)), 0);  // clean EOF, no reply
+  close(fd);
+}
+
+TEST_F(NetResilienceTest, ReplyWriteFailureIsCountedNotFatal) {
+  const uint64_t failures_before =
+      CounterValue("xsql.server.write_failures");
+  StartServer();
+  Client client = MustConnect();
+  client.set_timeout_ms(500);
+  FaultInjector::Global().ArmNetNth("srv-write", NetFault::kReset, 1);
+  // The reply write fails server-side; the connection is closed and
+  // the failure counted — the server must neither crash nor wedge.
+  auto out = client.Execute("SELECT T WHERE mary.Name[T]");
+  EXPECT_FALSE(out.ok());
+  FaultInjector::Global().Disarm();
+  EXPECT_GT(CounterValue("xsql.server.write_failures"), failures_before);
+  Client fresh = MustConnect();
+  EXPECT_TRUE(fresh.Ping().ok());
+}
+
+TEST_F(NetResilienceTest, WedgedDatabaseReportsUnavailable) {
+  StartServer();
+  Client client = MustConnect();
+  dd_->Wedge();
+  auto out = client.Execute("SELECT T WHERE mary.Name[T]");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(static_cast<int>(out.status().code()),
+            static_cast<int>(StatusCode::kUnavailable))
+      << out.status().ToString();
+}
+
+TEST_F(NetResilienceTest, DedupSurvivesCheckpointRotation) {
+  StartServer(ServerOptions{});
+  Client client = MustConnect();
+  RequestId rid = MakeRid(0x33, 1);
+  const std::string stmt = "UPDATE CLASS Person SET mary.Salary = 60606";
+  ASSERT_TRUE(client.ExecuteWithId(rid, stmt).ok());
+  // Rotate: the WAL (and its stamps) folds into the snapshot; the
+  // dedup entries must travel via dedup-<gen>.tab.
+  ASSERT_TRUE(server_->manager().Checkpoint().ok());
+  server_.reset();
+  dd_.reset();
+  OpenDb();
+  ASSERT_NE(dd_, nullptr);
+  StartServer();
+  Client again = MustConnect();
+  const uint64_t hits_before = dd_->dedup().hits();
+  auto cached = again.ExecuteWithId(rid, stmt);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  EXPECT_GT(dd_->dedup().hits(), hits_before);
+  EXPECT_EQ(WalOccurrences(stmt), 0);  // post-rotation WAL stays empty
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xsql

@@ -168,10 +168,10 @@ TEST_F(ServerTest, ConnectionCapRejectsLoudly) {
   StartServer(options);
   Client first = MustConnect();
   ASSERT_TRUE(first.Ping().ok());  // the slot is definitely taken
-  // Second connection: the listener accepts just long enough to push an
-  // error frame and close. Read it with a raw socket and no preceding
-  // write — writing first could race the server's close into a TCP
-  // reset that eats the frame.
+  // Second connection: the listener accepts just long enough to push a
+  // kUnavailable frame (with the retry-after hint) and close. Read it
+  // with a raw socket and no preceding write — writing first could
+  // race the server's close into a TCP reset that eats the frame.
   int fd = socket(AF_INET, SOCK_STREAM, 0);
   ASSERT_GE(fd, 0);
   struct sockaddr_in addr;
@@ -186,9 +186,11 @@ TEST_F(ServerTest, ConnectionCapRejectsLoudly) {
   close(fd);
   ASSERT_TRUE(frame.ok()) << frame.status().ToString();
   EXPECT_EQ(static_cast<int>(frame->type),
-            static_cast<int>(MsgType::kError));
+            static_cast<int>(MsgType::kUnavailable));
   EXPECT_NE(frame->payload.find("capacity"), std::string::npos)
       << frame->payload;
+  // The payload leads with a parseable retry-after hint.
+  EXPECT_GT(ParseRetryAfterHint(frame->payload), 0) << frame->payload;
 }
 
 TEST_F(ServerTest, GracefulShutdownDrainsInFlight) {
