@@ -196,7 +196,7 @@ Result<EvalOutput> ConcurrencyManager::Execute(uint64_t session_id,
                                    std::to_string(session_id));
   }
   bool committed = false;
-  return ExecuteInternal(session, text, nullptr, &committed);
+  return ExecuteInternal(session, text, nullptr, &committed, nullptr);
 }
 
 Result<std::string> ConcurrencyManager::ExecuteIdempotent(
@@ -206,6 +206,8 @@ Result<std::string> ConcurrencyManager::ExecuteIdempotent(
       .GetCounter("xsql.server.dedup_hits");
   static obs::Counter& dedup_stale = obs::MetricsRegistry::Global()
       .GetCounter("xsql.server.dedup_stale");
+  static obs::Counter& dedup_expired = obs::MetricsRegistry::Global()
+      .GetCounter("xsql.server.dedup_expired");
   Session* session = this->session(session_id);
   if (session == nullptr) {
     return Status::InvalidArgument("unknown session id " +
@@ -219,6 +221,15 @@ Result<std::string> ConcurrencyManager::ExecuteIdempotent(
     case storage::DedupTable::ClaimResult::kCached:
       dedup_hits.Inc();
       return cached;
+    case storage::DedupTable::ClaimResult::kExpired:
+      // Committed, but the cached reply was evicted under the table's
+      // memory bounds. A final error, never a re-execution — the
+      // mutation is already applied.
+      dedup_expired.Inc();
+      return Status::InvalidArgument(
+          "request " + rid.ToString() +
+          " committed but its cached reply expired; issue a new "
+          "statement to observe the current state");
     case storage::DedupTable::ClaimResult::kStale:
       dedup_stale.Inc();
       return Status::InvalidArgument(
@@ -233,7 +244,9 @@ Result<std::string> ConcurrencyManager::ExecuteIdempotent(
   }
 
   bool committed = false;
-  Result<EvalOutput> out = ExecuteInternal(session, text, &rid, &committed);
+  std::string reply;
+  Result<EvalOutput> out =
+      ExecuteInternal(session, text, &rid, &committed, &reply);
   if (!out.ok()) {
     // Nothing durable happened under this rid (a failed commit wedges
     // the database *without* an entry, so a post-recovery retry
@@ -241,21 +254,21 @@ Result<std::string> ConcurrencyManager::ExecuteIdempotent(
     dd_->dedup().Abandon(rid);
     return out.status();
   }
-  std::string reply = RenderEvalOutput(*out);
   if (committed) {
-    // Durable now; the retry of this rid must never run again.
-    dd_->dedup().Complete(rid, reply);
-  } else {
-    // Read-only or diagnostic: re-executing a retry is safe (and the
-    // table only tracks statements whose effects must not repeat).
-    dd_->dedup().Abandon(rid);
+    // ExecuteInternal already recorded the reply in the dedup table
+    // (Complete released the claim), ordered before any checkpoint
+    // could serialize the table without it.
+    return reply;
   }
-  return reply;
+  // Read-only or diagnostic: re-executing a retry is safe (and the
+  // table only tracks statements whose effects must not repeat).
+  dd_->dedup().Abandon(rid);
+  return RenderEvalOutput(*out);
 }
 
 Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
     Session* session, const std::string& text,
-    const storage::RequestId* rid, bool* committed) {
+    const storage::RequestId* rid, bool* committed, std::string* reply) {
   static obs::Counter& reads = obs::MetricsRegistry::Global().GetCounter(
       "xsql.server.read_statements");
   static obs::Counter& writes = obs::MetricsRegistry::Global().GetCounter(
@@ -270,7 +283,9 @@ Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
   XSQL_RETURN_IF_ERROR(latch_.AcquireShared(limits, cancel));
   if (dd_->wedged()) {
     latch_.ReleaseShared();
-    return Status::Unavailable(
+    // Final, not kUnavailable: a wedged instance needs an operator to
+    // reopen the directory — a retrying client cannot wait it out.
+    return Status::RuntimeError(
         "durable database crashed; reopen the directory to recover");
   }
   storage::StatementClass cls =
@@ -292,6 +307,13 @@ Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
   uint64_t ticket = 0;
   Result<EvalOutput> out =
       dd_->ExecuteForCommit(session, text, &committer_, &ticket, rid);
+  const bool pending_rid = ticket != 0 && rid != nullptr;
+  if (pending_rid) {
+    // Claimed under the latch: a checkpoint that serializes the dedup
+    // table after this release is obliged to wait for our recording.
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    ++pending_rid_commits_;
+  }
   PrewarmActiveDomain();
   latch_.ReleaseExclusive();
   writes.Inc();
@@ -302,13 +324,32 @@ Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
   // executes in memory while this record's fsync is in flight, and
   // both records share one fsync when the timing lines up.
   Status durable = committer_.WaitDurable(ticket);
+  auto resolve_pending = [&]() {
+    if (!pending_rid) return;
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    --pending_rid_commits_;
+    pending_cv_.notify_all();
+  };
   if (!durable.ok()) {
     // In-memory state now leads durable state with no way to retreat:
     // same situation as a crash, handled the same way.
     dd_->Wedge();
+    resolve_pending();
     return durable;
   }
   *committed = true;
+  if (pending_rid) {
+    // Durable now; the retry of this rid must never run again. The
+    // entry lands before the checkpoint trigger below AND before any
+    // concurrent Checkpoint() serializes the table (it waits on the
+    // pending count) — otherwise a rotation could discard this
+    // statement's stamped WAL record while persisting a table without
+    // its entry, and a crash in that window would re-execute the retry.
+    std::string rendered = RenderEvalOutput(*out);
+    dd_->dedup().Complete(*rid, rendered);
+    if (reply != nullptr) *reply = std::move(rendered);
+  }
+  resolve_pending();
   const uint64_t since =
       mutations_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) +
       1;
@@ -332,6 +373,16 @@ Status ConcurrencyManager::Checkpoint() {
   if (!out.ok()) {
     dd_->Wedge();
   } else {
+    // Drain made every enqueued rid-stamped record durable; wait for
+    // their threads to finish recording into the dedup table before
+    // serializing it (they need no latch, only their WaitDurable —
+    // already satisfied — and the table mutex, so this is bounded).
+    // New rid claims cannot arrive: enqueue happens under the
+    // exclusive latch we hold.
+    {
+      std::unique_lock<std::mutex> lock(pending_mu_);
+      pending_cv_.wait(lock, [&] { return pending_rid_commits_ == 0; });
+    }
     out = dd_->Checkpoint();
     // On failure the old generation's WAL stays live and bound — no
     // rebind wanted. On success, point at the rotated appender.

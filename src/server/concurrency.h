@@ -133,13 +133,17 @@ class ConcurrencyManager {
   /// The exactly-once form: `rid` identifies the request across
   /// retries. Consults the durable dedup table first — a retry of a
   /// committed statement returns its cached rendered reply without
-  /// re-executing; a stale seq (superseded by a later statement from
-  /// the same client) is rejected; a duplicate racing the original
-  /// waits for it. Otherwise executes like Execute with the WAL record
+  /// re-executing (or a final "expired" error if the reply has been
+  /// evicted); a stale seq (superseded by a later statement from the
+  /// same client) is rejected; a duplicate racing the original waits
+  /// for it. Otherwise executes like Execute with the WAL record
   /// stamped by `rid`, and records the rendered reply in the dedup
   /// table only once the commit is durable — so a crash before the
   /// fsync leaves no entry and the client's retry re-executes against
-  /// the recovered (statement-free) state. Returns the rendered reply
+  /// the recovered (statement-free) state. The record lands before any
+  /// checkpoint can serialize the table (Checkpoint waits for in-
+  /// flight recordings), so a crash *after* a rotation can never lose
+  /// the entry while keeping the mutation. Returns the rendered reply
   /// text (what the server ships in the kResult frame).
   Result<std::string> ExecuteIdempotent(uint64_t session_id,
                                         const storage::RequestId& rid,
@@ -159,12 +163,15 @@ class ConcurrencyManager {
  private:
   /// The shared body of Execute / ExecuteIdempotent: the three-phase
   /// latch protocol. When `rid` is non-null the WAL record is stamped
-  /// with it; `*committed` reports whether a mutation became durable
-  /// (the caller then owns recording the reply in the dedup table).
+  /// with it, and once the commit is durable the rendered reply is
+  /// recorded in the dedup table (and returned via `*reply`) *before*
+  /// the auto-checkpoint trigger — the rotation that discards the
+  /// stamped WAL record must serialize a table that already holds the
+  /// entry. `*committed` reports whether a mutation became durable.
   Result<EvalOutput> ExecuteInternal(Session* session,
                                      const std::string& text,
                                      const storage::RequestId* rid,
-                                     bool* committed);
+                                     bool* committed, std::string* reply);
 
   /// Rebuilds Database::ActiveDomain()'s lazy cache. Called before
   /// every exclusive-latch release (mutation, rollback, and checkpoint
@@ -183,6 +190,15 @@ class ConcurrencyManager {
 
   std::atomic<uint64_t> statements_{0};
   std::atomic<uint64_t> mutations_since_checkpoint_{0};
+
+  /// Rid-stamped commits that are enqueued (claimed under the
+  /// exclusive latch) but not yet recorded in the dedup table.
+  /// Checkpoint() waits for this to drain after Drain() and before
+  /// serializing, closing the window where a rotation could persist a
+  /// table missing an entry whose WAL record it just discarded.
+  std::mutex pending_mu_;
+  std::condition_variable pending_cv_;
+  uint64_t pending_rid_commits_ = 0;
 };
 
 }  // namespace server

@@ -193,9 +193,14 @@ void Server::HandleConnection(int fd) {
     const int cap = options_.max_inflight_statements;
     const int now =
         inflight_statements_.fetch_add(1, std::memory_order_relaxed) + 1;
-    inflight_gauge.Set(now);
-    if (cap <= 0 || now <= cap) return true;
-    inflight_statements_.fetch_sub(1, std::memory_order_relaxed);
+    if (cap <= 0 || now <= cap) {
+      // Gauge only after admission: a shed attempt must not leave the
+      // reading above the true in-flight count (or the cap).
+      inflight_gauge.Set(now);
+      return true;
+    }
+    inflight_gauge.Set(
+        inflight_statements_.fetch_sub(1, std::memory_order_relaxed) - 1);
     shed_statements.Inc();
     return false;
   };

@@ -101,7 +101,9 @@ DedupTable::ClaimResult DedupTable::Claim(
   while (true) {
     auto it = committed_.find(key);
     if (it != committed_.end() && rid.seq <= it->second.seq) {
+      it->second.stamp = ++clock_;
       if (rid.seq == it->second.seq) {
+        if (!it->second.has_reply) return ClaimResult::kExpired;
         ++hits_;
         if (cached_reply != nullptr) *cached_reply = it->second.reply;
         return ClaimResult::kCached;
@@ -124,14 +126,29 @@ DedupTable::ClaimResult DedupTable::Claim(
   }
 }
 
+void DedupTable::StoreLocked(const RequestId& rid, std::string reply) {
+  Outcome& out = committed_[rid.UuidKey()];
+  out.stamp = ++clock_;
+  if (rid.seq < out.seq) return;
+  if (out.has_reply) --reply_holders_;
+  out.seq = rid.seq;
+  if (reply.size() > options_.max_reply_bytes) {
+    // Too big to cache: tombstone right away. The original attempt
+    // still ships the full reply; only a retry pays (kExpired).
+    out.reply.clear();
+    out.has_reply = false;
+  } else {
+    out.reply = std::move(reply);
+    out.has_reply = true;
+    ++reply_holders_;
+  }
+  EnforceCapsLocked();
+}
+
 void DedupTable::Complete(const RequestId& rid, std::string reply) {
   std::lock_guard<std::mutex> lock(mu_);
   inflight_.erase(rid.Encode());
-  Outcome& out = committed_[rid.UuidKey()];
-  if (rid.seq >= out.seq) {
-    out.seq = rid.seq;
-    out.reply = std::move(reply);
-  }
+  StoreLocked(rid, std::move(reply));
   cv_.notify_all();
 }
 
@@ -143,10 +160,36 @@ void DedupTable::Abandon(const RequestId& rid) {
 
 void DedupTable::Record(const RequestId& rid, std::string reply) {
   std::lock_guard<std::mutex> lock(mu_);
-  Outcome& out = committed_[rid.UuidKey()];
-  if (rid.seq >= out.seq) {
-    out.seq = rid.seq;
-    out.reply = std::move(reply);
+  StoreLocked(rid, std::move(reply));
+}
+
+void DedupTable::EnforceCapsLocked() {
+  // LRU scans run only when a cap is exceeded — once per demotion or
+  // drop, over a table bounded by the caps themselves.
+  auto lru = [&](bool with_reply) {
+    auto best = committed_.end();
+    for (auto it = committed_.begin(); it != committed_.end(); ++it) {
+      if (it->second.has_reply != with_reply) continue;
+      if (best == committed_.end() ||
+          it->second.stamp < best->second.stamp) {
+        best = it;
+      }
+    }
+    return best;
+  };
+  while (reply_holders_ > options_.max_reply_entries) {
+    auto it = lru(true);
+    if (it == committed_.end()) break;
+    it->second.reply.clear();
+    it->second.has_reply = false;
+    --reply_holders_;
+  }
+  while (committed_.size() > options_.max_entries) {
+    auto it = lru(false);
+    if (it == committed_.end()) it = lru(true);
+    if (it == committed_.end()) break;
+    if (it->second.has_reply) --reply_holders_;
+    committed_.erase(it);
   }
 }
 
@@ -156,6 +199,7 @@ std::string DedupTable::Serialize() const {
   for (const auto& [key, outcome] : committed_) {
     std::string record = key;
     PutU64(&record, outcome.seq);
+    record.push_back(outcome.has_reply ? 1 : 0);
     record += outcome.reply;
     out += Wal::EncodeRecord(record);
   }
@@ -172,21 +216,34 @@ Status DedupTable::Load(const std::string& contents) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   committed_.clear();
+  reply_holders_ = 0;
   for (const std::string& record : scan.records) {
-    if (record.size() < 24) {
+    if (record.size() < 25) {
       return Status::InvalidArgument("corrupt dedup record (short)");
     }
     Outcome out;
     out.seq = GetU64(record, 16);
-    out.reply = record.substr(24);
-    committed_[record.substr(0, 16)] = std::move(out);
+    out.has_reply = record[24] != 0;
+    if (out.has_reply) out.reply = record.substr(25);
+    out.stamp = ++clock_;
+    Outcome& slot = committed_[record.substr(0, 16)];
+    // Serialize never emits duplicate UUIDs, but count defensively.
+    if (slot.has_reply) --reply_holders_;
+    if (out.has_reply) ++reply_holders_;
+    slot = std::move(out);
   }
+  EnforceCapsLocked();
   return Status::OK();
 }
 
 uint64_t DedupTable::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return committed_.size();
+}
+
+uint64_t DedupTable::reply_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reply_holders_;
 }
 
 uint64_t DedupTable::hits() const {

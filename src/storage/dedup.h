@@ -71,11 +71,14 @@ std::pair<std::optional<RequestId>, std::string> DecodeRidPayload(
 ///   1. `Claim(rid)` — kExecute: this thread owns the request and must
 ///      finish with Complete (committed) or Abandon (failed / not a
 ///      mutation). kCached: the statement already committed; the
-///      cached reply is returned without re-executing. kStale: an
-///      older seq than the last committed one — it was applied, but
-///      its reply has been discarded. A duplicate that arrives while
-///      the original is still executing *blocks* (deadline/cancel
-///      aware) until the original resolves, then re-claims.
+///      cached reply is returned without re-executing. kExpired: the
+///      statement committed but its reply was evicted (see bounds
+///      below) — the caller must surface a final error, never
+///      re-execute. kStale: an older seq than the last committed one —
+///      it was applied, but its reply has been discarded. A duplicate
+///      that arrives while the original is still executing *blocks*
+///      (deadline/cancel aware) until the original resolves, then
+///      re-claims.
 ///   2. On commit, `Complete(rid, reply)` records the outcome; only
 ///      the latest seq per UUID is retained — a client has at most one
 ///      statement in flight, so an older entry can never be retried
@@ -84,10 +87,34 @@ std::pair<std::optional<RequestId>, std::string> DecodeRidPayload(
 ///   3. `Record(rid, reply)` is the replay path: recovery rebuilding
 ///      the table from stamped WAL records, no claim involved.
 ///
-/// Memory is bounded at one entry per client session UUID.
+/// Memory bounds (Options): at most `max_reply_entries` UUIDs hold a
+/// cached reply; beyond that the least-recently-touched entry is
+/// *demoted* to a tombstone — its seq survives (retries answer
+/// kExpired instead of re-executing) but the reply bytes are freed.
+/// Replies above `max_reply_bytes` are tombstoned immediately. At most
+/// `max_entries` UUIDs are tracked at all; beyond that the
+/// least-recently-touched tombstone is dropped entirely, so a client
+/// idle past both horizons re-executes on retry — that horizon is the
+/// documented limit of the at-most-once guarantee, in exchange for
+/// bounded memory under client churn or hostile UUID minting.
 class DedupTable {
  public:
-  enum class ClaimResult { kExecute, kCached, kStale, kTimeout };
+  struct Options {
+    /// UUIDs allowed to hold a full cached reply (LRU beyond it is
+    /// demoted to a tombstone).
+    uint64_t max_reply_entries = 4096;
+    /// Total UUIDs tracked, replies + tombstones (LRU tombstone beyond
+    /// it is dropped).
+    uint64_t max_entries = 65536;
+    /// Replies larger than this are never cached — the entry is
+    /// recorded as a tombstone (retry => kExpired, not re-execution).
+    uint64_t max_reply_bytes = 1 << 20;
+  };
+
+  enum class ClaimResult { kExecute, kCached, kExpired, kStale, kTimeout };
+
+  DedupTable() = default;
+  explicit DedupTable(Options options) : options_(options) {}
 
   /// See protocol above. Blocks while the same rid is in flight on
   /// another thread, polling `limits.deadline_ms` / `cancel` like the
@@ -109,7 +136,8 @@ class DedupTable {
   void Record(const RequestId& rid, std::string reply);
 
   /// Snapshot of the committed entries as a WAL-format file image
-  /// (magic + one record per UUID: [uuid][seq][reply]); written as
+  /// (magic + one record per UUID: [uuid][seq][flags][reply], flags
+  /// bit0 = reply present — tombstones persist too); written as
   /// `dedup-<gen>.tab` at checkpoint so entries survive WAL rotation.
   std::string Serialize() const;
 
@@ -118,19 +146,31 @@ class DedupTable {
   Status Load(const std::string& contents);
 
   uint64_t entries() const;
+  uint64_t reply_entries() const;
   uint64_t hits() const;
 
  private:
   struct Outcome {
     uint64_t seq = 0;
     std::string reply;
+    bool has_reply = false;
+    uint64_t stamp = 0;  // LRU clock at last touch
   };
 
+  /// The shared Complete/Record body: keeps the highest seq per UUID,
+  /// applies the reply-size cap, then the LRU caps. Caller holds mu_.
+  void StoreLocked(const RequestId& rid, std::string reply);
+  /// Demotes/evicts LRU entries until both caps hold. Caller holds mu_.
+  void EnforceCapsLocked();
+
+  Options options_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::string, Outcome> committed_;    // uuid key → last outcome
   std::set<std::string> inflight_;              // uuid key + seq bytes
   uint64_t hits_ = 0;
+  uint64_t clock_ = 0;          // bumped on every touch
+  uint64_t reply_holders_ = 0;  // entries with has_reply
 };
 
 }  // namespace storage

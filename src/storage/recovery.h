@@ -60,6 +60,9 @@ struct DurableOptions {
   /// appended to the WAL since open / the last checkpoint. 0 = manual
   /// checkpoints only.
   uint64_t checkpoint_every = 0;
+  /// Bounds for the exactly-once dedup table (LRU caps + reply-size
+  /// cap; see DedupTable::Options).
+  DedupTable::Options dedup;
 };
 
 /// A Database + Session bound to an on-disk directory, with durable,
@@ -114,13 +117,16 @@ class DurableDatabase {
   /// in-memory state is then ahead of durable state with no way back,
   /// exactly the simulated-crash situation. Auto-checkpointing is
   /// disabled on this path (rotation must be coordinated with the
-  /// latch; see ConcurrencyManager::MaybeCheckpoint).
+  /// latch; see ConcurrencyManager::Checkpoint).
   ///
   /// When `rid` is non-null the statement carries a client request ID:
   /// its WAL record is stamped with it (see EncodeRidPayload), so
   /// recovery can rebuild the exactly-once dedup table. The *caller*
   /// records the reply in `dedup()` once the ticket is durable — an
-  /// entry must never exist for an unacknowledgeable statement.
+  /// entry must never exist for an unacknowledgeable statement, and it
+  /// must exist before any checkpoint serializes the table (or the
+  /// rotation would discard the statement's stamped WAL record while
+  /// the persisted table still lacks its entry).
   Result<EvalOutput> ExecuteForCommit(Session* session,
                                       const std::string& text,
                                       GroupCommitter* committer,
@@ -166,7 +172,9 @@ class DurableDatabase {
 
  private:
   explicit DurableDatabase(std::string dir, DurableOptions options)
-      : dir_(std::move(dir)), options_(std::move(options)) {}
+      : dir_(std::move(dir)),
+        options_(std::move(options)),
+        dedup_(options_.dedup) {}
 
   Status Recover();
   Status InitializeFreshDir();

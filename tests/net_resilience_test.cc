@@ -181,6 +181,79 @@ TEST(DedupTableTest, SerializeLoadRoundTrip) {
   EXPECT_FALSE(corrupt.Load(image.substr(0, image.size() - 3)).ok());
 }
 
+TEST(DedupTableTest, OversizedReplyIsExpiredNotCached) {
+  DedupTable::Options options;
+  options.max_reply_bytes = 8;
+  DedupTable table(options);
+  RequestId rid = MakeRid(5, 1);
+  std::string cached;
+  ASSERT_EQ(table.Claim(rid, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExecute);
+  table.Complete(rid, std::string(1024, 'x'));
+  // The seq is remembered (no re-execution), the reply is not.
+  EXPECT_EQ(table.Claim(rid, ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExpired);
+  EXPECT_EQ(table.reply_entries(), 0u);
+  EXPECT_EQ(table.entries(), 1u);
+}
+
+TEST(DedupTableTest, LruDemotesRepliesThenDropsTombstones) {
+  DedupTable::Options options;
+  options.max_reply_entries = 2;
+  options.max_entries = 3;
+  DedupTable table(options);
+  std::string cached;
+  for (uint8_t c = 1; c <= 3; ++c) {
+    table.Record(MakeRid(c, 1), "reply-" + std::to_string(c));
+  }
+  // Three clients, two reply slots: the least-recently-touched (client
+  // 1) was demoted to a tombstone — expired, NOT re-executable.
+  EXPECT_EQ(table.entries(), 3u);
+  EXPECT_EQ(table.reply_entries(), 2u);
+  EXPECT_EQ(table.Claim(MakeRid(1, 1), ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExpired);
+  EXPECT_EQ(table.Claim(MakeRid(3, 1), ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kCached);
+  EXPECT_EQ(cached, "reply-3");
+  // A fourth client pushes past both caps: client 2 (least recently
+  // touched — the Claims above touched 1 and 3) is demoted and then,
+  // as the LRU tombstone, dropped entirely.
+  table.Record(MakeRid(4, 1), "reply-4");
+  EXPECT_EQ(table.entries(), 3u);
+  // Whichever uuid was fully dropped re-executes; the others never do.
+  int executes = 0;
+  for (uint8_t c = 1; c <= 4; ++c) {
+    RequestId rid = MakeRid(c, 1);
+    if (table.Claim(rid, ExecLimits{}, nullptr, &cached) ==
+        DedupTable::ClaimResult::kExecute) {
+      ++executes;
+      table.Abandon(rid);
+    }
+  }
+  EXPECT_EQ(executes, 1);
+}
+
+TEST(DedupTableTest, TombstonesSurviveSerializeLoad) {
+  DedupTable::Options options;
+  options.max_reply_bytes = 4;
+  DedupTable table(options);
+  table.Record(MakeRid(1, 7), "ok");
+  table.Record(MakeRid(2, 9), "way-too-long-to-cache");
+  std::string image = table.Serialize();
+
+  DedupTable loaded;  // default (larger) bounds
+  ASSERT_TRUE(loaded.Load(image).ok());
+  EXPECT_EQ(loaded.entries(), 2u);
+  EXPECT_EQ(loaded.reply_entries(), 1u);
+  std::string cached;
+  EXPECT_EQ(loaded.Claim(MakeRid(1, 7), ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kCached);
+  EXPECT_EQ(cached, "ok");
+  // The tombstone still blocks re-execution after a restart.
+  EXPECT_EQ(loaded.Claim(MakeRid(2, 9), ExecLimits{}, nullptr, &cached),
+            DedupTable::ClaimResult::kExpired);
+}
+
 // ---- kNet fault-injection domain ------------------------------------
 
 TEST(NetFaultTest, NthSchedulesExactlyOneMatchingOp) {
@@ -511,15 +584,115 @@ TEST_F(NetResilienceTest, ReplyWriteFailureIsCountedNotFatal) {
   EXPECT_TRUE(fresh.Ping().ok());
 }
 
-TEST_F(NetResilienceTest, WedgedDatabaseReportsUnavailable) {
+TEST_F(NetResilienceTest, WedgedDatabaseFailsFinalNotRetryable) {
   StartServer();
   Client client = MustConnect();
   dd_->Wedge();
+  // Wedged needs an operator (reopen the directory): the verdict must
+  // arrive as a FINAL kError, not kUnavailable, or retrying clients
+  // would burn their whole backoff budget against a dead instance.
   auto out = client.Execute("SELECT T WHERE mary.Name[T]");
   ASSERT_FALSE(out.ok());
   EXPECT_EQ(static_cast<int>(out.status().code()),
-            static_cast<int>(StatusCode::kUnavailable))
+            static_cast<int>(StatusCode::kRuntimeError))
       << out.status().ToString();
+  EXPECT_NE(out.status().message().find("reopen the directory"),
+            std::string::npos);
+
+  RetryingClient retrier(FastRetryOptions());
+  auto final_out = retrier.Execute("SELECT T WHERE mary.Name[T]");
+  ASSERT_FALSE(final_out.ok());
+  EXPECT_EQ(retrier.retries(), 0u) << "wedged must fail fast, not retry";
+}
+
+TEST_F(NetResilienceTest, AutoCheckpointPersistsDedupEntryBeforeRotating) {
+  // Regression: the mutation below triggers checkpoint_every=1, so the
+  // SAME call that commits it also rotates the generation — discarding
+  // its rid-stamped WAL record. The dedup entry must be recorded (and
+  // therefore serialized into dedup-<gen>.tab) BEFORE that rotation;
+  // recording it only after ExecuteInternal returned left a window
+  // where a crash-then-retry re-executed a committed statement.
+  ServerOptions options;
+  options.checkpoint_every = 1;
+  StartServer(options);
+  Client client = MustConnect();
+  RequestId rid = MakeRid(0x44, 1);
+  const std::string stmt = "UPDATE CLASS Person SET mary.Salary = 70707";
+  ASSERT_TRUE(client.ExecuteWithId(rid, stmt).ok());
+
+  // "Crash": drop the process state, recover purely from disk.
+  server_.reset();
+  dd_.reset();
+  OpenDb();
+  ASSERT_NE(dd_, nullptr);
+  StartServer();
+  Client again = MustConnect();
+  const uint64_t hits_before = dd_->dedup().hits();
+  auto retried = again.ExecuteWithId(rid, stmt);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_GT(dd_->dedup().hits(), hits_before)
+      << "retry re-executed instead of hitting the checkpointed table";
+  EXPECT_EQ(WalOccurrences(stmt), 0);  // never re-applied post-rotation
+}
+
+TEST_F(NetResilienceTest, ConcurrentCheckpointNeverLosesDedupEntries) {
+  // Regression for the racing flavor of the same hole: Complete runs
+  // outside the exclusive latch, so an admin Checkpoint() between
+  // WaitDurable and Complete could serialize a table missing entries
+  // whose stamped WAL records it just rotated away. Checkpoint now
+  // drains pending recordings first; hammer the race, then prove every
+  // acked rid survives recovery from disk alone.
+  StartServer();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 12;
+  std::atomic<bool> done{false};
+  std::thread checkpointer([&] {
+    while (!done.load()) {
+      ASSERT_TRUE(server_->manager().Checkpoint().ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::vector<std::thread> workers;
+  std::atomic<int> acked{0};
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Client client = MustConnect();
+      for (int i = 0; i < kPerThread; ++i) {
+        RequestId rid = MakeRid(static_cast<uint8_t>(0x50 + t), i + 1);
+        auto out = client.ExecuteWithId(
+            rid, "UPDATE CLASS Person SET mary.Salary = " +
+                     std::to_string(1000 + t * 100 + i));
+        EXPECT_TRUE(out.ok()) << out.status().ToString();
+        if (out.ok()) acked.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  done.store(true);
+  checkpointer.join();
+  ASSERT_EQ(acked.load(), kThreads * kPerThread);
+
+  server_.reset();
+  dd_.reset();
+  OpenDb();
+  ASSERT_NE(dd_, nullptr);
+  // Every acked (uuid, seq) must answer from the recovered table —
+  // kExecute here would mean a post-crash retry re-executes.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      RequestId rid = MakeRid(static_cast<uint8_t>(0x50 + t), i + 1);
+      std::string cached;
+      auto claim = dd_->dedup().Claim(rid, ExecLimits{}, nullptr, &cached);
+      if (i + 1 == kPerThread) {
+        EXPECT_EQ(claim, DedupTable::ClaimResult::kCached)
+            << "thread " << t << " seq " << (i + 1);
+      } else {
+        // Superseded seqs may answer stale; they must never execute.
+        EXPECT_NE(claim, DedupTable::ClaimResult::kExecute)
+            << "thread " << t << " seq " << (i + 1);
+      }
+    }
+  }
 }
 
 TEST_F(NetResilienceTest, DedupSurvivesCheckpointRotation) {
