@@ -28,6 +28,12 @@ run_suite() {
   # the cost-based planner in every sanitized build.
   echo "==> planner suite ($dir)"
   ctest --test-dir "$dir" -L planner --output-on-failure
+  # The replication suite again, serially: WAL shipping, promotion, and
+  # the failover chaos sweep share the process-global fault injector, so
+  # the acked-exactly-once failover contract is proven without
+  # test-level parallelism in the mix (XSQL_CHAOS_SEEDS scales it).
+  echo "==> replication suite ($dir)"
+  ctest --test-dir "$dir" -L replication --output-on-failure
   # Dump the metrics of a representative workload as a build artifact
   # ($dir/metrics.json) — a quick diffable health check across commits.
   echo "==> metrics artifact ($dir/metrics.json)"
@@ -65,8 +71,21 @@ server_smoke() {
       > /dev/null &&
     out="$("./$dir/examples/xsql_client" --port "$port" \
       --execute "SELECT T WHERE mary.Name[T]")" || rc=1
+  # Exit-code contract: --execute must fail loudly so shell pipelines
+  # can trust it. A statement the server rejects and a server that is
+  # not there must both return nonzero.
+  if "./$dir/examples/xsql_client" --port "$port" \
+      --execute "SELECT FROM WHERE" > /dev/null 2>&1; then
+    echo "xsql_client exit-code check failed: bad statement exited 0" >&2
+    rc=1
+  fi
   kill -INT "$server_pid" 2>/dev/null || true
   wait "$server_pid" || rc=1
+  if "./$dir/examples/xsql_client" --port "$port" --retries 0 \
+      --execute "SELECT C FROM Class C" > /dev/null 2>&1; then
+    echo "xsql_client exit-code check failed: dead server exited 0" >&2
+    rc=1
+  fi
   rm -rf "$dbdir"
   if [[ "$rc" != 0 || "$out" != *"(1 rows)"* ]]; then
     echo "server smoke test failed: unexpected output: $out" >&2
@@ -92,6 +111,12 @@ if [[ "$MODE" != "--plain-only" && "$MODE" != "--sanitize-only" ]]; then
   cmake -B build-tsan -S . -DXSQL_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan -L concurrency --output-on-failure
+  # The replication suite under TSan: the shipping source, the applier
+  # thread, the semi-sync hub, and promotion are the raciest code in the
+  # tree, so they run here at full strength.
+  echo "==> TSan replication suite"
+  XSQL_CHAOS_SEEDS="${XSQL_CHAOS_SEEDS:-4}" \
+    ctest --test-dir build-tsan -L replication --output-on-failure
   # The network-chaos sweep under TSan, with the seed and fuzz budgets
   # bounded: TSan is ~10x, so CI proves the exactly-once contract on a
   # handful of seeds and leaves the full default sweep to plain ctest.

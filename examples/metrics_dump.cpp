@@ -69,6 +69,23 @@ int main() {
     return 1;
   }
 
-  std::printf("%s\n", xsql::obs::MetricsRegistry::Global().ToJson().c_str());
+  // Replication metrics live in server/replica code paths this example
+  // doesn't exercise; register them at zero so dashboards built on this
+  // dump see the full xsql.repl.* family from day one.
+  auto& reg = xsql::obs::MetricsRegistry::Global();
+  for (const char* name :
+       {"xsql.repl.shipped_bytes", "xsql.repl.shipped_records",
+        "xsql.repl.snapshot_bootstraps", "xsql.repl.sync_degraded",
+        "xsql.repl.refused_writes", "xsql.repl.reconnects",
+        "xsql.repl.promotions", "xsql.repl.applied_records",
+        "xsql.storage.generations_pruned"}) {
+    reg.GetCounter(name);
+  }
+  for (const char* name : {"xsql.repl.lag_records", "xsql.repl.lag_ms",
+                           "xsql.repl.subscribers"}) {
+    reg.GetGauge(name);
+  }
+
+  std::printf("%s\n", reg.ToJson().c_str());
   return 0;
 }

@@ -359,6 +359,10 @@ struct Statement {
     /// relation (schema-as-data spirit: the engine answers queries
     /// about itself).
     kSystemMetrics,
+    /// `SYSTEM STATUS` — the process status board (role, generation,
+    /// WAL position, replication lag) as a relation, so operators and
+    /// failover tests observe state without scraping metrics text.
+    kSystemStatus,
   };
 
   Kind kind = Kind::kQuery;

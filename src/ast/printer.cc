@@ -342,6 +342,8 @@ std::string Statement::ToString() const {
              (query ? query->ToString() : "?");
     case Kind::kSystemMetrics:
       return "SYSTEM METRICS";
+    case Kind::kSystemStatus:
+      return "SYSTEM STATUS";
   }
   return "?";
 }

@@ -43,10 +43,11 @@ void FaultInjector::ArmRandom(Domain domain, uint64_t seed,
   armed_.store(true, std::memory_order_relaxed);
 }
 
-void FaultInjector::ArmCrashAtByte(uint64_t k) {
+void FaultInjector::ArmCrashAtByte(uint64_t k, std::string scope) {
   std::lock_guard<std::mutex> lock(mu_);
   crash_budget_ = k;
   crash_consumed_ = 0;
+  crash_scope_ = std::move(scope);
   crashed_.store(false, std::memory_order_relaxed);
   crash_armed_.store(true, std::memory_order_relaxed);
 }
@@ -63,6 +64,7 @@ void FaultInjector::Disarm() {
   crashed_.store(false, std::memory_order_relaxed);
   crash_budget_ = 0;
   crash_consumed_ = 0;
+  crash_scope_.clear();
   net_armed_.store(false, std::memory_order_relaxed);
   net_random_mode_ = false;
   net_permille_ = 0;
@@ -162,14 +164,28 @@ bool FaultInjector::crashed() const {
   return crashed_.load(std::memory_order_relaxed);
 }
 
+bool FaultInjector::crashed_for(const std::string& path) const {
+  if (!crashed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_scope_.empty() ||
+         path.compare(0, crash_scope_.size(), crash_scope_) == 0;
+}
+
 uint64_t FaultInjector::crash_units_consumed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return crash_consumed_;
 }
 
-uint64_t FaultInjector::ConsumePersistBudget(uint64_t want) {
+uint64_t FaultInjector::ConsumePersistBudget(uint64_t want,
+                                             const std::string& path) {
   if (!crash_armed_.load(std::memory_order_relaxed)) return want;
   std::lock_guard<std::mutex> lock(mu_);
+  if (!crash_scope_.empty() &&
+      path.compare(0, crash_scope_.size(), crash_scope_) != 0) {
+    // Outside the kill's scope: this storage tree belongs to a process
+    // that is still alive. Grant freely, charge nothing.
+    return want;
+  }
   if (crashed_.load(std::memory_order_relaxed)) return 0;
   if (want < crash_budget_) {
     crash_budget_ -= want;

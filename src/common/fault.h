@@ -90,7 +90,14 @@ class FaultInjector {
   /// Arms the simulated process kill: after `k` further persistence
   /// units (bytes fsynced / metadata ops) the crash fires. Coexists
   /// with the per-check schedules; `Disarm` clears both.
-  void ArmCrashAtByte(uint64_t k);
+  ///
+  /// `scope` restricts the kill to one storage tree: only operations on
+  /// paths starting with `scope` are charged against the budget, and
+  /// once crashed only those paths fail — the rest of the process keeps
+  /// its storage. That is how a replication test "kills" the in-process
+  /// primary while the replica sharing the address space lives on.
+  /// Empty scope (the default) reproduces the whole-process kill.
+  void ArmCrashAtByte(uint64_t k, std::string scope = std::string());
 
   // ---- Network faults (server/wire.cc is the only caller) -----------
 
@@ -151,16 +158,22 @@ class FaultInjector {
   /// every subsequent durable-I/O operation must fail without effect.
   bool crashed() const;
 
+  /// Whether the kill has fired *for this path*: crashed, and `path`
+  /// falls under the armed scope (an empty scope covers every path).
+  bool crashed_for(const std::string& path) const;
+
   /// Persistence units consumed since ArmCrashAtByte (or process start
   /// when unarmed). Running a scenario once with a huge budget yields
   /// its total unit count, which bounds the sweep.
   uint64_t crash_units_consumed() const;
 
-  /// Asks permission to persist `want` units. Returns how many may
-  /// reach disk: `want` normally; fewer (the torn prefix) when the
-  /// crash point falls inside this operation, marking the process
-  /// crashed; 0 once crashed. Unarmed, always grants `want`.
-  uint64_t ConsumePersistBudget(uint64_t want);
+  /// Asks permission to persist `want` units at `path`. Returns how
+  /// many may reach disk: `want` normally; fewer (the torn prefix)
+  /// when the crash point falls inside this operation, marking the
+  /// process crashed; 0 once crashed. Operations outside the armed
+  /// scope are neither charged nor cut. Unarmed, always grants `want`.
+  uint64_t ConsumePersistBudget(uint64_t want,
+                                const std::string& path = std::string());
 
   /// The status every File operation returns once crashed.
   static Status CrashedStatus(const char* site);
@@ -201,6 +214,7 @@ class FaultInjector {
   std::atomic<bool> crashed_{false};
   uint64_t crash_budget_ = 0;
   uint64_t crash_consumed_ = 0;
+  std::string crash_scope_;  // path prefix the kill applies to ("" = all)
 };
 
 }  // namespace xsql

@@ -6,6 +6,7 @@
 
 #include "eval/update.h"
 #include "obs/metrics.h"
+#include "obs/status.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
 
@@ -100,6 +101,8 @@ Result<EvalOutput> Session::ExecuteParsed(const std::string& text,
                           : ExecuteExplain(stmt);
     case Statement::Kind::kSystemMetrics:
       return SystemMetricsOutput();
+    case Statement::Kind::kSystemStatus:
+      return SystemStatusOutput();
     default:
       return ExecuteGuarded(stmt, /*rollback_always=*/false, read_only,
                             prepared.get());
@@ -272,6 +275,7 @@ Result<EvalOutput> Session::ExecuteStatement(const Statement& stmt,
     }
     case Statement::Kind::kExplain:
     case Statement::Kind::kSystemMetrics:
+    case Statement::Kind::kSystemStatus:
       break;  // dispatched before ExecuteGuarded; unreachable here
   }
   return Status::RuntimeError("unknown statement kind");
@@ -354,6 +358,31 @@ Result<EvalOutput> Session::SystemMetricsOutput() {
           out.relation.AddRow({Oid::String(s.name), Oid::String(s.type),
                                Oid::Int(s.fields[0].second)}));
     }
+  }
+  return out;
+}
+
+Result<EvalOutput> Session::SystemStatusOutput() {
+  // Diagnostic and guard-exempt, like SYSTEM METRICS. A process that
+  // never wrote the board (embedded library use) still answers with
+  // its role, so "am I primary?" always has a deterministic reply.
+  EvalOutput out;
+  out.relation = Relation({"field", "value"});
+  const obs::StatusRegistry& board = options_.status != nullptr
+                                         ? *options_.status
+                                         : obs::StatusRegistry::Global();
+  auto snapshot = board.Snapshot();
+  bool has_role = false;
+  for (const auto& [key, value] : snapshot) {
+    if (key == "role") has_role = true;
+  }
+  if (!has_role) {
+    XSQL_RETURN_IF_ERROR(out.relation.AddRow(
+        {Oid::String("role"), Oid::String("standalone")}));
+  }
+  for (const auto& [key, value] : snapshot) {
+    XSQL_RETURN_IF_ERROR(
+        out.relation.AddRow({Oid::String(key), Oid::String(value)}));
   }
   return out;
 }

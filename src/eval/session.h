@@ -20,6 +20,10 @@
 
 namespace xsql {
 
+namespace obs {
+class StatusRegistry;
+}  // namespace obs
+
 /// Session-wide policy knobs.
 struct SessionOptions {
   /// Which well-typing notion gates queries (§6.2). Strict is the
@@ -58,6 +62,11 @@ struct SessionOptions {
   /// outlive the session; null means no indexes. Stale indexes are
   /// ignored, never incorrect.
   const PathIndexSet* indexes = nullptr;
+  /// The status board `SYSTEM STATUS` renders. Null means the process-
+  /// global one; a server hosting several nodes in one process (the
+  /// failover tests run primary and replica side by side) points each
+  /// connection's sessions at its own board. Must outlive the session.
+  const obs::StatusRegistry* status = nullptr;
 };
 
 /// One slow-query log entry (see SessionOptions::slow_query_us).
@@ -208,6 +217,8 @@ class Session {
   Result<EvalOutput> ExecuteExplainAnalyze(const Statement& stmt);
   /// `SYSTEM METRICS`: the global metrics registry as a relation.
   Result<EvalOutput> SystemMetricsOutput();
+  /// `SYSTEM STATUS`: the global status board as a relation.
+  Result<EvalOutput> SystemStatusOutput();
   /// The typing report body shared by Explain() and EXPLAIN.
   /// (`::xsql::Query` the AST type, not the member function Query.)
   Result<std::string> ExplainReport(const ::xsql::Query& query);

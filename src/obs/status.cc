@@ -1,0 +1,38 @@
+#include "obs/status.h"
+
+namespace xsql {
+namespace obs {
+
+StatusRegistry& StatusRegistry::Global() {
+  static StatusRegistry* instance = new StatusRegistry();
+  return *instance;
+}
+
+void StatusRegistry::Set(const std::string& key, const std::string& value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_[key] = value;
+}
+
+void StatusRegistry::Set(const std::string& key, int64_t value) {
+  Set(key, std::to_string(value));
+}
+
+void StatusRegistry::Clear(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  values_.erase(key);
+}
+
+std::vector<std::pair<std::string, std::string>> StatusRegistry::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {values_.begin(), values_.end()};
+}
+
+std::string StatusRegistry::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = values_.find(key);
+  return it == values_.end() ? std::string() : it->second;
+}
+
+}  // namespace obs
+}  // namespace xsql

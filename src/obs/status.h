@@ -1,0 +1,49 @@
+#ifndef XSQL_OBS_STATUS_H_
+#define XSQL_OBS_STATUS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xsql {
+namespace obs {
+
+/// Key/value status board, the backing store of the `SYSTEM STATUS`
+/// statement. Where the metrics registry accumulates *history*
+/// (counters only go up), the status board holds *state*: role,
+/// current generation, replication position, lag — values a failover
+/// test or an operator reads as of now. Writers (the server, the
+/// replica applier) Set keys as their state changes; `SYSTEM STATUS`
+/// renders a sorted snapshot.
+///
+/// Each Server owns an instance (its sessions point at it via
+/// SessionOptions::status); the process-global board serves embedded
+/// library use.
+class StatusRegistry {
+ public:
+  StatusRegistry() = default;
+
+  static StatusRegistry& Global();
+
+  void Set(const std::string& key, const std::string& value);
+  void Set(const std::string& key, int64_t value);
+  void Clear(const std::string& key);
+
+  /// All keys and their values, sorted by key.
+  std::vector<std::pair<std::string, std::string>> Snapshot() const;
+
+  /// Reads one key ("" when absent) — handy for tests.
+  std::string Get(const std::string& key) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace obs
+}  // namespace xsql
+
+#endif  // XSQL_OBS_STATUS_H_

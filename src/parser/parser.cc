@@ -62,6 +62,10 @@ class Parser {
       Advance();
       Advance();
       stmt.kind = Statement::Kind::kSystemMetrics;
+    } else if (PeekKw("system") && PeekKw("status", 1)) {
+      Advance();
+      Advance();
+      stmt.kind = Statement::Kind::kSystemStatus;
     } else {
       XSQL_ASSIGN_OR_RETURN(std::shared_ptr<QueryExpr> q, ParseQueryExpr());
       stmt.kind = Statement::Kind::kQuery;
@@ -895,6 +899,7 @@ class Resolver {
       case Statement::Kind::kExplain:
         return ResolveQueryExpr(stmt->query.get());
       case Statement::Kind::kSystemMetrics:
+      case Statement::Kind::kSystemStatus:
         return Status::OK();
       case Statement::Kind::kCreateView:
         return ResolveQuery(&stmt->create_view->query);

@@ -172,6 +172,10 @@ RetryingClient::RetryingClient(RetryingClientOptions options)
 
 void RetryingClient::set_port(int port) {
   options_.port = port;
+  if (!options_.endpoints.empty()) {
+    options_.endpoints[endpoint_index_ % options_.endpoints.size()].port =
+        port;
+  }
   conn_.Close();
 }
 
@@ -179,16 +183,35 @@ void RetryingClient::Notice(const std::string& line) {
   if (options_.on_event) options_.on_event(line);
 }
 
+RetryingClient::Target RetryingClient::CurrentTarget() const {
+  if (options_.endpoints.empty()) {
+    return Target{options_.host, options_.port};
+  }
+  const RetryingClientOptions::Endpoint& e =
+      options_.endpoints[endpoint_index_ % options_.endpoints.size()];
+  return Target{e.host, e.port};
+}
+
+void RetryingClient::RotateEndpoint(const std::string& why) {
+  if (options_.endpoints.size() < 2) return;
+  conn_.Close();
+  endpoint_index_ = (endpoint_index_ + 1) % options_.endpoints.size();
+  ++failovers_;
+  const Target t = CurrentTarget();
+  Notice("failing over to " + t.host + ":" + std::to_string(t.port) +
+         " (" + why + ")");
+}
+
 Status RetryingClient::EnsureConnected() {
   if (conn_.connected()) return Status::OK();
-  Result<Client> fresh = Client::Connect(options_.host, options_.port);
+  const Target t = CurrentTarget();
+  Result<Client> fresh = Client::Connect(t.host, t.port);
   if (!fresh.ok()) return fresh.status();
   conn_ = std::move(*fresh);
   conn_.set_timeout_ms(options_.timeout_ms);
   ++reconnects_;
   if (ever_connected_) {
-    Notice("reconnected to " + options_.host + ":" +
-           std::to_string(options_.port));
+    Notice("reconnected to " + t.host + ":" + std::to_string(t.port));
   }
   ever_connected_ = true;
   return Status::OK();
@@ -237,23 +260,31 @@ Result<std::string> RetryingClient::ExecuteSeq(
             " attempts; last error: " + last.ToString());
       }
       if (sleep_ms > 0) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        if (options_.sleep_fn) {
+          options_.sleep_fn(sleep_ms);
+        } else {
+          std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+        }
       }
     }
     hint_ms = 0;
     Status conn = EnsureConnected();
     if (!conn.ok()) {
       last = conn;
+      // A dead primary refuses connections; its replica is next.
+      RotateEndpoint("connect failed");
       continue;
     }
     Result<Frame> reply = conn_.Transact(MsgType::kExecuteId, payload);
     if (!reply.ok()) {
       // Request or reply lost in flight: the statement's fate is
       // unknown. Drop the (possibly poisoned) connection and retry
-      // the same rid — the dedup table makes that exactly-once.
+      // the same rid — the dedup table makes that exactly-once, on
+      // this server or on the promoted replica we rotate to.
       last = reply.status();
       conn_.Close();
       Notice("connection lost (" + last.ToString() + "); retrying");
+      RotateEndpoint("connection lost");
       continue;
     }
     switch (reply->type) {
@@ -263,9 +294,13 @@ Result<std::string> RetryingClient::ExecuteSeq(
         // Remote verdict: deterministic, retrying would just repeat it.
         return Status::RuntimeError(reply->payload);
       case MsgType::kUnavailable:
+        // Overload, a crashed-but-replicated node, or a read-only
+        // replica redirect — all retryable, all better served by the
+        // next endpoint when there is one.
         last = Status::Unavailable(reply->payload);
         hint_ms = ParseRetryAfterHint(reply->payload);
         Notice("server unavailable; backing off");
+        RotateEndpoint("unavailable");
         continue;
       default:
         return Status::InvalidArgument("unexpected reply frame type");

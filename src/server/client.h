@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
@@ -82,6 +83,22 @@ int ParseRetryAfterHint(const std::string& payload);
 struct RetryingClientOptions {
   std::string host = "127.0.0.1";
   int port = 0;
+  /// One server in a failover group.
+  struct Endpoint {
+    std::string host = "127.0.0.1";
+    int port = 0;
+  };
+  /// The failover group: primary first, replicas after. Non-empty
+  /// supersedes `host`/`port`. On a connect failure, a lost
+  /// connection, or a kUnavailable verdict (a dead-but-replicated
+  /// primary and a read-only replica both answer kUnavailable), the
+  /// client rotates to the next endpoint before the retry — the same
+  /// (uuid, seq) rides along, so a statement the dead primary acked
+  /// dedups on the promoted replica instead of running twice.
+  std::vector<Endpoint> endpoints;
+  /// Injectable backoff sleeper (tests pass a fake; null = real
+  /// sleep). Receives the computed sleep in ms.
+  std::function<void(int64_t)> sleep_fn;
   /// Per-attempt reply deadline; a reply slower than this counts as
   /// lost and triggers a retry. 0 disables (not recommended: a lost
   /// reply then hangs the client forever).
@@ -139,10 +156,20 @@ class RetryingClient {
   uint64_t last_seq() const { return next_seq_; }
   uint64_t retries() const { return retries_; }
   uint64_t reconnects() const { return reconnects_; }
+  /// Endpoint rotations (0 when a single endpoint is configured).
+  uint64_t failovers() const { return failovers_; }
 
   void Close() { conn_.Close(); }
 
  private:
+  struct Target {
+    std::string host;
+    int port = 0;
+  };
+
+  Target CurrentTarget() const;
+  /// Advances to the next endpoint (no-op without a failover group).
+  void RotateEndpoint(const std::string& why);
   Status EnsureConnected();
   void Notice(const std::string& line);
 
@@ -153,6 +180,8 @@ class RetryingClient {
   uint64_t next_seq_ = 0;
   uint64_t retries_ = 0;
   uint64_t reconnects_ = 0;
+  uint64_t failovers_ = 0;
+  size_t endpoint_index_ = 0;
   bool ever_connected_ = false;
 };
 

@@ -8,7 +8,9 @@
 
 #include "eval/evaluator.h"
 #include "obs/metrics.h"
+#include "obs/status.h"
 #include "parser/lexer.h"
+#include "server/replication.h"
 #include "store/method.h"
 
 namespace xsql {
@@ -141,6 +143,7 @@ ConcurrencyManager::ConcurrencyManager(storage::DurableDatabase* dd,
   // Single-threaded here; a warm cache keeps the first shared-latch
   // readers from racing to build it.
   PrewarmActiveDomain();
+  PublishStatus();
 }
 
 Result<uint64_t> ConcurrencyManager::CreateSession(SessionOptions options) {
@@ -350,6 +353,21 @@ Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
     if (reply != nullptr) *reply = std::move(rendered);
   }
   resolve_pending();
+  if (options_.hub != nullptr && options_.sync_replication) {
+    // Semi-sync: hold the ack until every live subscriber confirmed the
+    // commit's durable position. Degrading (timeout, no subscriber) is
+    // deliberate policy — availability over replication guarantees —
+    // but it is *counted*, so a failover test can tell "every acked
+    // write was replicated" from "the guarantee lapsed".
+    static obs::Counter& degraded =
+        obs::MetricsRegistry::Global().GetCounter("xsql.repl.sync_degraded");
+    const storage::WalPoint point = dd_->DurableWalPoint();
+    if (!options_.hub->WaitReplicated(point.generation, point.records,
+                                      options_.sync_replication_timeout_ms)) {
+      degraded.Inc();
+    }
+  }
+  PublishStatus();
   const uint64_t since =
       mutations_since_checkpoint_.fetch_add(1, std::memory_order_relaxed) +
       1;
@@ -390,7 +408,72 @@ Status ConcurrencyManager::Checkpoint() {
   }
   PrewarmActiveDomain();
   latch_.ReleaseExclusive();
+  PublishStatus();
   return out;
+}
+
+Result<uint64_t> ConcurrencyManager::ApplyReplicated(
+    const std::vector<std::string>& records) {
+  // Administrative like Checkpoint: no statement deadline applies.
+  XSQL_RETURN_IF_ERROR(latch_.AcquireExclusive(ExecLimits{}, nullptr));
+  if (dd_->wedged()) {
+    latch_.ReleaseExclusive();
+    return Status::RuntimeError(
+        "durable database crashed; reopen the directory to recover");
+  }
+  Result<uint64_t> n = dd_->ApplyReplicated(records);
+  PrewarmActiveDomain();
+  latch_.ReleaseExclusive();
+  if (n.ok()) {
+    mutations_since_checkpoint_.fetch_add(*n, std::memory_order_relaxed);
+    statements_.fetch_add(*n, std::memory_order_relaxed);
+    PublishStatus();
+  }
+  return n;
+}
+
+Result<storage::BootstrapBundle> ConcurrencyManager::BuildBootstrapBundle() {
+  XSQL_RETURN_IF_ERROR(latch_.AcquireExclusive(ExecLimits{}, nullptr));
+  if (dd_->wedged()) {
+    latch_.ReleaseExclusive();
+    return Status::RuntimeError(
+        "durable database crashed; reopen the directory to recover");
+  }
+  // Drain so the on-disk WAL holds every enqueued record — the bundle
+  // is byte copies of the generation files, and they must reflect the
+  // state the stream resumes from. (Rid entries recorded after their
+  // fsync but before this drain are fine: the stamps ride in the WAL
+  // records themselves, and replica recovery replays them.)
+  Status drained = committer_.Drain();
+  if (!drained.ok()) {
+    dd_->Wedge();
+    PrewarmActiveDomain();
+    latch_.ReleaseExclusive();
+    return drained;
+  }
+  Result<storage::BootstrapBundle> bundle = dd_->ReadBootstrapBundle();
+  PrewarmActiveDomain();
+  latch_.ReleaseExclusive();
+  return bundle;
+}
+
+Result<bool> ConcurrencyManager::StatementNeedsExclusive(
+    const std::string& text) {
+  XSQL_RETURN_IF_ERROR(latch_.AcquireShared(ExecLimits{}, nullptr));
+  storage::StatementClass cls = storage::ClassifyStatement(text, dd_->db());
+  const bool need =
+      NeedsExclusive(text, cls, dd_->db(), dd_->session().views());
+  latch_.ReleaseShared();
+  return need;
+}
+
+void ConcurrencyManager::PublishStatus() {
+  if (options_.status == nullptr) return;
+  const storage::WalPoint point = dd_->DurableWalPoint();
+  options_.status->Set("generation", static_cast<int64_t>(point.generation));
+  options_.status->Set("wal_records", static_cast<int64_t>(point.records));
+  options_.status->Set("dedup_entries",
+                       static_cast<int64_t>(dd_->dedup().entries()));
 }
 
 void ConcurrencyManager::PrewarmActiveDomain() {

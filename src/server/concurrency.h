@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/exec_context.h"
 #include "common/status.h"
@@ -16,7 +17,14 @@
 #include "storage/wal.h"
 
 namespace xsql {
+
+namespace obs {
+class StatusRegistry;
+}  // namespace obs
+
 namespace server {
+
+class ReplicationHub;
 
 /// Statement-level shared/exclusive latch with writer preference and
 /// deadline/cancel-aware acquisition.
@@ -111,6 +119,19 @@ class ConcurrencyManager {
     /// latch, replacing DurableDatabase's own auto-checkpointing, which
     /// is disabled on the ExecuteForCommit path.
     uint64_t checkpoint_every = 0;
+    /// Replication subscribers (owned by the Server). Non-null makes a
+    /// wedged database answer with a *retryable* unavailability when a
+    /// replica ever subscribed — clients fail over instead of giving up.
+    ReplicationHub* hub = nullptr;
+    /// Semi-synchronous replication: after a commit is locally durable,
+    /// wait (bounded) until every live subscriber acked it. A timeout —
+    /// or no subscriber — degrades to async with a metrics breadcrumb
+    /// (`xsql.repl.sync_degraded`) rather than failing the write.
+    bool sync_replication = false;
+    int sync_replication_timeout_ms = 1000;
+    /// Status board to publish generation / WAL / dedup positions on
+    /// (null = don't publish).
+    obs::StatusRegistry* status = nullptr;
   };
 
   ConcurrencyManager(storage::DurableDatabase* dd, Options options);
@@ -152,6 +173,26 @@ class ConcurrencyManager {
   /// Drains in-flight commits and rotates the generation, all under the
   /// exclusive latch.
   Status Checkpoint();
+
+  /// Replays replicated WAL records (replica apply path): executes the
+  /// statements, stamps the dedup table, and appends the records to the
+  /// local WAL — all under the exclusive latch, so replica reads never
+  /// see a half-applied batch. Returns the number applied.
+  Result<uint64_t> ApplyReplicated(const std::vector<std::string>& records);
+
+  /// Captures a bootstrap bundle for a subscriber: exclusive latch +
+  /// committer drain make the on-disk generation files byte-equal to
+  /// the in-memory state; the bundle's generation is pinned against
+  /// retention pruning (caller unpins).
+  Result<storage::BootstrapBundle> BuildBootstrapBundle();
+
+  /// Classifies `text` under a shared latch: would it need the
+  /// exclusive latch? The replica server's write fence.
+  Result<bool> StatementNeedsExclusive(const std::string& text);
+
+  /// Publishes generation / WAL / dedup positions to `options_.status`
+  /// (no-op when null).
+  void PublishStatus();
 
   storage::DurableDatabase& durable() { return *dd_; }
   storage::GroupCommitter& committer() { return committer_; }

@@ -77,10 +77,16 @@ Result<std::unique_ptr<Server>> Server::Start(storage::DurableDatabase* dd,
   }
   server->listen_fd_ = fd;
   server->port_ = ntohs(addr.sin_port);
+  server->SetRole(server->options_.role);
   server->accept_thread_ = std::thread([s = server.get()] {
     s->AcceptLoop();
   });
   return server;
+}
+
+void Server::SetRole(ServerRole role) {
+  role_.store(role, std::memory_order_release);
+  status_.Set("role", role == ServerRole::kPrimary ? "primary" : "replica");
 }
 
 Server::~Server() { Shutdown(); }
@@ -177,6 +183,8 @@ void Server::HandleConnection(int fd) {
   // A fresh token per connection: cancelling one statement (or losing
   // one peer) never aborts a neighbor.
   session_options.cancel = std::make_shared<CancelToken>();
+  // SYSTEM STATUS on this connection reads THIS server's board.
+  session_options.status = &status_;
   Result<uint64_t> sid = cm_.CreateSession(std::move(session_options));
   if (!sid.ok()) {
     (void)reply_or_close(
@@ -185,6 +193,54 @@ void Server::HandleConnection(int fd) {
     active_connections_.fetch_sub(1, std::memory_order_relaxed);
     return;
   }
+
+  // Failure → reply frame. A wedged node with a known replica (one
+  // ever subscribed, or this IS the replica) answers retryable
+  // kUnavailable instead of a final error: the client's next stop is
+  // the promoted survivor, not the operator.
+  auto encode_failure = [&](const Status& st) -> std::string {
+    if (st.code() == StatusCode::kUnavailable) {
+      return EncodeFrame(MsgType::kUnavailable,
+                         UnavailablePayload(options_.retry_after_hint_ms,
+                                            st.message()));
+    }
+    if (cm_.durable().wedged() &&
+        (hub_.ever_had_subscriber() || role() == ServerRole::kReplica)) {
+      return EncodeFrame(
+          MsgType::kUnavailable,
+          UnavailablePayload(options_.retry_after_hint_ms,
+                             "node crashed; fail over to its replica"));
+    }
+    return EncodeFrame(MsgType::kError, st.ToString());
+  };
+
+  // The replica write fence: a statement that would take the exclusive
+  // latch is bounced with a redirect hint before touching anything.
+  // Returns true (with `*reply` filled) when the statement must NOT
+  // run here.
+  auto refuse_replica_write = [&](const std::string& text,
+                                  std::string* reply) -> bool {
+    if (role() != ServerRole::kReplica) return false;
+    Result<bool> needs = cm_.StatementNeedsExclusive(text);
+    if (!needs.ok()) {
+      *reply = encode_failure(needs.status());
+      return true;
+    }
+    if (!*needs) return false;
+    static obs::Counter& refused =
+        obs::MetricsRegistry::Global().GetCounter(
+            "xsql.repl.refused_writes");
+    refused.Inc();
+    const std::string target = options_.redirect_hint.empty()
+                                   ? "the primary"
+                                   : "the primary at " +
+                                         options_.redirect_hint;
+    *reply = EncodeFrame(
+        MsgType::kUnavailable,
+        UnavailablePayload(options_.retry_after_hint_ms,
+                           "read-only replica; retry against " + target));
+    return true;
+  };
 
   // Admission check for one execute frame; on shed, sends kUnavailable
   // with the retry-after hint. Returns whether the statement may run
@@ -222,6 +278,11 @@ void Server::HandleConnection(int fd) {
     bool done = false;
     switch (frame->type) {
       case MsgType::kExecute: {
+        std::string refusal;
+        if (refuse_replica_write(frame->payload, &refusal)) {
+          done = !reply_or_close(refusal);
+          break;
+        }
         if (!admit()) {
           done = !reply_or_close(EncodeFrame(
               MsgType::kUnavailable,
@@ -236,13 +297,8 @@ void Server::HandleConnection(int fd) {
         std::string reply;
         if (out.ok()) {
           reply = EncodeFrame(MsgType::kResult, RenderResult(*out));
-        } else if (out.status().code() == StatusCode::kUnavailable) {
-          reply = EncodeFrame(
-              MsgType::kUnavailable,
-              UnavailablePayload(options_.retry_after_hint_ms,
-                                 out.status().message()));
         } else {
-          reply = EncodeFrame(MsgType::kError, out.status().ToString());
+          reply = encode_failure(out.status());
         }
         if (!reply_or_close(reply)) done = true;
         break;
@@ -255,6 +311,11 @@ void Server::HandleConnection(int fd) {
           done = !reply_or_close(
               EncodeFrame(MsgType::kError,
                           "InvalidArgument: malformed request id"));
+          break;
+        }
+        std::string refusal;
+        if (refuse_replica_write(frame->payload.substr(24), &refusal)) {
+          done = !reply_or_close(refusal);
           break;
         }
         if (!admit()) {
@@ -272,15 +333,40 @@ void Server::HandleConnection(int fd) {
         std::string reply;
         if (out.ok()) {
           reply = EncodeFrame(MsgType::kResult, *out);
-        } else if (out.status().code() == StatusCode::kUnavailable) {
-          reply = EncodeFrame(
-              MsgType::kUnavailable,
-              UnavailablePayload(options_.retry_after_hint_ms,
-                                 out.status().message()));
         } else {
-          reply = EncodeFrame(MsgType::kError, out.status().ToString());
+          reply = encode_failure(out.status());
         }
         if (!reply_or_close(reply)) done = true;
+        break;
+      }
+      case MsgType::kSubscribe:
+        // The connection becomes a replication stream; this thread
+        // parks in the source until the subscriber detaches. Closing
+        // afterwards is correct either way — the stream is the
+        // connection's whole remaining life.
+        if (role() != ServerRole::kPrimary) {
+          (void)reply_or_close(
+              EncodeFrame(MsgType::kError,
+                          "InvalidArgument: replication subscribe to a "
+                          "non-primary node"));
+        } else {
+          repl_.Serve(fd, io, frame->payload, &stop_);
+        }
+        done = true;
+        break;
+      case MsgType::kPromote: {
+        if (!options_.on_promote) {
+          done = !reply_or_close(
+              EncodeFrame(MsgType::kError,
+                          "InvalidArgument: this node is not a "
+                          "promotable replica"));
+          break;
+        }
+        std::string msg;
+        Status st = options_.on_promote(&msg);
+        done = !reply_or_close(
+            st.ok() ? EncodeFrame(MsgType::kResult, msg)
+                    : EncodeFrame(MsgType::kError, st.ToString()));
         break;
       }
       case MsgType::kPing:

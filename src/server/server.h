@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,11 +12,19 @@
 
 #include "common/status.h"
 #include "eval/session.h"
+#include "obs/status.h"
 #include "server/concurrency.h"
+#include "server/replication.h"
 #include "storage/recovery.h"
 
 namespace xsql {
 namespace server {
+
+/// What a server instance is for. A primary executes everything and
+/// ships its WAL to subscribers; a replica serves read-only statements
+/// and bounces writes with a redirect hint (its state advances only
+/// through the replication stream — see server/replication.h).
+enum class ServerRole { kPrimary, kReplica };
 
 /// Server policy knobs.
 struct ServerOptions {
@@ -48,6 +57,19 @@ struct ServerOptions {
   SessionOptions session;
   /// Group-commit checkpoint cadence (see ConcurrencyManager::Options).
   uint64_t checkpoint_every = 0;
+  /// Role at startup (a replica flips to primary on promotion).
+  ServerRole role = ServerRole::kPrimary;
+  /// Where a replica points refused writers ("host:port"); shipped in
+  /// the kUnavailable payload so a failover-aware client re-targets.
+  std::string redirect_hint;
+  /// kPromote handler. A ReplicaNode installs one that requests its
+  /// applier to take over (see replica.h); unset means this server
+  /// cannot be promoted and kPromote gets an error reply. Returns the
+  /// human-readable acknowledgement for the kResult frame.
+  std::function<Status(std::string*)> on_promote;
+  /// Semi-synchronous replication (see ConcurrencyManager::Options).
+  bool sync_replication = false;
+  int sync_replication_timeout_ms = 1000;
 };
 
 /// The XSQL TCP server: one listener on 127.0.0.1, one thread per
@@ -83,16 +105,36 @@ class Server {
     return connections_served_.load(std::memory_order_relaxed);
   }
 
+  ServerRole role() const { return role_.load(std::memory_order_acquire); }
+  /// Role flips are rare (promotion) and visible to every connection
+  /// thread at its next statement.
+  void SetRole(ServerRole role);
+  ReplicationHub& hub() { return hub_; }
+  /// This server's status board (what its sessions' `SYSTEM STATUS`
+  /// renders). Instance-scoped so two nodes in one process — the
+  /// failover tests run primary and replica side by side — don't
+  /// clobber each other's keys.
+  obs::StatusRegistry& status() { return status_; }
+
  private:
   Server(storage::DurableDatabase* dd, ServerOptions options)
       : options_(std::move(options)),
-        cm_(dd, ConcurrencyManager::Options{options_.checkpoint_every}) {}
+        role_(options_.role),
+        cm_(dd, ConcurrencyManager::Options{
+                    options_.checkpoint_every, &hub_,
+                    options_.sync_replication,
+                    options_.sync_replication_timeout_ms, &status_}),
+        repl_(&cm_, &hub_) {}
 
   void AcceptLoop();
   void HandleConnection(int fd);
 
   ServerOptions options_;
+  obs::StatusRegistry status_;
+  ReplicationHub hub_;
+  std::atomic<ServerRole> role_{ServerRole::kPrimary};
   ConcurrencyManager cm_;
+  ReplicationSource repl_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stop_{false};

@@ -26,14 +26,42 @@ namespace server {
 /// `<retry_after_ms> <message>` — safe to retry after the hint).
 /// Frames above kMaxFrame are a protocol error — the peer is garbage
 /// or hostile, and the connection drops.
+///
+/// Replication frames (see server/replication.h for the protocol; all
+/// multi-byte integers little-endian):
+///   kSubscribe  replica → primary: `[u64 gen][u64 records][u64 bytes]
+///               [u32 crc]` — "I hold this durable prefix (crc of my
+///               WAL's byte prefix proves it is yours); stream from
+///               there". A fresh replica sends gen 0.
+///   kSnapshotChunk / kSnapshotDone  primary → replica bootstrap: the
+///               generation bundle (snapshot, DDL log, WAL, dedup
+///               table) chunked under kMaxFrame; kSnapshotDone carries
+///               `[u64 gen][u64 records]`, the position the stream
+///               resumes from.
+///   kWalBatch   primary → replica: `[u64 first_record_index]` then
+///               raw WAL records (len+crc+payload) verbatim — the
+///               replica's WAL stays a byte-prefix of the primary's.
+///   kHeartbeat  primary → replica when idle: `[u64 gen][u64 records]`
+///               so lag is measurable without traffic.
+///   kAck        replica → primary: `[u64 gen][u64 records]` applied
+///               durably — feeds semi-sync waits and lag gauges.
+///   kPromote    admin → replica: finish applying, detach, serve as
+///               primary. Replied with kResult / kError.
 enum class MsgType : uint8_t {
   kExecute = 0x01,
   kPing = 0x02,
   kQuit = 0x03,
   kExecuteId = 0x04,
+  kSubscribe = 0x05,
+  kAck = 0x06,
+  kPromote = 0x07,
   kResult = 0x11,
   kError = 0x12,
   kUnavailable = 0x13,
+  kSnapshotChunk = 0x14,
+  kSnapshotDone = 0x15,
+  kWalBatch = 0x16,
+  kHeartbeat = 0x17,
 };
 
 /// Frame size cap (length field value): 16 MiB.

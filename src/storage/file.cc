@@ -1,5 +1,6 @@
 #include "storage/file.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
@@ -85,7 +86,9 @@ File::~File() {
 
 Result<File> File::Create(const std::string& path) {
   FaultInjector& fi = FaultInjector::Global();
-  if (fi.crashed()) return FaultInjector::CrashedStatus("File::Create");
+  if (fi.crashed_for(path)) {
+    return FaultInjector::CrashedStatus("File::Create");
+  }
   XSQL_RETURN_IF_ERROR(fi.Check(FaultInjector::Domain::kIo, "io-create"));
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return ErrnoError("create", path);
@@ -94,7 +97,9 @@ Result<File> File::Create(const std::string& path) {
 
 Result<File> File::OpenAppend(const std::string& path) {
   FaultInjector& fi = FaultInjector::Global();
-  if (fi.crashed()) return FaultInjector::CrashedStatus("File::OpenAppend");
+  if (fi.crashed_for(path)) {
+    return FaultInjector::CrashedStatus("File::OpenAppend");
+  }
   XSQL_RETURN_IF_ERROR(fi.Check(FaultInjector::Domain::kIo, "io-open-append"));
   int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) {
@@ -106,7 +111,7 @@ Result<File> File::OpenAppend(const std::string& path) {
 
 Status File::Write(const std::string& data) {
   if (fd_ < 0) return Status::RuntimeError("write on closed file " + path_);
-  if (FaultInjector::Global().crashed()) {
+  if (FaultInjector::Global().crashed_for(path_)) {
     return FaultInjector::CrashedStatus("File::Write");
   }
   buffer_.append(data);
@@ -116,7 +121,7 @@ Status File::Write(const std::string& data) {
 Status File::Sync() {
   if (fd_ < 0) return Status::RuntimeError("sync on closed file " + path_);
   FaultInjector& fi = FaultInjector::Global();
-  if (fi.crashed()) return FaultInjector::CrashedStatus("File::Sync");
+  if (fi.crashed_for(path_)) return FaultInjector::CrashedStatus("File::Sync");
   Status injected = fi.Check(FaultInjector::Domain::kIo, "io-sync");
   if (!injected.ok()) {
     // Transient fault: model a short write — half the pending bytes
@@ -125,8 +130,9 @@ Status File::Sync() {
     (void)WriteFully(fd_, buffer_.data(), half, path_);
     return injected;
   }
-  uint64_t allowed = fi.ConsumePersistBudget(buffer_.size());
-  if (allowed < buffer_.size() || (fi.crash_armed() && fi.crashed())) {
+  uint64_t allowed = fi.ConsumePersistBudget(buffer_.size(), path_);
+  if (allowed < buffer_.size() ||
+      (fi.crash_armed() && fi.crashed_for(path_))) {
     // Crash mid-sync: the granted torn prefix reaches the file (and is
     // treated as durable — the sweep relies on exact byte placement),
     // then the process is dead.
@@ -187,10 +193,41 @@ Result<std::string> File::ReadAll(const std::string& path) {
   return out;
 }
 
+Result<std::string> File::ReadRange(const std::string& path,
+                                    uint64_t offset, uint64_t len) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("cannot open " + path);
+    return ErrnoError("open", path);
+  }
+  std::string out;
+  out.reserve(static_cast<size_t>(len < (1u << 20) ? len : (1u << 20)));
+  uint64_t pos = offset;
+  while (out.size() < len) {
+    char buf[1 << 16];
+    size_t want = sizeof(buf);
+    if (len - out.size() < want) want = static_cast<size_t>(len - out.size());
+    ssize_t n = ::pread(fd, buf, want, static_cast<off_t>(pos));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoError("pread", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;  // end of file: a short read is fine
+    out.append(buf, static_cast<size_t>(n));
+    pos += static_cast<uint64_t>(n);
+  }
+  ::close(fd);
+  return out;
+}
+
 Status File::WriteAtomic(const std::string& path, const std::string& data) {
   const std::string tmp = path + ".tmp";
   auto cleanup = [&tmp]() {
-    if (!FaultInjector::Global().crashed()) (void)::unlink(tmp.c_str());
+    if (!FaultInjector::Global().crashed_for(tmp)) {
+      (void)::unlink(tmp.c_str());
+    }
   };
   Result<File> file = Create(tmp);
   if (!file.ok()) {
@@ -207,9 +244,9 @@ Status File::WriteAtomic(const std::string& path, const std::string& data) {
 
 Status File::Rename(const std::string& from, const std::string& to) {
   FaultInjector& fi = FaultInjector::Global();
-  if (fi.crashed()) return FaultInjector::CrashedStatus("File::Rename");
+  if (fi.crashed_for(to)) return FaultInjector::CrashedStatus("File::Rename");
   XSQL_RETURN_IF_ERROR(fi.Check(FaultInjector::Domain::kIo, "io-rename"));
-  if (fi.ConsumePersistBudget(1) < 1) {
+  if (fi.ConsumePersistBudget(1, to) < 1) {
     // Crash on the metadata unit: the rename never happened.
     return FaultInjector::CrashedStatus("File::Rename");
   }
@@ -221,7 +258,9 @@ Status File::Rename(const std::string& from, const std::string& to) {
 
 Status File::Truncate(const std::string& path, uint64_t size) {
   FaultInjector& fi = FaultInjector::Global();
-  if (fi.crashed()) return FaultInjector::CrashedStatus("File::Truncate");
+  if (fi.crashed_for(path)) {
+    return FaultInjector::CrashedStatus("File::Truncate");
+  }
   if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
     return ErrnoError("truncate", path);
   }
@@ -248,7 +287,7 @@ Result<uint64_t> File::Size(const std::string& path) {
 }
 
 Status File::Remove(const std::string& path) {
-  if (FaultInjector::Global().crashed()) {
+  if (FaultInjector::Global().crashed_for(path)) {
     return FaultInjector::CrashedStatus("File::Remove");
   }
   if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
@@ -262,6 +301,32 @@ Status File::EnsureDir(const std::string& dir) {
     return ErrnoError("mkdir", dir);
   }
   return Status::OK();
+}
+
+Result<std::vector<std::string>> File::ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no such directory " + dir);
+    return ErrnoError("opendir", dir);
+  }
+  std::vector<std::string> names;
+  for (;;) {
+    errno = 0;
+    struct dirent* ent = ::readdir(d);
+    if (ent == nullptr) {
+      if (errno != 0) {
+        Status st = ErrnoError("readdir", dir);
+        ::closedir(d);
+        return st;
+      }
+      break;
+    }
+    std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(d);
+  return names;
 }
 
 }  // namespace storage

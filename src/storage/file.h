@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -70,6 +71,13 @@ class File {
   /// unreadable files and directories.
   static Result<std::string> ReadAll(const std::string& path);
 
+  /// Reads up to `len` bytes starting at `offset`. A short (or empty)
+  /// result at end-of-file is not an error — the WAL tailer polls past
+  /// the current end all the time. Like ReadAll, reads take no fault
+  /// checks: reading is free, only persistence is instrumented.
+  static Result<std::string> ReadRange(const std::string& path,
+                                       uint64_t offset, uint64_t len);
+
   /// Crash-safe whole-file replacement: write `path`.tmp, Sync, rename
   /// over `path`, fsync the parent directory. A crash at any byte
   /// leaves either the old complete file or the new complete file.
@@ -94,6 +102,9 @@ class File {
 
   /// Creates `dir` if missing (single level).
   static Status EnsureDir(const std::string& dir);
+
+  /// Lists the entry names in `dir` (no "." / ".."), unsorted.
+  static Result<std::vector<std::string>> ListDir(const std::string& dir);
 
  private:
   File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <optional>
 
 #include "common/fault.h"
@@ -61,6 +62,7 @@ StatementClass ClassifyStatement(const std::string& text,
       break;
     case Statement::Kind::kExplain:
     case Statement::Kind::kSystemMetrics:
+    case Statement::Kind::kSystemStatus:
       out.is_diagnostic = true;
       out.is_explain_analyze = parsed->analyze;
       break;
@@ -200,8 +202,15 @@ Status DurableDatabase::Recover() {
   XSQL_ASSIGN_OR_RETURN(Wal appender,
                         Wal::OpenAppender(WalPath(dir_, gen),
                                           scan.valid_size));
-  wal_ = std::make_unique<Wal>(std::move(appender));
-  generation_ = gen;
+  {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_ = std::make_unique<Wal>(std::move(appender));
+    wal_base_records_ = scan.records.size();
+    generation_.store(gen, std::memory_order_release);
+  }
+  // A crash between a checkpoint's CURRENT flip and its prune left the
+  // stale generations behind; finish the job now.
+  (void)PruneStaleGenerations();
   recoveries.Inc();
   recovery_us.Observe(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -247,7 +256,7 @@ Result<EvalOutput> DurableDatabase::Execute(const std::string& text) {
   Status append = wal_->Append(text);
   if (!append.ok()) {
     withdraw();
-    if (FaultInjector::Global().crashed()) Wedge();
+    if (FaultInjector::Global().crashed_for(dir_)) Wedge();
     return append;
   }
   ++records_since_checkpoint_;
@@ -322,9 +331,9 @@ Status DurableDatabase::Checkpoint() {
       obs::MetricsRegistry::Global().GetCounter("xsql.storage.checkpoints");
   obs::Span span("checkpoint", [&] { return dir_; });
   if (wedged()) return WedgedStatus();
-  const uint64_t next = generation_ + 1;
+  const uint64_t next = generation() + 1;
   auto fail = [&](Status st) {
-    if (FaultInjector::Global().crashed()) {
+    if (FaultInjector::Global().crashed_for(dir_)) {
       Wedge();
     } else {
       // The rotation never committed; drop the half-built generation.
@@ -359,25 +368,185 @@ Status DurableDatabase::Checkpoint() {
   st = File::WriteAtomic(CurrentPath(dir_), std::to_string(next) + "\n");
   if (!st.ok()) return fail(std::move(st));
 
-  const uint64_t old = generation_;
-  generation_ = next;
   records_since_checkpoint_ = 0;
   Result<Wal> appender =
       Wal::OpenAppender(WalPath(dir_, next), sizeof(Wal::kMagic) - 1);
   if (!appender.ok()) {
     // Rotation committed but the appender could not bind; state on
     // disk is consistent, so force a reopen rather than limp on.
+    generation_.store(next, std::memory_order_release);
     Wedge();
     return appender.status();
   }
-  wal_ = std::make_unique<Wal>(std::move(*appender));
+  {
+    // Swap the whole position triple at once so a concurrent
+    // DurableWalPoint never pairs the new generation with the old
+    // WAL's counters (or vice versa).
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    wal_ = std::make_unique<Wal>(std::move(*appender));
+    wal_base_records_ = 0;
+    generation_.store(next, std::memory_order_release);
+  }
   checkpoints.Inc();
-  // Best-effort cleanup; stray old-generation files are harmless.
-  (void)File::Remove(SnapshotPath(dir_, old));
-  (void)File::Remove(DdlPath(dir_, old));
-  (void)File::Remove(WalPath(dir_, old));
-  (void)File::Remove(DedupPath(dir_, old));
+  // Best-effort cleanup; stray old-generation files are harmless (a
+  // crash landing here is exactly the flip-without-prune case Recover
+  // finishes).
+  (void)PruneStaleGenerations();
   return Status::OK();
+}
+
+WalPoint DurableDatabase::DurableWalPoint() const {
+  std::lock_guard<std::mutex> lock(wal_mu_);
+  WalPoint point;
+  point.generation = generation_.load(std::memory_order_relaxed);
+  point.records =
+      wal_base_records_ + (wal_ ? wal_->records_appended() : 0);
+  point.bytes = wal_ ? wal_->synced_size() : 0;
+  return point;
+}
+
+Result<uint64_t> DurableDatabase::ApplyReplicated(
+    const std::vector<std::string>& records) {
+  static obs::Counter& applied = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.repl.applied_records");
+  if (wedged()) return WedgedStatus();
+  if (records.empty()) return static_cast<uint64_t>(0);
+  obs::Span span("recovery/apply-replicated");
+  span.AddRows(records.size());
+  for (const std::string& record : records) {
+    auto [rid, stmt] = DecodeRidPayload(record);
+    StatementClass cls = ClassifyStatement(stmt, *db_);
+    Result<EvalOutput> out = session_->Execute(stmt);
+    if (!out.ok()) {
+      // The primary committed this statement; a replica that cannot
+      // reproduce it has diverged and must not serve or promote.
+      Wedge();
+      return Status::RuntimeError("replicated apply failed ('" + stmt +
+                                  "'): " + out.status().ToString());
+    }
+    if (rid.has_value()) dedup_.Record(*rid, RenderEvalOutput(*out));
+    if (cls.is_definition) ddl_statements_.push_back(stmt);
+  }
+  // The shipped records land verbatim — the replica WAL stays a
+  // byte-prefix of the primary's — with one write and one fsync.
+  Status append = wal_->AppendBatch(records);
+  if (!append.ok()) {
+    Wedge();
+    return append;
+  }
+  records_since_checkpoint_ += records.size();
+  applied.Inc(records.size());
+  return static_cast<uint64_t>(records.size());
+}
+
+Result<BootstrapBundle> DurableDatabase::ReadBootstrapBundle() {
+  if (wedged()) return WedgedStatus();
+  obs::Span span("recovery/read-bootstrap", [&] { return dir_; });
+  BootstrapBundle bundle;
+  bundle.generation = generation();
+  XSQL_ASSIGN_OR_RETURN(bundle.snapshot,
+                        File::ReadAll(SnapshotPath(dir_, bundle.generation)));
+  XSQL_ASSIGN_OR_RETURN(bundle.ddl,
+                        File::ReadAll(DdlPath(dir_, bundle.generation)));
+  XSQL_ASSIGN_OR_RETURN(bundle.wal,
+                        File::ReadAll(WalPath(dir_, bundle.generation)));
+  if (File::Exists(DedupPath(dir_, bundle.generation))) {
+    XSQL_ASSIGN_OR_RETURN(bundle.dedup,
+                          File::ReadAll(DedupPath(dir_, bundle.generation)));
+  }
+  XSQL_ASSIGN_OR_RETURN(Wal::Scan scan, Wal::ScanContents(bundle.wal));
+  if (scan.torn) {
+    // Caller holds the latch with the committer drained; a torn file
+    // here is corruption, not concurrency.
+    return Status::InvalidArgument("bootstrap read found a torn WAL: " +
+                                   scan.torn_detail);
+  }
+  bundle.wal_records = scan.records.size();
+  PinGeneration(bundle.generation);
+  return bundle;
+}
+
+Status DurableDatabase::InstallBootstrapBundle(const std::string& dir,
+                                               const BootstrapBundle& b) {
+  XSQL_RETURN_IF_ERROR(File::EnsureDir(dir));
+  XSQL_RETURN_IF_ERROR(
+      File::WriteAtomic(SnapshotPath(dir, b.generation), b.snapshot));
+  XSQL_RETURN_IF_ERROR(File::WriteAtomic(DdlPath(dir, b.generation), b.ddl));
+  XSQL_RETURN_IF_ERROR(File::WriteAtomic(WalPath(dir, b.generation), b.wal));
+  if (!b.dedup.empty()) {
+    XSQL_RETURN_IF_ERROR(
+        File::WriteAtomic(DedupPath(dir, b.generation), b.dedup));
+  } else {
+    // A stale table from a previous life of this directory must not
+    // resurrect under the bundle's generation number.
+    XSQL_RETURN_IF_ERROR(File::Remove(DedupPath(dir, b.generation)));
+  }
+  // The commit point, exactly like a checkpoint's flip.
+  return File::WriteAtomic(CurrentPath(dir),
+                           std::to_string(b.generation) + "\n");
+}
+
+void DurableDatabase::PinGeneration(uint64_t gen) {
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  ++pinned_generations_[gen];
+}
+
+void DurableDatabase::UnpinGeneration(uint64_t gen) {
+  std::lock_guard<std::mutex> lock(pin_mu_);
+  auto it = pinned_generations_.find(gen);
+  if (it == pinned_generations_.end()) return;
+  if (--it->second == 0) pinned_generations_.erase(it);
+}
+
+Status DurableDatabase::PruneStaleGenerations() {
+  static obs::Counter& pruned = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.storage.generations_pruned");
+  const uint64_t current = generation();
+  const uint64_t retain =
+      options_.retain_generations < 1 ? 1 : options_.retain_generations;
+  // Keep (current - retain, current]; never touch the live generation
+  // or anything newer (a half-built rotation in flight).
+  const uint64_t keep_above = current > retain ? current - retain : 0;
+  Result<std::vector<std::string>> names = File::ListDir(dir_);
+  if (!names.ok()) return names.status();
+  // Which generations have files on disk, parsed from the four
+  // per-generation name shapes.
+  auto parse_gen = [](const std::string& name, const char* prefix,
+                      const char* suffix, uint64_t* gen) {
+    size_t plen = std::strlen(prefix), slen = std::strlen(suffix);
+    if (name.size() <= plen + slen) return false;
+    if (name.compare(0, plen, prefix) != 0) return false;
+    if (name.compare(name.size() - slen, slen, suffix) != 0) return false;
+    uint64_t value = 0;
+    for (size_t i = plen; i < name.size() - slen; ++i) {
+      if (name[i] < '0' || name[i] > '9') return false;
+      value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+    }
+    *gen = value;
+    return true;
+  };
+  Status result = Status::OK();
+  for (const std::string& name : names.value()) {
+    uint64_t gen = 0;
+    if (!parse_gen(name, "snapshot-", ".db", &gen) &&
+        !parse_gen(name, "ddl-", ".log", &gen) &&
+        !parse_gen(name, "wal-", ".log", &gen) &&
+        !parse_gen(name, "dedup-", ".tab", &gen)) {
+      continue;
+    }
+    if (gen > keep_above) continue;
+    {
+      std::lock_guard<std::mutex> lock(pin_mu_);
+      if (pinned_generations_.count(gen) != 0) continue;
+    }
+    Status st = File::Remove(dir_ + "/" + name);
+    if (st.ok()) {
+      pruned.Inc();
+    } else if (result.ok()) {
+      result = st;
+    }
+  }
+  return result;
 }
 
 }  // namespace storage

@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,6 +65,36 @@ struct DurableOptions {
   /// Bounds for the exactly-once dedup table (LRU caps + reply-size
   /// cap; see DedupTable::Options).
   DedupTable::Options dedup;
+  /// How many checkpoint generations to keep on disk (the live one
+  /// included). Older generations are pruned after each rotation and
+  /// on open — unless pinned by a replica still bootstrapping from
+  /// them. Minimum 1 (the live generation is never pruned).
+  uint64_t retain_generations = 2;
+};
+
+/// A coordinate in the durable statement history: generation `g`,
+/// `records` committed records in `wal-g.log`, spanning `bytes` bytes
+/// of that file (magic included). Replication subscribes from, acks,
+/// and measures lag in these.
+struct WalPoint {
+  uint64_t generation = 0;
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+};
+
+/// A complete, self-consistent copy of one generation's on-disk files,
+/// taken under the exclusive latch with the group committer drained so
+/// disk ≡ memory at the instant of capture. A replica installs the
+/// four images verbatim and runs ordinary recovery on them; its WAL is
+/// then a byte-prefix of the primary's, which is what lets a local
+/// record count double as a replication position.
+struct BootstrapBundle {
+  uint64_t generation = 0;
+  uint64_t wal_records = 0;  // records in `wal` (the resume position)
+  std::string snapshot;
+  std::string ddl;
+  std::string wal;
+  std::string dedup;  // empty when the generation has no dedup table
 };
 
 /// A Database + Session bound to an on-disk directory, with durable,
@@ -137,13 +169,62 @@ class DurableDatabase {
   /// state is unchanged; a crash mid-rotation is always recoverable.
   Status Checkpoint();
 
+  // ---- Replication ---------------------------------------------------
+
+  /// Replays a batch of stamped WAL records shipped from a primary:
+  /// executes each statement through this database's session, records
+  /// request-ID-stamped replies in the dedup table (so exactly-once
+  /// survives promotion), then appends the raw records to the local
+  /// WAL with ONE fsync. The caller must hold the exclusive statement
+  /// latch. Any failure wedges the instance — replica state would
+  /// otherwise silently diverge from the shipped history — and the
+  /// replica heals by reopening from its own durable prefix and
+  /// resubscribing. Returns the records applied.
+  Result<uint64_t> ApplyReplicated(const std::vector<std::string>& records);
+
+  /// The durable position: generation + committed record count +
+  /// byte length of the live WAL, read as one consistent triple.
+  /// Thread-safe (this is what the replication shipper polls).
+  WalPoint DurableWalPoint() const;
+
+  /// Captures the current generation's four files for replica
+  /// bootstrap. The caller must hold the exclusive latch with the
+  /// committer drained (disk ≡ memory). Pins the generation against
+  /// pruning; the caller unpins when the transfer is over.
+  Result<BootstrapBundle> ReadBootstrapBundle();
+
+  /// Installs a bundle into `dir` (fresh or stale replica directory),
+  /// making it byte-identical to the primary's generation files.
+  /// Ordinary Open/Recover then brings the replica to the bundle's
+  /// logical state.
+  static Status InstallBootstrapBundle(const std::string& dir,
+                                       const BootstrapBundle& bundle);
+
+  /// Pins `gen` against pruning (refcounted) / releases one pin.
+  void PinGeneration(uint64_t gen);
+  void UnpinGeneration(uint64_t gen);
+
+  /// Removes generation files outside the retention window (keeping
+  /// the newest `retain_generations`, the live generation always, and
+  /// anything pinned). Called after every rotation and on open, so a
+  /// crash between flip and prune just leaves work for next time.
+  Status PruneStaleGenerations();
+
   Database& db() { return *db_; }
   Session& session() { return *session_; }
   const std::string& dir() const { return dir_; }
-  uint64_t generation() const { return generation_; }
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
   /// Statements appended to the live WAL since open/last checkpoint.
-  uint64_t wal_records() const { return wal_ ? wal_->records_appended() : 0; }
-  uint64_t wal_bytes() const { return wal_ ? wal_->synced_size() : 0; }
+  uint64_t wal_records() const {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    return wal_ ? wal_->records_appended() : 0;
+  }
+  uint64_t wal_bytes() const {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    return wal_ ? wal_->synced_size() : 0;
+  }
   /// Whether recovery found (and truncated) a torn WAL tail on open.
   bool recovered_torn_tail() const { return recovered_torn_tail_; }
   /// Statements replayed from the WAL during open.
@@ -181,10 +262,24 @@ class DurableDatabase {
 
   std::string dir_;
   DurableOptions options_;
-  uint64_t generation_ = 0;
+  /// Atomic because the replication shipper reads it off-latch; the
+  /// full consistent triple lives behind `wal_mu_`.
+  std::atomic<uint64_t> generation_{0};
   std::unique_ptr<Database> db_;
   std::unique_ptr<Session> session_;
+  /// Guards `wal_` (rebound at checkpoint) together with `generation_`
+  /// and `wal_base_records_`, so DurableWalPoint reads one consistent
+  /// {generation, records, bytes} triple while rotation swaps all
+  /// three.
+  mutable std::mutex wal_mu_;
   std::unique_ptr<Wal> wal_;
+  /// Records already in the live WAL file when the appender was bound
+  /// (replayed on open; 0 after a rotation). File total = base +
+  /// appended.
+  uint64_t wal_base_records_ = 0;
+  /// Generation pin refcounts (replicas mid-bootstrap).
+  mutable std::mutex pin_mu_;
+  std::map<uint64_t, uint64_t> pinned_generations_;
   DedupTable dedup_;
   /// Definition statements to carry into the next checkpoint's DDL log.
   std::vector<std::string> ddl_statements_;

@@ -81,6 +81,31 @@ Result<Wal::Scan> Wal::ScanContents(const std::string& contents) {
   return scan;
 }
 
+Status Wal::ParseRecords(const std::string& buf, uint64_t* consumed,
+                         std::vector<std::string>* out) {
+  uint64_t pos = 0;
+  while (buf.size() - pos >= kRecordHeader) {
+    uint32_t len = GetU32(buf.data() + pos);
+    uint32_t crc = GetU32(buf.data() + pos + 4);
+    if (len > kMaxRecordLen) {
+      return Status::InvalidArgument(
+          "corrupt WAL record (length " + std::to_string(len) +
+          ") at stream offset " + std::to_string(pos));
+    }
+    if (buf.size() - pos - kRecordHeader < len) break;  // incomplete tail
+    std::string payload = buf.substr(pos + kRecordHeader, len);
+    if (Crc32(payload) != crc) {
+      return Status::InvalidArgument(
+          "corrupt WAL record (checksum mismatch) at stream offset " +
+          std::to_string(pos));
+    }
+    out->push_back(std::move(payload));
+    pos += kRecordHeader + len;
+  }
+  *consumed = pos;
+  return Status::OK();
+}
+
 Result<Wal::Scan> Wal::ScanFile(const std::string& path) {
   XSQL_ASSIGN_OR_RETURN(std::string contents, File::ReadAll(path));
   return ScanContents(contents);
@@ -134,14 +159,76 @@ Status Wal::AppendBatch(const std::vector<std::string>& payloads) {
     // Repair the torn append so a reported error implies "not durable".
     // Under a simulated crash the truncate fails too (the process is
     // dead); recovery's scan will discard the tail instead.
-    (void)File::Truncate(path_, synced_size_);
+    (void)File::Truncate(path_, synced_size_.load(std::memory_order_relaxed));
     return st;
   }
   XSQL_RETURN_IF_ERROR(file->Close());
-  synced_size_ += buf.size();
-  records_appended_ += payloads.size();
+  synced_size_.fetch_add(buf.size(), std::memory_order_release);
+  records_appended_.fetch_add(payloads.size(), std::memory_order_release);
   appends.Inc(payloads.size());
   append_bytes.Inc(buf.size());
+  return Status::OK();
+}
+
+Result<WalTailer> WalTailer::Open(const std::string& path) {
+  XSQL_ASSIGN_OR_RETURN(std::string head,
+                        File::ReadRange(path, 0, kMagicLen));
+  if (head.size() < kMagicLen ||
+      head.compare(0, kMagicLen, Wal::kMagic) != 0) {
+    return Status::InvalidArgument(
+        "not an XSQL WAL (bad or truncated magic header): " + path);
+  }
+  return WalTailer(path, kMagicLen);
+}
+
+Status WalTailer::Poll(uint64_t durable_size, uint64_t max_bytes,
+                       std::string* raw,
+                       std::vector<std::string>* payloads) {
+  if (durable_size <= offset_) return Status::OK();
+  uint64_t want = durable_size - offset_;
+  if (want > max_bytes) want = max_bytes;
+  XSQL_ASSIGN_OR_RETURN(std::string buf,
+                        File::ReadRange(path_, offset_, want));
+  uint64_t consumed = 0;
+  size_t before = payloads->size();
+  XSQL_RETURN_IF_ERROR(Wal::ParseRecords(buf, &consumed, payloads));
+  // A record straddling the max_bytes window parses next poll; a record
+  // straddling durable_size cannot happen (appends land whole-batch).
+  raw->append(buf, 0, static_cast<size_t>(consumed));
+  offset_ += consumed;
+  records_ += payloads->size() - before;
+  return Status::OK();
+}
+
+Status WalTailer::SkipRecords(uint64_t n, uint64_t durable_size) {
+  while (n > 0) {
+    if (durable_size <= offset_) {
+      return Status::InvalidArgument(
+          "WAL " + path_ + " holds fewer records than the resume position");
+    }
+    uint64_t want = durable_size - offset_;
+    if (want > (1u << 22)) want = 1u << 22;
+    XSQL_ASSIGN_OR_RETURN(std::string buf,
+                          File::ReadRange(path_, offset_, want));
+    uint64_t pos = 0;
+    uint64_t skipped = 0;
+    while (n > 0 && buf.size() - pos >= Wal::kRecordHeader) {
+      uint32_t len = GetU32(buf.data() + pos);
+      if (len > Wal::kMaxRecordLen ||
+          buf.size() - pos - Wal::kRecordHeader < len) {
+        break;
+      }
+      pos += Wal::kRecordHeader + len;
+      --n;
+      ++skipped;
+    }
+    if (skipped == 0) {
+      return Status::InvalidArgument(
+          "WAL " + path_ + " holds fewer records than the resume position");
+    }
+    offset_ += pos;
+    records_ += skipped;
+  }
   return Status::OK();
 }
 

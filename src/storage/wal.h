@@ -1,6 +1,7 @@
 #ifndef XSQL_STORAGE_WAL_H_
 #define XSQL_STORAGE_WAL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -57,6 +58,15 @@ class Wal {
   /// bad record merely ends the valid prefix and sets `torn`.
   static Result<Scan> ScanContents(const std::string& contents);
 
+  /// Parses complete records out of `buf` — a slice of the record
+  /// stream with NO magic header, as shipped in a replication batch or
+  /// read mid-file by a tailer. Stops cleanly at an incomplete tail
+  /// (`*consumed` is the bytes of whole records parsed); a CRC
+  /// mismatch or oversized length is InvalidArgument, because inside
+  /// the durable prefix there is no honest way to get one.
+  static Status ParseRecords(const std::string& buf, uint64_t* consumed,
+                             std::vector<std::string>* out);
+
   /// Reads and scans the log at `path`.
   static Result<Scan> ScanFile(const std::string& path);
 
@@ -83,19 +93,91 @@ class Wal {
   Status AppendBatch(const std::vector<std::string>& payloads);
 
   const std::string& path() const { return path_; }
-  uint64_t synced_size() const { return synced_size_; }
-  uint64_t records_appended() const { return records_appended_; }
+
+  /// Durable byte length (magic + synced records). Atomic so the
+  /// replication shipper can read the position while a group-commit
+  /// leader appends; the value only ever grows and a reader acting on
+  /// a slightly stale length just ships the extra records next poll.
+  uint64_t synced_size() const {
+    return synced_size_.load(std::memory_order_acquire);
+  }
+  uint64_t records_appended() const {
+    return records_appended_.load(std::memory_order_acquire);
+  }
 
   /// An unbound appender, so Wal can travel through Result<>.
   Wal() = default;
+
+  // Moves are hand-written because the counters are atomic. Only safe
+  // while nothing else references the source (construction-time
+  // plumbing); the appender is externally synchronized once shared.
+  Wal(Wal&& other) noexcept
+      : path_(std::move(other.path_)),
+        synced_size_(other.synced_size_.load(std::memory_order_relaxed)),
+        records_appended_(
+            other.records_appended_.load(std::memory_order_relaxed)) {}
+  Wal& operator=(Wal&& other) noexcept {
+    if (this != &other) {
+      path_ = std::move(other.path_);
+      synced_size_.store(other.synced_size_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      records_appended_.store(
+          other.records_appended_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    return *this;
+  }
 
  private:
   Wal(std::string path, uint64_t synced_size)
       : path_(std::move(path)), synced_size_(synced_size) {}
 
   std::string path_;
-  uint64_t synced_size_ = 0;
-  uint64_t records_appended_ = 0;
+  std::atomic<uint64_t> synced_size_{0};
+  std::atomic<uint64_t> records_appended_{0};
+};
+
+/// Streams committed records out of a WAL file in group-commit order —
+/// the primary's side of WAL shipping. The tailer holds a byte offset
+/// into the record stream and polls: each `Poll` reads whole records in
+/// `[offset, durable_size)` (the caller passes the appender's current
+/// `synced_size()`, so the tailer never reads past what is durable and
+/// never sees a torn tail). Reads go through `File::ReadRange` by path,
+/// not a held descriptor, so a tailer tolerates the file growing under
+/// it and costs nothing between polls.
+class WalTailer {
+ public:
+  /// Binds a tailer to the WAL at `path`, positioned at the first
+  /// record (validates the magic header).
+  static Result<WalTailer> Open(const std::string& path);
+
+  /// Reads complete records in `[offset(), durable_size)`, at most
+  /// `max_bytes` of them per call. `raw` receives the exact encoded
+  /// bytes (headers included) for re-shipping; `payloads` the decoded
+  /// statements. Both are appended to. Advances the offset past what
+  /// was returned. No new records is not an error (both stay empty).
+  Status Poll(uint64_t durable_size, uint64_t max_bytes, std::string* raw,
+              std::vector<std::string>* payloads);
+
+  /// Skips `n` records without returning them (resume-from-position:
+  /// the subscriber already has a durable prefix). Fails if fewer than
+  /// `n` whole records exist below `durable_size`.
+  Status SkipRecords(uint64_t n, uint64_t durable_size);
+
+  /// Current byte offset into the file (magic + records consumed).
+  uint64_t offset() const { return offset_; }
+  /// Records streamed (or skipped) so far.
+  uint64_t records() const { return records_; }
+
+  WalTailer() = default;
+
+ private:
+  explicit WalTailer(std::string path, uint64_t offset)
+      : path_(std::move(path)), offset_(offset) {}
+
+  std::string path_;
+  uint64_t offset_ = 0;
+  uint64_t records_ = 0;
 };
 
 /// Batches WAL appends from concurrent committers into shared fsyncs —

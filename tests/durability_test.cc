@@ -174,7 +174,12 @@ TEST_F(DurabilityTest, ViewsAndMethodsSurviveReopen) {
 TEST_F(DurabilityTest, CheckpointRotatesGenerationAndCompactsReplay) {
   std::string acked;
   {
-    auto dd = MustOpen(dir_);
+    // retain_generations = 1 prunes eagerly; the default (2) keeps the
+    // previous generation around for replica bootstrap (covered in
+    // replication_test).
+    DurableOptions options;
+    options.retain_generations = 1;
+    auto dd = MustOpen(dir_, options);
     ASSERT_NE(dd, nullptr);
     MustExecute(dd.get(), Prelude());
     MustExecute(dd.get(), Definitions());

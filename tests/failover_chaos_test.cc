@@ -1,0 +1,293 @@
+// The failover chaos sweep: a primary with a live streaming replica, a
+// retrying client that knows both endpoints, and a path-scoped
+// simulated kill of the primary's storage tree at a seed-varied byte
+// budget — landing the crash at different ship/apply/promote stages
+// across the sweep. A monitor promotes the replica once the primary
+// wedges; the client keeps driving with the same (uuid, seq) stamps.
+//
+// Asserted afterwards, per seed:
+//
+//   * with semi-synchronous replication and zero degraded acks, every
+//     client-acked mutation appears in the promoted replica's durable
+//     history exactly once (the acked-exactly-once failover contract);
+//   * every attempted mutation appears at most once — retries that
+//     straddled the failover deduplicated on the promoted replica;
+//   * the promoted replica's recovered state equals a serial replay of
+//     its own WAL history (no torn or reordered application);
+//   * under additional client-side network faults the same holds.
+//
+// Seed count scales with XSQL_CHAOS_SEEDS (ci.sh bounds it for TSan).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/replica.h"
+#include "server/server.h"
+#include "storage/dedup.h"
+#include "storage/recovery.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace xsql {
+namespace server {
+namespace {
+
+using storage::DurableDatabase;
+using storage::Wal;
+
+constexpr int kStatements = 8;
+
+int SeedBudget(int fallback) {
+  const char* env = std::getenv("XSQL_CHAOS_SEEDS");
+  if (env == nullptr || *env == '\0') return fallback;
+  int n = std::atoi(env);
+  return n < 1 ? 1 : n;
+}
+
+struct SweepLog {
+  std::vector<std::string> acked;
+  std::vector<std::string> attempted;
+};
+
+class FailoverChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = ::testing::TempDir() + "/xsql_failover_" + info->name();
+    std::filesystem::remove_all(root_);
+    std::filesystem::create_directories(root_);
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().Disarm();
+    std::filesystem::remove_all(root_);
+  }
+
+  static std::unique_ptr<DurableDatabase> OpenWithPrelude(
+      const std::string& dir) {
+    auto dd = DurableDatabase::Open(dir);
+    EXPECT_TRUE(dd.ok()) << dd.status().ToString();
+    if (!dd.ok()) return nullptr;
+    for (const char* stmt :
+         {"ALTER CLASS Person ADD SIGNATURE Name => String",
+          "ALTER CLASS Person ADD SIGNATURE Salary => Numeral",
+          "UPDATE CLASS Person SET mary.Name = 'mary'",
+          "UPDATE CLASS Person SET mary.Salary = 100"}) {
+      auto out = (*dd)->Execute(stmt);
+      EXPECT_TRUE(out.ok()) << stmt << ": " << out.status().ToString();
+      if (!out.ok()) return nullptr;
+    }
+    return std::move(*dd);
+  }
+
+  static std::map<std::string, int> WalOccurrences(const std::string& dir,
+                                                   uint64_t gen) {
+    std::map<std::string, int> counts;
+    auto scan = Wal::ScanFile(DurableDatabase::WalPath(dir, gen));
+    EXPECT_TRUE(scan.ok()) << scan.status().ToString();
+    if (!scan.ok()) return counts;
+    for (const std::string& record : scan->records) {
+      ++counts[storage::DecodeRidPayload(record).second];
+    }
+    return counts;
+  }
+
+  /// One seed of the sweep. `client_faults` additionally randomizes
+  /// the client⇄server transport (site "cli") while leaving the
+  /// replication stream clean.
+  void RunSeed(int seed, bool client_faults) {
+    const std::string primary_dir =
+        root_ + "/seed" + std::to_string(seed) + "_p";
+    const std::string replica_dir =
+        root_ + "/seed" + std::to_string(seed) + "_r";
+
+    auto dd = OpenWithPrelude(primary_dir);
+    ASSERT_NE(dd, nullptr) << "seed " << seed;
+    ServerOptions options;
+    options.sync_replication = true;
+    options.sync_replication_timeout_ms = 4000;
+    options.io_timeout_ms = 2000;
+    auto server = Server::Start(dd.get(), options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+    ReplicaOptions ropts;
+    ropts.dir = replica_dir;
+    ropts.primary_port = (*server)->port();
+    auto node = ReplicaNode::Start(std::move(ropts));
+    ASSERT_TRUE(node.ok()) << node.status().ToString();
+    {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(15);
+      while ((*node)->applied_records() < dd->wal_records() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      ASSERT_EQ((*node)->applied_records(), dd->wal_records())
+          << "seed " << seed << ": replica never caught up";
+    }
+
+    auto& degraded_counter = obs::MetricsRegistry::Global().GetCounter(
+        "xsql.repl.sync_degraded");
+    const uint64_t degraded_before = degraded_counter.value();
+
+    if (client_faults) {
+      FaultInjector::Global().ArmNet(static_cast<uint64_t>(seed) + 31,
+                                     /*permille=*/40, kNetAll,
+                                     /*max_delay_ms=*/15, "cli");
+    }
+
+    // The kill lands after a seed-varied number of primary storage
+    // bytes — early seeds die during the first shipped statements,
+    // later ones between ship and promote, the largest budgets after
+    // the sweep (no crash, plain replication).
+    const uint64_t crash_budget = 200 + static_cast<uint64_t>(seed) * 333;
+    FaultInjector::Global().ArmCrashAtByte(crash_budget, primary_dir);
+
+    SweepLog log;
+    std::thread writer([&] {
+      RetryingClientOptions copts;
+      copts.endpoints.push_back({"127.0.0.1", (*server)->port()});
+      copts.endpoints.push_back({"127.0.0.1", (*node)->port()});
+      copts.timeout_ms = 1000;
+      copts.max_retries = 40;
+      copts.backoff_base_ms = 2;
+      copts.backoff_max_ms = 50;
+      copts.deadline_ms = 30000;
+      copts.jitter_seed = static_cast<uint64_t>(seed) * 977 + 1;
+      RetryingClient client(copts);
+      int consecutive_failures = 0;
+      for (int i = 0; i < kStatements; ++i) {
+        const std::string stmt =
+            "UPDATE CLASS Person SET mary.Salary = " +
+            std::to_string(500000000ull +
+                           static_cast<uint64_t>(seed) * 1000 + i);
+        log.attempted.push_back(stmt);
+        auto out = client.Execute(stmt);
+        if (out.ok()) {
+          consecutive_failures = 0;
+          log.acked.push_back(stmt);
+        } else if (++consecutive_failures >= 2) {
+          break;  // both endpoints are gone; the sweep is over for us
+        }
+      }
+    });
+
+    // The failover monitor: when the primary's storage tree dies, the
+    // operator (us) promotes the replica. The client's in-flight
+    // statements straddle the hand-off.
+    bool promoted = false;
+    {
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::seconds(10);
+      while (!dd->wedged() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+      if (dd->wedged()) {
+        (*node)->RequestPromote();
+        promoted = (*node)->AwaitPromoted(20000);
+        EXPECT_TRUE(promoted)
+            << "seed " << seed << ": promotion never completed";
+      }
+    }
+    writer.join();
+    FaultInjector::Global().Disarm();
+
+    const uint64_t degraded =
+        degraded_counter.value() - degraded_before;
+    (*server)->Shutdown();
+    server->reset();
+
+    // Pick the authoritative survivor: the promoted replica, or the
+    // primary when the budget outlived the sweep.
+    std::string dir = primary_dir;
+    if (promoted) {
+      dir = replica_dir;
+      EXPECT_EQ((*node)->server()->role(), ServerRole::kPrimary);
+    }
+    (*node)->Shutdown();
+    node->reset();
+    dd.reset();
+
+    auto survivor = DurableDatabase::Open(dir);
+    ASSERT_TRUE(survivor.ok())
+        << "seed " << seed << ": " << survivor.status().ToString();
+    const uint64_t gen = (*survivor)->generation();
+    const std::map<std::string, int> counts = WalOccurrences(dir, gen);
+
+    for (const std::string& stmt : log.attempted) {
+      auto it = counts.find(stmt);
+      EXPECT_LE(it == counts.end() ? 0 : it->second, 1)
+          << "seed " << seed << ": statement applied twice: " << stmt;
+    }
+    if (degraded == 0) {
+      // Every ack was either executed here or synchronously
+      // replicated here before the primary died: exactly once.
+      for (const std::string& stmt : log.acked) {
+        auto it = counts.find(stmt);
+        EXPECT_TRUE(it != counts.end() && it->second == 1)
+            << "seed " << seed << " (promoted=" << promoted
+            << "): acked statement applied "
+            << (it == counts.end() ? 0 : it->second) << " times: "
+            << stmt;
+      }
+    }
+
+    // Survivor state == serial replay of its own durable history.
+    auto scan = Wal::ScanFile(DurableDatabase::WalPath(dir, gen));
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    const std::string replay_dir = dir + "_replay";
+    std::filesystem::remove_all(replay_dir);
+    auto replayed = DurableDatabase::Open(replay_dir);
+    ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+    for (const std::string& record : scan->records) {
+      const std::string text = storage::DecodeRidPayload(record).second;
+      auto out = (*replayed)->Execute(text);
+      EXPECT_TRUE(out.ok()) << "seed " << seed << " replay: " << text
+                            << ": " << out.status().ToString();
+    }
+    EXPECT_EQ(storage::SaveSnapshot((*survivor)->db()),
+              storage::SaveSnapshot((*replayed)->db()))
+        << "seed " << seed
+        << ": survivor state != serial replay of its WAL";
+
+    survivor->reset();
+    replayed->reset();
+    std::filesystem::remove_all(replay_dir);
+    std::filesystem::remove_all(primary_dir);
+    std::filesystem::remove_all(replica_dir);
+  }
+
+  std::string root_;
+};
+
+TEST_F(FailoverChaosTest, KillPrimaryAtEveryStage) {
+  const int seeds = SeedBudget(12);
+  for (int seed = 0; seed < seeds; ++seed) {
+    RunSeed(seed, /*client_faults=*/false);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST_F(FailoverChaosTest, KillPrimaryUnderClientNetworkFaults) {
+  const int seeds = std::max(3, SeedBudget(12) / 2);
+  for (int seed = 0; seed < seeds; ++seed) {
+    RunSeed(seed, /*client_faults=*/true);
+    if (HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xsql

@@ -1,0 +1,201 @@
+// RetryingClient backoff policy, deterministically: a fake sleeper
+// records every computed sleep (no wall-clock waits), a fixed
+// jitter_seed pins the jitter stream, and a one-frame fake server
+// supplies retry-after hints. Asserts the exponential base doubling,
+// the max clamp, the jitter bounds, and the server-hint floor.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/wire.h"
+
+namespace xsql {
+namespace server {
+namespace {
+
+/// Reserves a TCP port and releases it: connecting to it afterwards is
+/// refused fast, which drives the connect-failure retry path without
+/// any sleeping server.
+int ClosedPort() {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                 sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                        &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+  close(fd);
+  return port;
+}
+
+/// One-shot unavailability server: accepts connections and answers
+/// every frame with kUnavailable carrying `payload` (a retry-after
+/// hint), until stopped.
+class UnavailableServer {
+ public:
+  explicit UnavailableServer(std::string payload)
+      : payload_(std::move(payload)) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    struct sockaddr_in addr;
+    memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    int one = 1;
+    setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr));
+    socklen_t len = sizeof(addr);
+    getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    listen(fd_, 8);
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~UnavailableServer() {
+    stop_.store(true);
+    shutdown(fd_, SHUT_RDWR);
+    close(fd_);
+    thread_.join();
+  }
+
+  int port() const { return port_; }
+
+ private:
+  void Loop() {
+    while (!stop_.load()) {
+      int conn = accept(fd_, nullptr, nullptr);
+      if (conn < 0) return;
+      IoOptions io;
+      io.idle_timeout_ms = 1000;
+      while (true) {
+        auto frame = ReadFrame(conn, io);
+        if (!frame.ok()) break;
+        if (!WriteAll(conn,
+                      EncodeFrame(MsgType::kUnavailable, payload_), io)
+                 .ok()) {
+          break;
+        }
+      }
+      close(conn);
+    }
+  }
+
+  std::string payload_;
+  int fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+std::vector<int64_t> CollectSleeps(RetryingClientOptions options,
+                                   Status* final_status) {
+  std::vector<int64_t> sleeps;
+  options.sleep_fn = [&sleeps](int64_t ms) { sleeps.push_back(ms); };
+  RetryingClient client(std::move(options));
+  auto out = client.Execute("UPDATE CLASS Person SET mary.Salary = 1");
+  EXPECT_FALSE(out.ok());
+  if (final_status != nullptr) *final_status = out.status();
+  return sleeps;
+}
+
+TEST(RetryBackoffTest, ExponentialBaseWithJitterBoundsAndClamp) {
+  RetryingClientOptions options;
+  options.port = ClosedPort();
+  options.max_retries = 12;
+  options.backoff_base_ms = 5;
+  options.backoff_max_ms = 500;
+  options.jitter_seed = 42;
+  Status final_status;
+  const std::vector<int64_t> sleeps =
+      CollectSleeps(options, &final_status);
+  // One sleep before each retry; none before the first attempt.
+  ASSERT_EQ(sleeps.size(), static_cast<size_t>(options.max_retries));
+  bool clamped_any = false;
+  for (int k = 1; k <= options.max_retries; ++k) {
+    int64_t base = static_cast<int64_t>(options.backoff_base_ms)
+                   << (k - 1);
+    if (base > options.backoff_max_ms) {
+      base = options.backoff_max_ms;
+      clamped_any = true;
+    }
+    const int64_t sleep = sleeps[k - 1];
+    // Jitter is uniform in [0, base/2]: sleep ∈ [base, 1.5 * base].
+    EXPECT_GE(sleep, base) << "retry " << k;
+    EXPECT_LE(sleep, base + base / 2) << "retry " << k;
+  }
+  // With 12 retries at base 5 the schedule reaches the 500ms clamp
+  // (5 << 7 = 640 > 500), so the clamp was actually exercised.
+  EXPECT_TRUE(clamped_any);
+  EXPECT_LE(sleeps.back(), 750);
+  // Exhausted transport retries surface as ResourceExhausted.
+  EXPECT_EQ(final_status.code(), StatusCode::kResourceExhausted)
+      << final_status.ToString();
+}
+
+TEST(RetryBackoffTest, SameSeedSameSchedule) {
+  RetryingClientOptions options;
+  options.port = ClosedPort();
+  options.max_retries = 8;
+  options.backoff_base_ms = 3;
+  options.backoff_max_ms = 100;
+  options.jitter_seed = 7;
+  const std::vector<int64_t> first = CollectSleeps(options, nullptr);
+  const std::vector<int64_t> second = CollectSleeps(options, nullptr);
+  EXPECT_EQ(first, second);
+
+  options.jitter_seed = 8;
+  const std::vector<int64_t> other = CollectSleeps(options, nullptr);
+  EXPECT_NE(first, other);
+}
+
+TEST(RetryBackoffTest, ServerRetryAfterHintIsAFloor) {
+  UnavailableServer server("120 drowning in load");
+  RetryingClientOptions options;
+  options.port = server.port();
+  options.max_retries = 5;
+  options.backoff_base_ms = 1;  // exponential part stays far below 120
+  options.backoff_max_ms = 32;
+  options.jitter_seed = 9;
+  Status final_status;
+  const std::vector<int64_t> sleeps =
+      CollectSleeps(options, &final_status);
+  ASSERT_EQ(sleeps.size(), 5u);
+  for (size_t i = 0; i < sleeps.size(); ++i) {
+    // Every attempt got the kUnavailable hint, so every backoff is
+    // floored at 120ms even though min(1 << k, 32) never exceeds 48.
+    EXPECT_GE(sleeps[i], 120) << "retry " << (i + 1);
+    EXPECT_LE(sleeps[i], 120 + 60) << "retry " << (i + 1);
+  }
+  EXPECT_EQ(final_status.code(), StatusCode::kResourceExhausted)
+      << final_status.ToString();
+}
+
+TEST(RetryBackoffTest, HintParserBoundsHostileInput) {
+  EXPECT_EQ(ParseRetryAfterHint("120 busy"), 120);
+  EXPECT_EQ(ParseRetryAfterHint("no digits"), 0);
+  EXPECT_EQ(ParseRetryAfterHint(""), 0);
+  EXPECT_EQ(ParseRetryAfterHint("999999999999 evil"), 60000);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace xsql
