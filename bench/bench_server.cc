@@ -1,8 +1,10 @@
-// Concurrent-server throughput: read QPS through the statement latch
-// as client threads grow, and durable mutation throughput with the
-// per-statement fsync (serial DurableDatabase::Execute) versus the
-// group-commit path (ConcurrencyManager::Execute) at 1/4/8 writers.
-// Companion numbers live in EXPERIMENTS.md (B13).
+// Concurrent-server throughput: read QPS on the latch-free MVCC
+// snapshot path as client threads grow, durable mutation throughput
+// with the per-statement fsync (serial DurableDatabase::Execute)
+// versus the group-commit path (ConcurrencyManager::Execute) at 1/4/8
+// writers, and the headline MVCC number — read QPS scaling with reader
+// threads while a writer churns commits in the background (B15).
+// Companion numbers live in EXPERIMENTS.md (B13, B15).
 //
 // Threaded benchmarks share one ConcurrencyManager through a
 // magic-static environment: google-benchmark invokes the function once
@@ -10,9 +12,11 @@
 // thread creates (and closes) its own session.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "server/concurrency.h"
 #include "storage/recovery.h"
@@ -65,7 +69,7 @@ ServerEnv* SharedEnv() {
 }
 
 // Read QPS through the full concurrency protocol (classification +
-// shared latch + execution), per-thread sessions over one database.
+// snapshot pin + execution), per-thread sessions over one database.
 // NOTE: this host may be single-core; the interesting result is then
 // "no latch collapse" (aggregate QPS holds as threads grow), not a
 // multicore speedup.
@@ -144,6 +148,64 @@ void BM_DurableMutationGroupCommit(benchmark::State& state) {
 }
 BENCHMARK(BM_DurableMutationGroupCommit)
     ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// B15, the MVCC headline: read QPS scaling with reader threads WHILE a
+// writer churns durable commits in the background. Before MVCC the
+// writer-preferring latch parked every reader behind every writer, so
+// aggregate read QPS collapsed toward the write rate; with snapshot
+// reads the readers never block and the curve should track
+// BM_ConcurrentReads. Thread 0 owns the background writer; the
+// measured threads are all pure readers.
+void BM_SnapshotReadsUnderWriter(benchmark::State& state) {
+  ServerEnv* env = SharedEnv();
+  if (!env->cm) {
+    state.SkipWithError("durable open failed");
+    return;
+  }
+  // One background writer for the whole benchmark family, started on
+  // first use and leaked with the environment (google-benchmark offers
+  // no global teardown hook for threaded benchmarks; the writer is
+  // idempotent UPDATEs, so a hard exit mid-commit is harmless).
+  static std::atomic<bool>* churn = [] {
+    auto* running = new std::atomic<bool>(true);
+    std::thread([running] {
+      ServerEnv* e = SharedEnv();
+      auto wsid = e->cm->CreateSession({});
+      if (!wsid.ok()) return;
+      uint64_t i = 0;
+      while (running->load(std::memory_order_relaxed)) {
+        (void)e->cm->Execute(
+            *wsid, "UPDATE CLASS Person SET mary.Salary = " +
+                       std::to_string(100 + (i++ % 100)));
+      }
+      e->cm->CloseSession(*wsid);
+    }).detach();
+    return running;
+  }();
+  (void)churn;
+  auto sid = env->cm->CreateSession({});
+  if (!sid.ok()) {
+    state.SkipWithError(sid.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto out = env->cm->Execute(*sid, kRead);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["writer_commits"] = static_cast<double>(
+        env->cm->committer().batches_committed());
+  }
+  env->cm->CloseSession(*sid);
+}
+BENCHMARK(BM_SnapshotReadsUnderWriter)
+    ->Threads(1)
+    ->Threads(2)
     ->Threads(4)
     ->Threads(8)
     ->UseRealTime()

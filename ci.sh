@@ -1,12 +1,38 @@
 #!/usr/bin/env bash
-# CI entry point: plain build + tests, an ASan+UBSan build + tests, and
-# a TSan build running the concurrent-server suite.
+# CI entry point: a documentation link check, plain build + tests, an
+# ASan+UBSan build + tests, and a TSan build running the
+# concurrent-server and MVCC suites.
 # Usage: ./ci.sh [--plain-only|--sanitize-only|--tsan-only]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 MODE="${1:-all}"
+
+# Dead-link check over the documentation: every relative markdown link
+# in README.md and docs/*.md must point at a file that exists (anchors
+# stripped; http(s) and mailto links are out of scope). Keeps the docs
+# map honest as files move.
+doc_link_check() {
+  echo "==> doc link check"
+  local failed=0 doc target resolved
+  for doc in README.md docs/*.md; do
+    [[ -f "$doc" ]] || continue
+    while IFS= read -r target; do
+      [[ -z "$target" ]] && continue
+      case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+      esac
+      resolved="$(dirname "$doc")/${target%%#*}"
+      if [[ ! -e "$resolved" ]]; then
+        echo "dead link in $doc: $target" >&2
+        failed=1
+      fi
+    done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+  done
+  return "$failed"
+}
+doc_link_check
 
 run_suite() {
   local dir="$1"; shift
@@ -34,6 +60,13 @@ run_suite() {
   # test-level parallelism in the mix (XSQL_CHAOS_SEEDS scales it).
   echo "==> replication suite ($dir)"
   ctest --test-dir "$dir" -L replication --output-on-failure
+  # The MVCC suite again, serially and by label: copy-on-write fork
+  # isolation, snapshot-isolation stress, version GC under pins, and
+  # the crash sweep through version install. Under ASan this is the
+  # use-after-free gate for retired versions; the crash sweep also
+  # shares the process-global fault injector.
+  echo "==> mvcc suite ($dir)"
+  ctest --test-dir "$dir" -L mvcc --output-on-failure
   # Dump the metrics of a representative workload as a build artifact
   # ($dir/metrics.json) — a quick diffable health check across commits.
   echo "==> metrics artifact ($dir/metrics.json)"
@@ -111,6 +144,11 @@ if [[ "$MODE" != "--plain-only" && "$MODE" != "--sanitize-only" ]]; then
   cmake -B build-tsan -S . -DXSQL_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan -L concurrency --output-on-failure
+  # The MVCC suite under TSan: latch-free snapshot readers racing
+  # copy-on-write writers is the exact interleaving TSan exists to
+  # check — any reader touching writer-side state is a hard failure.
+  echo "==> TSan mvcc suite"
+  ctest --test-dir build-tsan -L mvcc --output-on-failure
   # The replication suite under TSan: the shipping source, the applier
   # thread, the semi-sync hub, and promotion are the raciest code in the
   # tree, so they run here at full strength.

@@ -13,7 +13,7 @@
 //
 // Connect with ./xsql_client or anything speaking the wire protocol.
 // Every mutation is group-committed to the WAL before its reply frame
-// is sent; concurrent readers run in parallel under a shared latch.
+// is sent; concurrent readers run latch-free on MVCC snapshots.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>

@@ -7,7 +7,7 @@ namespace baseline {
 
 RelationalDb RelationalDb::Flatten(const Database& db) {
   RelationalDb out;
-  for (const auto& [oid, object] : db.objects()) {
+  db.ForEachObject([&](const Oid& oid, const Object& object) {
     for (const auto& [attr, value] : object.attrs()) {
       auto& table = out.attr_tables_[attr];
       std::vector<Oid>& rows = table[oid];
@@ -18,7 +18,7 @@ RelationalDb RelationalDb::Flatten(const Database& db) {
       }
       out.attribute_rows_ += rows.size();
     }
-  }
+  });
   for (const Oid& cls : db.graph().classes()) {
     OidSet extent = db.graph().Extent(cls);
     out.extents_[cls] =

@@ -43,6 +43,15 @@ Result<OidSet> Instances(Database& db, const Oid& cls) {
 }  // namespace
 
 Status InstallIntrospection(Database* db) {
+  // Presence check first: Session construction calls this on every
+  // database it binds — including immutable MVCC snapshots shared by
+  // concurrent readers, which must not be written to (and whose version
+  // counter must not advance). Install is deterministic, so one probe
+  // decides for all four methods.
+  if (db->methods().Definition(builtin::MetaClass(), Oid::Atom("instances"),
+                               0) != nullptr) {
+    return Status::OK();
+  }
   XSQL_RETURN_IF_ERROR(Install(db, "attributes", Attributes));
   XSQL_RETURN_IF_ERROR(Install(db, "superclasses", Superclasses));
   XSQL_RETURN_IF_ERROR(Install(db, "subclasses", Subclasses));

@@ -18,7 +18,7 @@ namespace xsql {
 /// Everything the session computes for a statement before evaluation:
 /// the parsed and name-resolved AST, the typing verdict (with the
 /// Theorem 6.1(2) range witness), and the cost-based plan. Immutable
-/// once published to the cache — concurrent shared-latch readers
+/// once published to the cache — concurrent snapshot readers
 /// execute straight off one instance.
 struct PreparedPlan {
   Statement stmt;

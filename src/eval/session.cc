@@ -193,7 +193,7 @@ Result<EvalOutput> Session::ExecuteGuarded(const Statement& stmt,
   // ExecuteScript) is already recording, this statement records its own
   // undo log and rolls back on any failure. Read-only statements have
   // nothing to roll back and skip the (shared) undo pointer entirely —
-  // concurrent shared-latch readers would race on it.
+  // concurrent snapshot readers would race on it.
   UndoLog undo;
   const bool own_txn = !read_only && !db_->undo_active();
   if (own_txn) db_->BeginUndo(&undo);
@@ -252,6 +252,19 @@ Result<EvalOutput> Session::ExecuteStatement(const Statement& stmt,
     }
     case Statement::Kind::kCreateView: {
       XSQL_RETURN_IF_ERROR(views_->Create(*stmt.create_view));
+      // Eager materialization at DDL time (MVCC): a freshly created view
+      // is immediately readable on the latch-free snapshot path instead
+      // of escalating the first read that mentions it. The minted view
+      // objects are deterministic id-terms, so recovery replay and
+      // replicas converge on identical state. A failed materialization
+      // fails the whole CREATE VIEW: the undo log withdraws the
+      // database-side state, and the catalog entry is dropped here.
+      Status materialized =
+          views_->Materialize(stmt.create_view->name.str());
+      if (!materialized.ok()) {
+        views_->Drop(stmt.create_view->name.str());
+        return materialized;
+      }
       EvalOutput out;
       out.relation = Relation({"view"});
       XSQL_RETURN_IF_ERROR(out.relation.AddRow({stmt.create_view->name}));

@@ -119,7 +119,8 @@ class Session {
   Result<EvalOutput> Execute(const std::string& text);
 
   /// Executes one statement the caller GUARANTEES is read-only — the
-  /// concurrent server's shared-latch path (see server::NeedsExclusive).
+  /// concurrent server's latch-free snapshot-read path (see
+  /// server::ClassifyMode and docs/CONCURRENCY.md).
   /// Skips the statement-level undo log (nothing to roll back) and
   /// leaves the shared view catalog's execution-context hook untouched:
   /// concurrent readers would race on both. Guardrails still apply

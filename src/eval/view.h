@@ -38,6 +38,13 @@ class ViewManager : public ViewResolver {
  public:
   explicit ViewManager(Database* db) : db_(db) {}
 
+  /// Rebinds a copy of `src`'s catalog (definitions, materialization
+  /// stamps, created-oid bookkeeping) to `db`. MVCC snapshots carry a
+  /// clone of the primary catalog bound to the snapshot database, so
+  /// latch-free readers resolve views against frozen state.
+  ViewManager(Database* db, const ViewManager& src)
+      : db_(db), views_(src.views_) {}
+
   /// Guardrail context applied to view materialization (the defining
   /// query runs under it, and nested view expansion counts against the
   /// recursion-depth policy). Null restores unlimited execution.
@@ -56,6 +63,17 @@ class ViewManager : public ViewResolver {
 
   bool IsView(const std::string& fn) const override {
     return views_.contains(fn);
+  }
+
+  /// True when `fn` is a view whose last materialization is still valid
+  /// at the bound database's current version: reading it is a pure read
+  /// (EnsureMaterialized is a no-op). The server's statement classifier
+  /// uses this to keep reads of fresh views on the latch-free snapshot
+  /// path instead of escalating them.
+  bool IsMaterializedFresh(const std::string& fn) const {
+    auto it = views_.find(fn);
+    return it != views_.end() && it->second.materialized_at != 0 &&
+           it->second.materialized_at >= db_->version();
   }
 
   /// Materializes the view if it was never computed or the database has

@@ -45,7 +45,8 @@ std::optional<Clock::time_point> DeadlineFrom(const ExecLimits& limits) {
 }
 
 /// How long a statement sat parked before taking the latch — the
-/// contention signal to watch on a loaded server.
+/// writer-writer contention signal to watch on a loaded server (reads
+/// no longer take any latch).
 void RecordLatchWait(Clock::time_point entered) {
   static obs::Histogram& wait_us =
       obs::MetricsRegistry::Global().GetHistogram(
@@ -55,6 +56,22 @@ void RecordLatchWait(Clock::time_point entered) {
                                                             entered)
           .count()));
 }
+
+/// Scoped census of statements currently holding a snapshot pin.
+class PinnedSnapshotScope {
+ public:
+  PinnedSnapshotScope() { Gauge().Add(1); }
+  ~PinnedSnapshotScope() { Gauge().Add(-1); }
+  PinnedSnapshotScope(const PinnedSnapshotScope&) = delete;
+  PinnedSnapshotScope& operator=(const PinnedSnapshotScope&) = delete;
+
+ private:
+  static obs::Gauge& Gauge() {
+    static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+        "xsql.mvcc.pinned_snapshots");
+    return g;
+  }
+};
 
 }  // namespace
 
@@ -108,55 +125,72 @@ void StatementLatch::ReleaseExclusive() {
   cv_.notify_all();
 }
 
-bool NeedsExclusive(const std::string& text,
-                    const storage::StatementClass& cls, const Database& db,
-                    const ViewManager& views) {
-  if (!cls.parse_ok) return true;
-  if (cls.is_mutation_kind || cls.creates_objects ||
-      cls.is_explain_analyze) {
-    return true;
+StatementMode ClassifyMode(const std::string& text,
+                           const storage::StatementClass& cls,
+                           const Database& db, const ViewManager& views) {
+  if (!cls.parse_ok) return StatementMode::kWrite;
+  if (cls.is_mutation_kind || cls.creates_objects) {
+    return StatementMode::kWrite;
+  }
+  if (cls.is_explain_analyze) {
+    // Executes for real and rolls back — all scratch, no shared writes.
+    return StatementMode::kPrivateRead;
   }
   // Mention check: lazy-mutation trapdoors. Applied to plain queries
   // AND to EXPLAIN (its range analysis walks the same catalogs).
   Result<std::vector<Token>> tokens = Lex(text);
-  if (!tokens.ok()) return true;  // unlexable yet resolvable: impossible,
-                                  // but stay conservative
+  if (!tokens.ok()) {
+    return StatementMode::kWrite;  // unlexable yet resolvable:
+                                   // impossible, but stay conservative
+  }
   std::unordered_set<std::string> idents;
   for (const Token& t : *tokens) {
     if (t.type == TokenType::kIdent) idents.insert(t.text);
   }
   for (const std::string& name : views.ViewNames()) {
-    if (idents.count(name) != 0) return true;
+    if (idents.count(name) == 0) continue;
+    // A fresh materialization makes reading the view a pure read; a
+    // stale or absent one means evaluation re-materializes — into the
+    // reader's private fork, not the shared snapshot.
+    if (!views.IsMaterializedFresh(name)) return StatementMode::kPrivateRead;
   }
   for (const auto& entry : db.methods().AllDefinitions()) {
     if (idents.count(entry.method.str()) == 0) continue;
     std::shared_ptr<const MethodBody> body =
         db.methods().Definition(entry.cls, entry.method, entry.arity);
-    if (body != nullptr && body->kind() == "query") return true;
+    if (body != nullptr && body->kind() == "query") {
+      // Invoking a query-defined method can evaluate an OID clause and
+      // mint result objects — scratch state for a read.
+      return StatementMode::kPrivateRead;
+    }
   }
-  return false;
+  return StatementMode::kSharedRead;
 }
 
 ConcurrencyManager::ConcurrencyManager(storage::DurableDatabase* dd,
                                        Options options)
     : dd_(dd), options_(options), committer_(dd->wal()) {
-  // Single-threaded here; a warm cache keeps the first shared-latch
-  // readers from racing to build it.
+  // Single-threaded here; a warm cache keeps snapshots born clean (their
+  // mutable lazy members never rebuilt by parallel readers).
   PrewarmActiveDomain();
+  // Install the recovered state as version 1: readers have a snapshot
+  // to pin before the first commit.
+  chain_.Install(ForkVersionLocked());
   PublishStatus();
 }
 
 Result<uint64_t> ConcurrencyManager::CreateSession(SessionOptions options) {
   const ExecLimits limits = options.limits;
   const std::shared_ptr<CancelToken> cancel = options.cancel;
-  // The Session constructor installs the introspection methods into the
-  // shared database (idempotent, but still a write).
+  // Exclusive: the Session constructor probes (and on the very first
+  // session installs) the introspection methods in the master database,
+  // and construction must not interleave with a mutation's fork point.
   XSQL_RETURN_IF_ERROR(latch_.AcquireExclusive(limits, cancel));
   // Connections share one view catalog AND one prepared-plan cache: a
   // statement prepared by any connection is a parse+typecheck saved on
-  // every other. Safe under the latch discipline — the cache takes its
-  // own mutex for parallel shared-latch readers, and writers (the only
-  // version bumps) run exclusively.
+  // every other. The cache takes its own mutex and checks
+  // Database::version() at lookup, so snapshot readers at older
+  // versions can never be served a newer preparation (nor vice versa).
   auto session = std::make_unique<Session>(&dd_->db(), std::move(options),
                                            &dd_->session().views(),
                                            &dd_->session().plan_cache());
@@ -276,40 +310,81 @@ Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
       "xsql.server.read_statements");
   static obs::Counter& writes = obs::MetricsRegistry::Global().GetCounter(
       "xsql.server.write_statements");
+  static obs::Counter& snapshot_reads =
+      obs::MetricsRegistry::Global().GetCounter("xsql.mvcc.snapshot_reads");
+  static obs::Counter& private_forks = obs::MetricsRegistry::Global()
+      .GetCounter("xsql.mvcc.private_read_forks");
   *committed = false;
   const ExecLimits limits = session->options().limits;
   const std::shared_ptr<CancelToken> cancel = session->options().cancel;
   statements_.fetch_add(1, std::memory_order_relaxed);
 
-  // Phase 1: classify under a shared latch (name resolution reads the
-  // live schema). Read-only statements run right here, in parallel.
-  XSQL_RETURN_IF_ERROR(latch_.AcquireShared(limits, cancel));
-  if (dd_->wedged()) {
-    latch_.ReleaseShared();
+  if (dd_->wedged()) {  // atomic — no latch needed
     // Final, not kUnavailable: a wedged instance needs an operator to
     // reopen the directory — a retrying client cannot wait it out.
     return Status::RuntimeError(
         "durable database crashed; reopen the directory to recover");
   }
-  storage::StatementClass cls =
-      storage::ClassifyStatement(text, dd_->db());
-  if (!NeedsExclusive(text, cls, dd_->db(), dd_->session().views())) {
-    // ExecuteReadOnly, not Execute: parallel readers must not touch the
-    // shared undo pointer or the shared view catalog's context hook.
-    Result<EvalOutput> out = session->ExecuteReadOnly(text);
-    latch_.ReleaseShared();
+
+  // Pin the current head version and classify against it — no latch,
+  // regardless of what concurrent writers are doing. The pin keeps the
+  // whole version (database + view catalog) alive for the duration of
+  // this statement; releasing the last pin frees superseded versions.
+  std::shared_ptr<const storage::DatabaseVersion> snap = chain_.Head();
+  const storage::StatementClass cls =
+      storage::ClassifyStatement(text, *snap->db);
+  const StatementMode mode = ClassifyMode(text, cls, *snap->db, *snap->views);
+
+  if (mode == StatementMode::kSharedRead) {
+    // Latch-free snapshot read: a throwaway per-statement Session over
+    // the pinned (immutable) version, carrying the connection's
+    // guardrails and sharing the server-wide plan cache. Per-statement
+    // construction is cheap (the introspection probe is read-only) and
+    // guarantees an idle connection never pins an old version.
+    PinnedSnapshotScope pinned;
+    Session reader(snap->db.get(), session->options(), snap->views.get(),
+                   &dd_->session().plan_cache());
+    Result<EvalOutput> out = reader.ExecuteReadOnly(text);
     reads.Inc();
+    snapshot_reads.Inc();
     return out;
   }
-  latch_.ReleaseShared();
 
-  // Phase 2: escalate. The schema may shift between release and
-  // re-acquire, but ExecuteForCommit re-classifies under the exclusive
-  // latch, and "needs exclusive" can only over-approximate.
+  if (mode == StatementMode::kPrivateRead) {
+    // The statement reads, but its evaluation writes scratch state
+    // (stale-view materialization, query-method objects, EXPLAIN
+    // ANALYZE's rollback). Run it on a private copy-on-write fork of
+    // the snapshot: writers and other readers never see the scratch,
+    // and the fork is dropped wholesale on return. The private session
+    // owns a private plan cache — plans prepared post-materialization
+    // would poison the shared cache at the same version number.
+    PinnedSnapshotScope pinned;
+    std::unique_ptr<Database> fork = snap->db->Fork();
+    ViewManager fork_views(fork.get(), *snap->views);
+    Session scratch(fork.get(), session->options(), &fork_views,
+                    /*shared_plans=*/nullptr);
+    Result<EvalOutput> out = scratch.Execute(text);
+    reads.Inc();
+    private_forks.Inc();
+    return out;
+  }
+
+  // kWrite: exclusive latch orders mutations against each other, the
+  // checkpointer, and replica apply. ExecuteForCommit enqueues the WAL
+  // record under the latch (ticket order = execution order), and the
+  // fork below assigns the next version sequence under the same latch —
+  // version order provably equals WAL order.
   XSQL_RETURN_IF_ERROR(latch_.AcquireExclusive(limits, cancel));
+  if (dd_->wedged()) {  // re-check: a commit may have failed meanwhile
+    latch_.ReleaseExclusive();
+    return Status::RuntimeError(
+        "durable database crashed; reopen the directory to recover");
+  }
   uint64_t ticket = 0;
   Result<EvalOutput> out =
       dd_->ExecuteForCommit(session, text, &committer_, &ticket, rid);
+  std::shared_ptr<storage::DatabaseVersion> next;
+  if (ticket != 0) next = ForkVersionLocked();
   const bool pending_rid = ticket != 0 && rid != nullptr;
   if (pending_rid) {
     // Claimed under the latch: a checkpoint that serializes the dedup
@@ -323,9 +398,9 @@ Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
 
   if (ticket == 0) return out;  // failed, diagnostic, or read-only
 
-  // Phase 3: wait for durability with the latch free — the next writer
-  // executes in memory while this record's fsync is in flight, and
-  // both records share one fsync when the timing lines up.
+  // Wait for durability with the latch free — the next writer executes
+  // in memory while this record's fsync is in flight, and both records
+  // share one fsync when the timing lines up.
   Status durable = committer_.WaitDurable(ticket);
   auto resolve_pending = [&]() {
     if (!pending_rid) return;
@@ -335,12 +410,21 @@ Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
   };
   if (!durable.ok()) {
     // In-memory state now leads durable state with no way to retreat:
-    // same situation as a crash, handled the same way.
+    // same situation as a crash, handled the same way. The prepared
+    // version is dropped uninstalled — readers keep the last durable
+    // snapshot.
     dd_->Wedge();
     resolve_pending();
     return durable;
   }
   *committed = true;
+  // Durable: publish this statement's state to readers. A group commit
+  // waking several writers at once may run these installs out of order;
+  // Install drops stale sequences (an earlier state is a prefix of the
+  // current head — never a regression). Installing before the dedup
+  // Complete / ack below means a connection always reads its own
+  // committed writes.
+  chain_.Install(std::move(next));
   if (pending_rid) {
     // Durable now; the retry of this rid must never run again. The
     // entry lands before the checkpoint trigger below AND before any
@@ -380,6 +464,20 @@ Result<EvalOutput> ConcurrencyManager::ExecuteInternal(
     (void)Checkpoint();
   }
   return out;
+}
+
+std::shared_ptr<storage::DatabaseVersion>
+ConcurrencyManager::ForkVersionLocked() {
+  // Fork the master (structural sharing, O(metadata)), then move the
+  // master into a fresh COW epoch so its next mutation clones rather
+  // than touching anything the fork now shares. The version sequence is
+  // assigned here, under the exclusive latch, immediately after the WAL
+  // enqueue — which is exactly what makes version order = WAL order.
+  std::unique_ptr<Database> db = dd_->db().Fork();
+  dd_->db().BeginNewEpoch();
+  auto views =
+      std::make_unique<ViewManager>(db.get(), dd_->session().views());
+  return chain_.Prepare(std::move(db), std::move(views));
 }
 
 Status ConcurrencyManager::Checkpoint() {
@@ -422,6 +520,11 @@ Result<uint64_t> ConcurrencyManager::ApplyReplicated(
         "durable database crashed; reopen the directory to recover");
   }
   Result<uint64_t> n = dd_->ApplyReplicated(records);
+  if (n.ok() && *n > 0) {
+    // Replica reads snapshot the post-batch state: install under the
+    // latch so no half-applied batch is ever observable.
+    chain_.Install(ForkVersionLocked());
+  }
   PrewarmActiveDomain();
   latch_.ReleaseExclusive();
   if (n.ok()) {
@@ -459,12 +562,12 @@ Result<storage::BootstrapBundle> ConcurrencyManager::BuildBootstrapBundle() {
 
 Result<bool> ConcurrencyManager::StatementNeedsExclusive(
     const std::string& text) {
-  XSQL_RETURN_IF_ERROR(latch_.AcquireShared(ExecLimits{}, nullptr));
-  storage::StatementClass cls = storage::ClassifyStatement(text, dd_->db());
-  const bool need =
-      NeedsExclusive(text, cls, dd_->db(), dd_->session().views());
-  latch_.ReleaseShared();
-  return need;
+  // Classify against the pinned snapshot — no latch, same as a read.
+  std::shared_ptr<const storage::DatabaseVersion> snap = chain_.Head();
+  const storage::StatementClass cls =
+      storage::ClassifyStatement(text, *snap->db);
+  return ClassifyMode(text, cls, *snap->db, *snap->views) ==
+         StatementMode::kWrite;
 }
 
 void ConcurrencyManager::PublishStatus() {
@@ -474,6 +577,10 @@ void ConcurrencyManager::PublishStatus() {
   options_.status->Set("wal_records", static_cast<int64_t>(point.records));
   options_.status->Set("dedup_entries",
                        static_cast<int64_t>(dd_->dedup().entries()));
+  options_.status->Set("mvcc_head_sequence",
+                       static_cast<int64_t>(chain_.head_sequence()));
+  options_.status->Set("mvcc_live_versions",
+                       storage::VersionChain::live_versions());
 }
 
 void ConcurrencyManager::PrewarmActiveDomain() {

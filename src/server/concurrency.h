@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "eval/session.h"
 #include "storage/recovery.h"
+#include "storage/version.h"
 #include "storage/wal.h"
 
 namespace xsql {
@@ -26,13 +27,14 @@ namespace server {
 
 class ReplicationHub;
 
-/// Statement-level shared/exclusive latch with writer preference and
-/// deadline/cancel-aware acquisition.
+/// Writer-writer ordering latch with deadline/cancel-aware acquisition.
 ///
-/// Read-only statements hold it shared (run in parallel); anything
-/// that can mutate holds it exclusive (serialized). Writer preference
-/// — arriving readers queue behind a waiting writer — keeps a steady
-/// read load from starving mutations.
+/// Under MVCC this no longer serializes readers against writers — reads
+/// run latch-free against a pinned snapshot (see ConcurrencyManager).
+/// The exclusive side orders mutations, checkpoints, replica apply, and
+/// bootstrap capture against each other; the shared side remains for
+/// callers that need to exclude those administrative phases without
+/// claiming them (none on the statement path today).
 ///
 /// Acquisition polls in short slices so a waiting statement honors the
 /// same guardrails as a running one: the session's wall-clock deadline
@@ -65,52 +67,79 @@ class StatementLatch {
   std::atomic<uint64_t> exclusive_acquires_{0};
 };
 
-/// Whether `text` must run under the exclusive latch. Conservative by
-/// design: every statement that *could* write shared state — including
-/// through the engine's lazy-mutation trapdoors — is exclusive, so the
-/// shared path touches strictly read-only code.
+/// How a statement executes under MVCC.
+enum class StatementMode {
+  /// Pure read: runs latch-free against the pinned snapshot, sharing it
+  /// with every other concurrent reader.
+  kSharedRead,
+  /// Read whose evaluation may write *scratch* state (re-materializing a
+  /// stale view, a query-defined method minting objects, EXPLAIN
+  /// ANALYZE's execute-and-rollback): runs latch-free against a private
+  /// copy-on-write fork of the snapshot, which is discarded afterwards.
+  kPrivateRead,
+  /// Mutation (or unclassifiable statement): runs on the master database
+  /// under the exclusive latch and commits through the WAL.
+  kWrite,
+};
+
+/// Classifies how `text` must execute against the given (snapshot)
+/// database + view catalog. Conservative by design: every statement that
+/// could write *shared* state is kWrite; every statement that could
+/// write only its own scratch state is kPrivateRead:
 ///
-///   - mutation kinds (CREATE VIEW / ALTER CLASS / UPDATE CLASS), OID
-///     FUNCTION queries (they mint objects), and EXPLAIN ANALYZE (it
-///     executes for real, then rolls back);
-///   - any statement that *mentions* a view name: evaluating a view
-///     reference materializes it lazily into the shared database;
-///   - any statement that mentions a query-defined method name:
-///     invoking one can evaluate an OID clause and mint result objects;
-///   - unresolvable statements (they fail before executing, but we have
-///     no classification to trust — and a CREATE VIEW referencing a
-///     not-yet-visible name resolves only at execution).
+///   - mutation kinds (CREATE VIEW / ALTER CLASS / UPDATE CLASS) and OID
+///     FUNCTION queries (they mint durable objects) are kWrite;
+///   - unresolvable statements are kWrite (they fail before executing,
+///     but there is no classification to trust — and a CREATE VIEW
+///     referencing a not-yet-visible name resolves only at execution);
+///   - EXPLAIN ANALYZE (executes for real, then rolls back) is
+///     kPrivateRead;
+///   - a statement that *mentions* a view is kSharedRead when the
+///     snapshot's materialization of that view is fresh (reading it is
+///     a pure read), kPrivateRead when it is stale or never built
+///     (evaluation re-materializes — into the private fork);
+///   - a statement that mentions a query-defined method is kPrivateRead:
+///     invoking one can evaluate an OID clause and mint result objects.
 ///
 /// The mention check lexes `text` and intersects its identifiers with
-/// the live catalogs, so it never misses a reference at the price of
-/// the occasional false positive (e.g. a string literal shares a view's
-/// name — harmless, the statement merely serializes).
-bool NeedsExclusive(const std::string& text,
-                    const storage::StatementClass& cls, const Database& db,
-                    const ViewManager& views);
+/// the snapshot's catalogs, so it never misses a reference at the price
+/// of the occasional false positive (e.g. a string literal shares a
+/// view's name — harmless, the statement merely runs on a private fork).
+StatementMode ClassifyMode(const std::string& text,
+                           const storage::StatementClass& cls,
+                           const Database& db, const ViewManager& views);
 
 /// Multi-session front end over ONE DurableDatabase: the server's
 /// execution core, also usable in-process (the benchmarks drive it
 /// directly).
 ///
-/// Execution protocol per statement:
-///   1. acquire the latch *shared* and classify under it (classification
-///      resolves names against the live schema, so it needs at least a
-///      read latch);
-///   2. read-only: run in place, release, reply — reads run in parallel;
-///   3. otherwise escalate: release shared, acquire *exclusive*,
-///      execute via DurableDatabase::ExecuteForCommit (which enqueues
-///      the WAL record under the latch — ticket order = execution
-///      order), pre-warm the active-domain cache, release;
-///   4. wait for the ticket's group commit *after* releasing, so the
-///      next writer executes while this record's fsync is in flight —
-///      that overlap is the whole point of group commit;
-///   5. a failed commit wedges the database (in-memory state is ahead
+/// Execution protocol per statement (MVCC snapshot reads):
+///   1. pin the current head version (a shared_ptr load — no latch) and
+///      classify against it;
+///   2. kSharedRead: execute right here against the pinned snapshot via
+///      a throwaway per-statement Session (connection guardrails, shared
+///      plan cache) — any number of readers in parallel, unaffected by
+///      concurrent writers;
+///   3. kPrivateRead: same, but against a private COW fork of the
+///      snapshot that absorbs scratch writes and is then discarded;
+///   4. kWrite: acquire the latch *exclusive*, execute via
+///      DurableDatabase::ExecuteForCommit (which enqueues the WAL record
+///      under the latch — ticket order = execution order), fork the
+///      post-statement state as the next version (sequence assigned
+///      under the latch, so version order = WAL order), release;
+///   5. wait for the ticket's group commit *after* releasing — the next
+///      writer executes while this record's fsync is in flight — and
+///      only then install the forked version as the new head: readers
+///      never observe a state that is not yet durable, and a connection
+///      always sees its own committed writes (install precedes the ack);
+///   6. a failed commit wedges the database (in-memory state is ahead
 ///      of durable state with no way back; reopening recovers the
-///      durable prefix).
+///      durable prefix) and installs nothing — readers keep the last
+///      durable version.
 ///
 /// Sessions share the primary session's view catalog, so a view created
-/// on any connection resolves on all of them.
+/// on any connection resolves on all of them; each installed version
+/// carries an immutable clone of that catalog for its readers.
 class ConcurrencyManager {
  public:
   struct Options {
@@ -129,8 +158,8 @@ class ConcurrencyManager {
     /// (`xsql.repl.sync_degraded`) rather than failing the write.
     bool sync_replication = false;
     int sync_replication_timeout_ms = 1000;
-    /// Status board to publish generation / WAL / dedup positions on
-    /// (null = don't publish).
+    /// Status board to publish generation / WAL / dedup / MVCC positions
+    /// on (null = don't publish).
     obs::StatusRegistry* status = nullptr;
   };
 
@@ -138,9 +167,9 @@ class ConcurrencyManager {
   explicit ConcurrencyManager(storage::DurableDatabase* dd)
       : ConcurrencyManager(dd, Options()) {}
 
-  /// Registers a new session (exclusive latch: the Session constructor
-  /// installs introspection methods into the shared database).
-  /// `options` carries the connection's guardrails and cancel token.
+  /// Registers a new session (exclusive latch: session creation must not
+  /// interleave with a mutation's fork point). `options` carries the
+  /// connection's guardrails and cancel token.
   Result<uint64_t> CreateSession(SessionOptions options);
   void CloseSession(uint64_t id);
   /// The session object, or null. Stable until CloseSession; only its
@@ -175,8 +204,9 @@ class ConcurrencyManager {
   Status Checkpoint();
 
   /// Replays replicated WAL records (replica apply path): executes the
-  /// statements, stamps the dedup table, and appends the records to the
-  /// local WAL — all under the exclusive latch, so replica reads never
+  /// statements, stamps the dedup table, appends the records to the
+  /// local WAL, and installs the post-batch state as the new read
+  /// snapshot — all under the exclusive latch, so replica reads never
   /// see a half-applied batch. Returns the number applied.
   Result<uint64_t> ApplyReplicated(const std::vector<std::string>& records);
 
@@ -186,13 +216,21 @@ class ConcurrencyManager {
   /// retention pruning (caller unpins).
   Result<storage::BootstrapBundle> BuildBootstrapBundle();
 
-  /// Classifies `text` under a shared latch: would it need the
-  /// exclusive latch? The replica server's write fence.
+  /// Classifies `text` against the current snapshot (no latch): would it
+  /// need the exclusive latch? The replica server's write fence.
   Result<bool> StatementNeedsExclusive(const std::string& text);
 
-  /// Publishes generation / WAL / dedup positions to `options_.status`
-  /// (no-op when null).
+  /// Publishes generation / WAL / dedup / MVCC positions to
+  /// `options_.status` (no-op when null).
   void PublishStatus();
+
+  /// Pins the current head version and returns it: what every read
+  /// statement does internally. Exposed so tests and benchmarks can
+  /// hold a snapshot across writes (version-GC coverage) or read one
+  /// directly.
+  std::shared_ptr<const storage::DatabaseVersion> PinSnapshot() const {
+    return chain_.Head();
+  }
 
   storage::DurableDatabase& durable() { return *dd_; }
   storage::GroupCommitter& committer() { return committer_; }
@@ -202,28 +240,36 @@ class ConcurrencyManager {
   }
 
  private:
-  /// The shared body of Execute / ExecuteIdempotent: the three-phase
-  /// latch protocol. When `rid` is non-null the WAL record is stamped
-  /// with it, and once the commit is durable the rendered reply is
-  /// recorded in the dedup table (and returned via `*reply`) *before*
-  /// the auto-checkpoint trigger — the rotation that discards the
-  /// stamped WAL record must serialize a table that already holds the
-  /// entry. `*committed` reports whether a mutation became durable.
+  /// The shared body of Execute / ExecuteIdempotent. When `rid` is
+  /// non-null the WAL record is stamped with it, and once the commit is
+  /// durable the rendered reply is recorded in the dedup table (and
+  /// returned via `*reply`) *before* the auto-checkpoint trigger — the
+  /// rotation that discards the stamped WAL record must serialize a
+  /// table that already holds the entry. `*committed` reports whether a
+  /// mutation became durable.
   Result<EvalOutput> ExecuteInternal(Session* session,
                                      const std::string& text,
                                      const storage::RequestId* rid,
                                      bool* committed, std::string* reply);
 
+  /// Forks the master's post-statement state as the next version.
+  /// MUST be called under the exclusive latch: the sequence assigned
+  /// here is what keeps version order equal to WAL order, and the fork
+  /// also starts a new COW epoch on the master.
+  std::shared_ptr<storage::DatabaseVersion> ForkVersionLocked();
+
   /// Rebuilds Database::ActiveDomain()'s lazy cache. Called before
   /// every exclusive-latch release (mutation, rollback, and checkpoint
-  /// paths alike): the cache is a mutable member the first reader would
-  /// otherwise rebuild racily under a *shared* latch.
+  /// paths alike) so the next fork finds the cache warm and snapshots
+  /// are born clean (their mutable lazy members never rebuilt by
+  /// readers).
   void PrewarmActiveDomain();
 
   storage::DurableDatabase* dd_;
   Options options_;
   storage::GroupCommitter committer_;
   StatementLatch latch_;
+  storage::VersionChain chain_;
 
   mutable std::mutex sessions_mu_;
   std::map<uint64_t, std::unique_ptr<Session>> sessions_;

@@ -49,7 +49,7 @@ struct StatementClass {
 
 /// Classifies `text` against the current schema. Used by recovery (DDL
 /// carry-forward), the durable Execute path (WAL append decision), and
-/// the concurrent server (latch-mode choice).
+/// the concurrent server (statement-mode classification).
 StatementClass ClassifyStatement(const std::string& text,
                                  const Database& db);
 

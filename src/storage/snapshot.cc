@@ -251,14 +251,16 @@ std::string SaveSnapshot(const Database& db) {
     emit_oid(cls);
     out += '\n';
   }
-  std::vector<const Oid*> object_oids;
-  object_oids.reserve(db.objects().size());
-  for (const auto& [oid, object] : db.objects()) object_oids.push_back(&oid);
-  std::sort(object_oids.begin(), object_oids.end(),
-            [](const Oid* a, const Oid* b) { return *a < *b; });
-  for (const Oid* oid_ptr : object_oids) {
+  std::vector<std::pair<const Oid*, const Object*>> object_entries;
+  object_entries.reserve(db.object_count());
+  db.ForEachObject([&](const Oid& oid, const Object& object) {
+    object_entries.emplace_back(&oid, &object);
+  });
+  std::sort(object_entries.begin(), object_entries.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  for (const auto& [oid_ptr, object_ptr] : object_entries) {
     const Oid& oid = *oid_ptr;
-    const Object& object = db.objects().at(oid);
+    const Object& object = *object_ptr;
     out += "OBJ ";
     emit_oid(oid);
     out += '\n';

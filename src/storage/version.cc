@@ -1,0 +1,72 @@
+#include "storage/version.h"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace xsql {
+namespace storage {
+
+namespace {
+
+/// Metrics can be disabled process-wide, but the GC tests need an exact
+/// count, so the live-version census is a plain atomic beside the gauge.
+std::atomic<int64_t> g_live_versions{0};
+
+obs::Gauge& LiveGauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::Global().GetGauge("xsql.mvcc.live_versions");
+  return g;
+}
+
+}  // namespace
+
+DatabaseVersion::DatabaseVersion(uint64_t seq,
+                                 std::unique_ptr<Database> database,
+                                 std::unique_ptr<ViewManager> view_catalog)
+    : sequence(seq), db(std::move(database)), views(std::move(view_catalog)) {
+  LiveGauge().Set(g_live_versions.fetch_add(1, std::memory_order_relaxed) +
+                  1);
+}
+
+DatabaseVersion::~DatabaseVersion() {
+  static obs::Counter& retired =
+      obs::MetricsRegistry::Global().GetCounter("xsql.mvcc.versions_retired");
+  retired.Inc();
+  LiveGauge().Set(g_live_versions.fetch_sub(1, std::memory_order_relaxed) -
+                  1);
+}
+
+std::shared_ptr<DatabaseVersion> VersionChain::Prepare(
+    std::unique_ptr<Database> db, std::unique_ptr<ViewManager> views) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::make_shared<DatabaseVersion>(++next_sequence_, std::move(db),
+                                           std::move(views));
+}
+
+void VersionChain::Install(std::shared_ptr<DatabaseVersion> v) {
+  static obs::Counter& installed = obs::MetricsRegistry::Global().GetCounter(
+      "xsql.mvcc.versions_installed");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (head_ != nullptr && head_->sequence >= v->sequence) return;
+  head_ = std::move(v);
+  installed.Inc();
+}
+
+std::shared_ptr<const DatabaseVersion> VersionChain::Head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+uint64_t VersionChain::head_sequence() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_ == nullptr ? 0 : head_->sequence;
+}
+
+int64_t VersionChain::live_versions() {
+  return g_live_versions.load(std::memory_order_relaxed);
+}
+
+}  // namespace storage
+}  // namespace xsql

@@ -1,0 +1,83 @@
+#ifndef XSQL_STORAGE_VERSION_H_
+#define XSQL_STORAGE_VERSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "eval/view.h"
+#include "store/database.h"
+
+namespace xsql {
+namespace storage {
+
+/// One immutable, consistent database version: a structurally-shared
+/// fork of the master database (see Database::Fork) plus a clone of the
+/// view catalog rebound to it. Built by a writer under the exclusive
+/// latch, published to the version chain *after* its group commit is
+/// durable, and from then on read by any number of threads with no
+/// synchronization — nothing here is ever mutated after Install.
+///
+/// `sequence` is assigned under the writer latch in WAL-enqueue order,
+/// so version order == WAL order == replication order; the chain only
+/// ever moves its head forward along it.
+///
+/// Lifetime is the GC: readers pin a version by holding the shared_ptr;
+/// when the chain's head moves on and the last pin drops, the version —
+/// and every COW shard only it references — is freed on the releasing
+/// thread. The destructor counts that reclaim.
+struct DatabaseVersion {
+  uint64_t sequence = 0;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ViewManager> views;
+
+  DatabaseVersion(uint64_t seq, std::unique_ptr<Database> database,
+                  std::unique_ptr<ViewManager> view_catalog);
+  ~DatabaseVersion();
+
+  DatabaseVersion(const DatabaseVersion&) = delete;
+  DatabaseVersion& operator=(const DatabaseVersion&) = delete;
+};
+
+/// The MVCC version chain: hands out sequence numbers to writers (under
+/// their latch), installs durable versions in order, and serves the
+/// current head to latch-free readers.
+class VersionChain {
+ public:
+  /// Wraps a forked database + rebound view catalog as the next version.
+  /// MUST be called under the writer's exclusive latch, immediately
+  /// after the statement executed (and, for durable writes, after its
+  /// WAL record was enqueued): the sequence assigned here is what keeps
+  /// version order equal to WAL order.
+  std::shared_ptr<DatabaseVersion> Prepare(
+      std::unique_ptr<Database> db, std::unique_ptr<ViewManager> views);
+
+  /// Publishes `v` as the new head iff it is newer than the installed
+  /// head. Called by the committing writer *after* WaitDurable succeeds
+  /// — group-commit wakeups can arrive out of ticket order, so a stale
+  /// sequence is simply dropped (its state is a prefix of the head's).
+  /// Readers that pinned the old head keep it alive; everyone arriving
+  /// later sees `v`.
+  void Install(std::shared_ptr<DatabaseVersion> v);
+
+  /// The current head — the latch-free reader entry point. Never null
+  /// after the first Install.
+  std::shared_ptr<const DatabaseVersion> Head() const;
+
+  uint64_t head_sequence() const;
+
+  /// Versions currently alive (installed, not yet destructed. The head
+  /// and any reader-pinned superseded versions). Backs the version-GC
+  /// tests and the xsql.mvcc.live_versions gauge.
+  static int64_t live_versions();
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const DatabaseVersion> head_;
+  uint64_t next_sequence_ = 0;
+};
+
+}  // namespace storage
+}  // namespace xsql
+
+#endif  // XSQL_STORAGE_VERSION_H_

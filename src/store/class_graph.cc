@@ -3,21 +3,79 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/metrics.h"
+
 namespace xsql {
+
+namespace {
+
+/// COW accounting (xsql.mvcc.*): how often a write had to clone a
+/// shared piece, and roughly how many bytes the clones copied. The byte
+/// figure is an estimate (container footprints, not deep oid payloads)
+/// — it is a *trend* metric for snapshot churn, not an allocator audit.
+void CountCowClone(size_t approx_bytes) {
+  static obs::Counter& clones =
+      obs::MetricsRegistry::Global().GetCounter("xsql.mvcc.cow_clones");
+  static obs::Counter& bytes =
+      obs::MetricsRegistry::Global().GetCounter("xsql.mvcc.cow_bytes");
+  clones.Inc();
+  bytes.Inc(static_cast<uint64_t>(approx_bytes));
+}
+
+}  // namespace
+
+ClassGraph::ClassGraph() {
+  for (auto& shard : instance_of_) {
+    shard = std::make_shared<InstanceShard>();
+  }
+}
 
 const ClassGraph::Node* ClassGraph::Find(const Oid& cls) const {
   auto it = nodes_.find(cls);
-  return it == nodes_.end() ? nullptr : &it->second;
+  return it == nodes_.end() ? nullptr : it->second.get();
 }
 
 ClassGraph::Node* ClassGraph::FindMutable(const Oid& cls) {
   auto it = nodes_.find(cls);
-  return it == nodes_.end() ? nullptr : &it->second;
+  if (it == nodes_.end()) return nullptr;
+  if (it->second->epoch != epoch_) {
+    // The node predates the current epoch, so a snapshot may share it:
+    // clone before the write (class-extent granularity COW).
+    auto clone = std::make_shared<Node>(*it->second);
+    clone->epoch = epoch_;
+    CountCowClone(sizeof(Node) +
+                  (clone->supers.size() + clone->subs.size() +
+                   clone->direct_extent.size()) *
+                      sizeof(Oid));
+    it->second = std::move(clone);
+  }
+  return it->second.get();
+}
+
+ClassGraph::InstanceShard& ClassGraph::WritableShard(const Oid& obj) {
+  std::shared_ptr<InstanceShard>& slot = instance_of_[ShardIndexOf(obj)];
+  if (slot->epoch != epoch_) {
+    auto clone = std::make_shared<InstanceShard>(*slot);
+    clone->epoch = epoch_;
+    CountCowClone(sizeof(InstanceShard) +
+                  clone->map.size() *
+                      (sizeof(Oid) + sizeof(std::vector<Oid>)));
+    slot = std::move(clone);
+  }
+  return *slot;
+}
+
+const std::vector<Oid>* ClassGraph::FindInstance(const Oid& obj) const {
+  const InstanceShard& shard = *instance_of_[ShardIndexOf(obj)];
+  auto it = shard.map.find(obj);
+  return it == shard.map.end() ? nullptr : &it->second;
 }
 
 Status ClassGraph::DeclareClass(const Oid& cls) {
   if (nodes_.contains(cls)) return Status::OK();
-  nodes_.emplace(cls, Node{});
+  auto node = std::make_shared<Node>();
+  node->epoch = epoch_;
+  nodes_.emplace(cls, std::move(node));
   class_list_.push_back(cls);
   return Status::OK();
 }
@@ -34,32 +92,43 @@ Status ClassGraph::AddSubclass(const Oid& sub, const Oid& super) {
     return Status::InvalidArgument("IS-A edge " + sub.ToString() + " -> " +
                                    super.ToString() + " would create a cycle");
   }
-  Node* s = FindMutable(sub);
-  if (std::find(s->supers.begin(), s->supers.end(), super) != s->supers.end()) {
-    return Status::OK();
+  {
+    const Node* s = Find(sub);
+    if (std::find(s->supers.begin(), s->supers.end(), super) !=
+        s->supers.end()) {
+      return Status::OK();
+    }
   }
-  s->supers.push_back(super);
+  FindMutable(sub)->supers.push_back(super);
   FindMutable(super)->subs.push_back(sub);
   return Status::OK();
 }
 
 Status ClassGraph::AddInstance(const Oid& obj, const Oid& cls) {
   XSQL_RETURN_IF_ERROR(DeclareClass(cls));
-  auto& classes = instance_of_[obj];
-  if (std::find(classes.begin(), classes.end(), cls) == classes.end()) {
-    classes.push_back(cls);
-    FindMutable(cls)->direct_extent.Insert(obj);
+  {
+    const std::vector<Oid>* classes = FindInstance(obj);
+    if (classes != nullptr &&
+        std::find(classes->begin(), classes->end(), cls) != classes->end()) {
+      return Status::OK();
+    }
   }
+  WritableShard(obj).map[obj].push_back(cls);
+  FindMutable(cls)->direct_extent.Insert(obj);
   return Status::OK();
 }
 
 void ClassGraph::RemoveInstance(const Oid& obj, const Oid& cls) {
-  auto it = instance_of_.find(obj);
-  if (it == instance_of_.end()) return;
-  auto& classes = it->second;
-  auto pos = std::find(classes.begin(), classes.end(), cls);
-  if (pos == classes.end()) return;
-  classes.erase(pos);
+  {
+    const std::vector<Oid>* classes = FindInstance(obj);
+    if (classes == nullptr ||
+        std::find(classes->begin(), classes->end(), cls) == classes->end()) {
+      return;
+    }
+  }
+  InstanceShard& shard = WritableShard(obj);
+  auto& classes = shard.map[obj];
+  classes.erase(std::find(classes.begin(), classes.end(), cls));
   if (Node* n = FindMutable(cls)) {
     OidSet pruned;
     for (const Oid& o : n->direct_extent) {
@@ -72,30 +141,50 @@ void ClassGraph::RemoveInstance(const Oid& obj, const Oid& cls) {
 void ClassGraph::RemoveClass(const Oid& cls) {
   auto it = nodes_.find(cls);
   if (it == nodes_.end()) return;
-  for (const Oid& super : it->second.supers) {
+  const std::vector<Oid> supers = it->second->supers;
+  const std::vector<Oid> subs = it->second->subs;
+  for (const Oid& super : supers) {
     if (Node* n = FindMutable(super)) {
       auto pos = std::find(n->subs.begin(), n->subs.end(), cls);
       if (pos != n->subs.end()) n->subs.erase(pos);
     }
   }
-  for (const Oid& sub : it->second.subs) {
+  for (const Oid& sub : subs) {
     if (Node* n = FindMutable(sub)) {
       auto pos = std::find(n->supers.begin(), n->supers.end(), cls);
       if (pos != n->supers.end()) n->supers.erase(pos);
     }
   }
-  nodes_.erase(it);
+  nodes_.erase(cls);
   auto pos = std::find(class_list_.begin(), class_list_.end(), cls);
   if (pos != class_list_.end()) class_list_.erase(pos);
   // Drop dangling direct-instance memberships of the vanished class.
-  for (auto mi = instance_of_.begin(); mi != instance_of_.end();) {
-    auto& classes = mi->second;
-    auto cp = std::find(classes.begin(), classes.end(), cls);
-    if (cp != classes.end()) classes.erase(cp);
-    if (classes.empty()) {
-      mi = instance_of_.erase(mi);
-    } else {
-      ++mi;
+  // Rare (undo-only path), so COW-cloning every touched shard is fine.
+  for (size_t i = 0; i < kInstanceShards; ++i) {
+    bool touches = false;
+    for (const auto& [obj, classes] : instance_of_[i]->map) {
+      if (std::find(classes.begin(), classes.end(), cls) != classes.end()) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) continue;
+    // Clone via any member oid of the shard: index i is what matters.
+    std::shared_ptr<InstanceShard>& slot = instance_of_[i];
+    if (slot->epoch != epoch_) {
+      auto clone = std::make_shared<InstanceShard>(*slot);
+      clone->epoch = epoch_;
+      slot = std::move(clone);
+    }
+    for (auto mi = slot->map.begin(); mi != slot->map.end();) {
+      auto& classes = mi->second;
+      auto cp = std::find(classes.begin(), classes.end(), cls);
+      if (cp != classes.end()) classes.erase(cp);
+      if (classes.empty()) {
+        mi = slot->map.erase(mi);
+      } else {
+        ++mi;
+      }
     }
   }
 }
@@ -138,9 +227,9 @@ bool ClassGraph::IsSubclassEq(const Oid& sub, const Oid& super) const {
 }
 
 bool ClassGraph::IsInstanceOf(const Oid& obj, const Oid& cls) const {
-  auto it = instance_of_.find(obj);
-  if (it == instance_of_.end()) return false;
-  for (const Oid& direct : it->second) {
+  const std::vector<Oid>* classes = FindInstance(obj);
+  if (classes == nullptr) return false;
+  for (const Oid& direct : *classes) {
     if (IsSubclassEq(direct, cls)) return true;
   }
   return false;
@@ -205,14 +294,16 @@ OidSet ClassGraph::Extent(const Oid& cls) const {
 }
 
 std::vector<Oid> ClassGraph::DirectClassesOf(const Oid& obj) const {
-  auto it = instance_of_.find(obj);
-  return it == instance_of_.end() ? std::vector<Oid>{} : it->second;
+  const std::vector<Oid>* classes = FindInstance(obj);
+  return classes == nullptr ? std::vector<Oid>{} : *classes;
 }
 
 std::vector<std::pair<Oid, Oid>> ClassGraph::AllInstancePairs() const {
   std::vector<std::pair<Oid, Oid>> out;
-  for (const auto& [obj, classes] : instance_of_) {
-    for (const Oid& cls : classes) out.emplace_back(obj, cls);
+  for (const auto& shard : instance_of_) {
+    for (const auto& [obj, classes] : shard->map) {
+      for (const Oid& cls : classes) out.emplace_back(obj, cls);
+    }
   }
   return out;
 }

@@ -1,6 +1,9 @@
 #ifndef XSQL_STORE_CLASS_GRAPH_H_
 #define XSQL_STORE_CLASS_GRAPH_H_
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -19,8 +22,29 @@ namespace xsql {
 /// the paper's containment rule, while the converse (extensional equality
 /// does not imply IS-A) is naturally respected because IS-A is only what
 /// was declared.
+///
+/// Storage is copy-on-write to support MVCC snapshots: each class node
+/// (IS-A edges + direct extent) and each instance-of shard is held by
+/// shared_ptr, so copying a ClassGraph shares all of them structurally.
+/// Mutators clone a node/shard before the first write in the current
+/// *epoch*; `BumpEpoch` (called on both sides of a database fork) starts
+/// a new epoch, which forces the next write to each shared piece to
+/// clone it. Ownership is decided by the epoch stamp alone — never by
+/// refcount inspection — so a snapshot being released on another thread
+/// can never race a writer's in-place-vs-clone decision.
 class ClassGraph {
  public:
+  ClassGraph();
+  /// Copying shares every node and instance shard with the source.
+  /// At least one side must BumpEpoch before its next mutation; the
+  /// Database fork path bumps both sides.
+  ClassGraph(const ClassGraph&) = default;
+  ClassGraph& operator=(const ClassGraph&) = default;
+
+  /// Starts a new copy-on-write epoch: every node/shard created before
+  /// this call is treated as shared and cloned before the next write.
+  void BumpEpoch() { ++epoch_; }
+
   /// Registers `cls` as a class with no superclasses (yet).
   /// Idempotent for already-declared classes.
   Status DeclareClass(const Oid& cls);
@@ -94,15 +118,33 @@ class ClassGraph {
     std::vector<Oid> supers;
     std::vector<Oid> subs;
     OidSet direct_extent;
+    uint64_t epoch = 0;
   };
 
-  const Node* Find(const Oid& cls) const;
-  Node* FindMutable(const Oid& cls);
+  /// instance_of_ is sharded so a single membership write copies one
+  /// shard, not the whole data-sized map.
+  static constexpr size_t kInstanceShards = 32;
+  struct InstanceShard {
+    std::unordered_map<Oid, std::vector<Oid>, OidHash> map;
+    uint64_t epoch = 0;
+  };
 
-  std::unordered_map<Oid, Node, OidHash> nodes_;
+  static size_t ShardIndexOf(const Oid& oid) {
+    return OidHash{}(oid) % kInstanceShards;
+  }
+
+  const Node* Find(const Oid& cls) const;
+  /// COW: clones the node first when it predates the current epoch.
+  Node* FindMutable(const Oid& cls);
+  /// COW: clones the shard first when it predates the current epoch.
+  InstanceShard& WritableShard(const Oid& obj);
+  const std::vector<Oid>* FindInstance(const Oid& obj) const;
+
+  std::unordered_map<Oid, std::shared_ptr<Node>, OidHash> nodes_;
   std::vector<Oid> class_list_;
-  // obj -> direct classes
-  std::unordered_map<Oid, std::vector<Oid>, OidHash> instance_of_;
+  // obj -> direct classes, sharded by OidHash.
+  std::array<std::shared_ptr<InstanceShard>, kInstanceShards> instance_of_;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace xsql

@@ -4,11 +4,15 @@
 #include <deque>
 
 #include "common/fault.h"
+#include "obs/metrics.h"
 #include "store/catalog.h"
 
 namespace xsql {
 
 Database::Database() {
+  for (auto& shard : objects_) {
+    shard = std::make_shared<ObjectShard>();
+  }
   // Builtin hierarchy: individual classes live under Object; the two
   // meta-classes (Class, Method) stand apart, making the catalog part of
   // the hierarchy without mixing the class universe into individuals.
@@ -22,6 +26,64 @@ Database::Database() {
   for (const Oid& cls : builtin::All()) {
     (void)graph_.AddInstance(cls, builtin::MetaClass());
   }
+}
+
+Database::Database(ForkTag, const Database& src)
+    : graph_(src.graph_),
+      signatures_(src.signatures_),
+      methods_(src.methods_),
+      objects_(src.objects_),
+      version_(src.version_),
+      cow_epoch_(src.cow_epoch_ + 1),
+      active_domain_(src.active_domain_),
+      active_domain_dirty_(src.active_domain_dirty_) {
+  // The fork's first write to any shared node/shard must clone it.
+  graph_.BumpEpoch();
+}
+
+std::unique_ptr<Database> Database::Fork() const {
+  // Prewarm the lazy active-domain cache so the fork is born clean:
+  // concurrent readers of an immutable snapshot must never trigger a
+  // rebuild of a mutable member.
+  (void)ActiveDomain();
+  return std::unique_ptr<Database>(new Database(ForkTag{}, *this));
+}
+
+void Database::BeginNewEpoch() {
+  ++cow_epoch_;
+  graph_.BumpEpoch();
+}
+
+Database::ObjectShard& Database::WritableShard(const Oid& oid) {
+  std::shared_ptr<ObjectShard>& slot = objects_[ShardIndexOf(oid)];
+  if (slot->epoch != cow_epoch_) {
+    auto clone = std::make_shared<ObjectShard>(*slot);
+    clone->epoch = cow_epoch_;
+    static obs::Counter& clones =
+        obs::MetricsRegistry::Global().GetCounter("xsql.mvcc.cow_clones");
+    static obs::Counter& bytes =
+        obs::MetricsRegistry::Global().GetCounter("xsql.mvcc.cow_bytes");
+    clones.Inc();
+    bytes.Inc(static_cast<uint64_t>(sizeof(ObjectShard) +
+                                    clone->map.size() *
+                                        (sizeof(Oid) + sizeof(Object))));
+    slot = std::move(clone);
+  }
+  return *slot;
+}
+
+Object* Database::FindMutableRaw(const Oid& oid) {
+  // Probe the const view first: cloning a whole shard to discover the
+  // object is absent would be a wasted copy.
+  if (!HasObject(oid)) return nullptr;
+  ObjectShard& shard = WritableShard(oid);
+  auto it = shard.map.find(oid);
+  return it == shard.map.end() ? nullptr : &it->second;
+}
+
+void Database::EraseObjectRaw(const Oid& oid) {
+  if (!HasObject(oid)) return;
+  WritableShard(oid).map.erase(oid);
 }
 
 Status Database::DeclareClass(const Oid& cls, const std::vector<Oid>& supers) {
@@ -166,12 +228,11 @@ Status Database::AddToSet(const Oid& obj, const Oid& attr, const Oid& value) {
 
 Status Database::ClearAttribute(const Oid& obj, const Oid& attr) {
   XSQL_RETURN_IF_ERROR(FaultCheck("Database::ClearAttribute"));
-  auto it = objects_.find(obj);
-  if (it == objects_.end()) {
+  if (!HasObject(obj)) {
     return Status::NotFound("no object " + obj.ToString());
   }
   RecordUndoAttr(obj, attr);
-  it->second.Remove(attr);
+  FindMutableRaw(obj)->Remove(attr);
   Touch();
   return Status::OK();
 }
@@ -200,15 +261,16 @@ void Database::Rollback(UndoLog* log) {
 }
 
 const Object* Database::GetObject(const Oid& oid) const {
-  auto it = objects_.find(oid);
-  return it == objects_.end() ? nullptr : &it->second;
+  const ObjectShard& shard = *objects_[ShardIndexOf(oid)];
+  auto it = shard.map.find(oid);
+  return it == shard.map.end() ? nullptr : &it->second;
 }
 
 Object* Database::GetMutableObject(const Oid& oid) {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) return nullptr;
+  Object* obj = FindMutableRaw(oid);
+  if (obj == nullptr) return nullptr;
   Touch();
-  return &it->second;
+  return obj;
 }
 
 const AttrValue* Database::GetAttribute(const Oid& obj, const Oid& attr) const {
@@ -286,24 +348,24 @@ OidSet Database::Extent(const Oid& cls) const {
 }
 
 const OidSet& Database::ActiveDomain() const {
-  if (active_domain_dirty_) {
-    OidSet domain;
-    for (const auto& [oid, object] : objects_) {
-      domain.Insert(oid);
+  if (active_domain_dirty_ || active_domain_ == nullptr) {
+    auto domain = std::make_shared<OidSet>();
+    ForEachObject([&](const Oid& oid, const Object& object) {
+      domain->Insert(oid);
       for (const auto& [attr, value] : object.attrs()) {
-        domain.Insert(attr);
+        domain->Insert(attr);
         if (value.set_valued()) {
-          for (const Oid& v : value.set()) domain.Insert(v);
+          for (const Oid& v : value.set()) domain->Insert(v);
         } else {
-          domain.Insert(value.scalar());
+          domain->Insert(value.scalar());
         }
       }
-    }
-    for (const Oid& cls : graph_.classes()) domain.Insert(cls);
+    });
+    for (const Oid& cls : graph_.classes()) domain->Insert(cls);
     active_domain_ = std::move(domain);
     active_domain_dirty_ = false;
   }
-  return active_domain_;
+  return *active_domain_;
 }
 
 Status Database::RegisterMethodObject(const Oid& attr) {
@@ -315,14 +377,12 @@ Status Database::RegisterMethodObject(const Oid& attr) {
 }
 
 Object& Database::GetOrCreate(const Oid& oid) {
-  auto it = objects_.find(oid);
-  if (it == objects_.end()) {
-    if (undo_ != nullptr) {
-      undo_->Record([oid](Database* db) { db->objects_.erase(oid); });
-    }
-    it = objects_.emplace(oid, Object(oid)).first;
+  if (Object* existing = FindMutableRaw(oid)) return *existing;
+  if (undo_ != nullptr) {
+    undo_->Record([oid](Database* db) { db->EraseObjectRaw(oid); });
   }
-  return it->second;
+  ObjectShard& shard = WritableShard(oid);
+  return shard.map.emplace(oid, Object(oid)).first->second;
 }
 
 Status Database::FaultCheck(const char* site) {
@@ -375,29 +435,26 @@ Status Database::GraphAddInstance(const Oid& obj, const Oid& cls) {
 
 void Database::RecordUndoAttr(const Oid& obj, const Oid& attr) {
   if (undo_ == nullptr) return;
-  auto it = objects_.find(obj);
-  if (it == objects_.end()) {
+  const Object* existing = GetObject(obj);
+  if (existing == nullptr) {
     // The whole object record is about to be created; GetOrCreate records
     // its erasure, which discards any attribute written to it.
     return;
   }
-  const AttrValue* prior = it->second.Get(attr);
+  const AttrValue* prior = existing->Get(attr);
   if (prior == nullptr) {
     undo_->Record([obj, attr](Database* db) {
-      auto oi = db->objects_.find(obj);
-      if (oi != db->objects_.end()) oi->second.Remove(attr);
+      if (Object* o = db->FindMutableRaw(obj)) o->Remove(attr);
     });
   } else if (prior->set_valued()) {
     OidSet saved = prior->set();
     undo_->Record([obj, attr, saved](Database* db) {
-      auto oi = db->objects_.find(obj);
-      if (oi != db->objects_.end()) oi->second.SetSet(attr, saved);
+      if (Object* o = db->FindMutableRaw(obj)) o->SetSet(attr, saved);
     });
   } else {
     Oid saved = prior->scalar();
     undo_->Record([obj, attr, saved](Database* db) {
-      auto oi = db->objects_.find(obj);
-      if (oi != db->objects_.end()) oi->second.SetScalar(attr, saved);
+      if (Object* o = db->FindMutableRaw(obj)) o->SetScalar(attr, saved);
     });
   }
 }

@@ -1,6 +1,8 @@
 #ifndef XSQL_STORE_DATABASE_H_
 #define XSQL_STORE_DATABASE_H_
 
+#include <array>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -32,12 +34,36 @@ namespace xsql {
 ///  * attribute names used in data are auto-registered as method-objects
 ///    (instances of `Method`) so that method variables can range over
 ///    them — the paper's schema-browsing feature.
+///
+/// MVCC support: `Fork()` produces a structurally-shared copy in O(schema
+/// + shard-count) — the object map is sharded and each shard is held by
+/// shared_ptr, as are the class-graph nodes. After a fork, the first
+/// write to a shared shard/node in the new copy-on-write epoch clones it
+/// (see ClassGraph for the epoch discipline). A fork taken under the
+/// writer latch and never mutated again is an immutable snapshot that
+/// concurrent readers can use with no synchronization at all.
 class Database {
  public:
   Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  /// A structurally-shared copy for MVCC: shares every object-map shard,
+  /// class-graph node, and the active-domain cache with `this`; copies
+  /// the (schema-sized) signature and method stores. The fork starts a
+  /// new COW epoch, so its first write to any shared piece clones it.
+  /// The active-domain cache is prewarmed first so the fork's mutable
+  /// lazy members never need a rebuild unless the fork itself mutates.
+  ///
+  /// If *this* database keeps mutating after the fork (the writer path:
+  /// master forks a snapshot, then executes the next statement), the
+  /// caller must call `BeginNewEpoch()` on it after forking — otherwise
+  /// in-place writes would reach shards the fork shares.
+  std::unique_ptr<Database> Fork() const;
+
+  /// Starts a new COW epoch on this side of a fork (writer-path master).
+  void BeginNewEpoch();
 
   // ---- Schema -------------------------------------------------------
 
@@ -104,7 +130,10 @@ class Database {
 
   // ---- Lookup -------------------------------------------------------
 
-  bool HasObject(const Oid& oid) const { return objects_.contains(oid); }
+  bool HasObject(const Oid& oid) const {
+    const ObjectShard& shard = *objects_[ShardIndexOf(oid)];
+    return shard.map.contains(oid);
+  }
   const Object* GetObject(const Oid& oid) const;
   Object* GetMutableObject(const Oid& oid);
 
@@ -138,9 +167,22 @@ class Database {
   const MethodRegistry& methods() const { return methods_; }
   MethodRegistry& mutable_methods() { return methods_; }
 
-  /// All data objects (including class-objects), unordered.
-  const std::unordered_map<Oid, Object, OidHash>& objects() const {
-    return objects_;
+  /// Number of data objects (including class-objects).
+  size_t object_count() const {
+    size_t n = 0;
+    for (const auto& shard : objects_) n += shard->map.size();
+    return n;
+  }
+
+  /// Visits every data object (including class-objects), unordered:
+  /// `fn(const Oid&, const Object&)`. Replaces the old `objects()`
+  /// accessor — the map is sharded for copy-on-write and no longer
+  /// exists as one container.
+  template <typename Fn>
+  void ForEachObject(Fn&& fn) const {
+    for (const auto& shard : objects_) {
+      for (const auto& [oid, object] : shard->map) fn(oid, object);
+    }
   }
 
   /// Monotone counter bumped on every mutation; used for cache
@@ -148,6 +190,28 @@ class Database {
   uint64_t version() const { return version_; }
 
  private:
+  /// Object map sharding: one shared_ptr'd shard per hash slice, so a
+  /// write in a fresh COW epoch copies ~1/kObjectShards of the data.
+  static constexpr size_t kObjectShards = 32;
+  struct ObjectShard {
+    std::unordered_map<Oid, Object, OidHash> map;
+    uint64_t epoch = 0;
+  };
+
+  static size_t ShardIndexOf(const Oid& oid) {
+    return OidHash{}(oid) % kObjectShards;
+  }
+
+  struct ForkTag {};
+  Database(ForkTag, const Database& src);
+
+  /// COW: clones the shard first when it predates the current epoch.
+  ObjectShard& WritableShard(const Oid& oid);
+  /// COW-aware raw lookups for undo inverses and internal mutators —
+  /// they do not Touch() (Rollback touches once at the end).
+  Object* FindMutableRaw(const Oid& oid);
+  void EraseObjectRaw(const Oid& oid);
+
   Status RegisterMethodObject(const Oid& attr);
   Object& GetOrCreate(const Oid& oid);
   void Touch() { ++version_; active_domain_dirty_ = true; }
@@ -169,11 +233,17 @@ class Database {
   ClassGraph graph_;
   SignatureStore signatures_;
   MethodRegistry methods_;
-  std::unordered_map<Oid, Object, OidHash> objects_;
+  std::array<std::shared_ptr<ObjectShard>, kObjectShards> objects_;
   UndoLog* undo_ = nullptr;
   uint64_t version_ = 0;
+  /// Copy-on-write epoch: shards/nodes stamped with an older epoch are
+  /// shared with some fork and must be cloned before a write.
+  uint64_t cow_epoch_ = 0;
 
-  mutable OidSet active_domain_;
+  /// Lazily rebuilt by ActiveDomain(); shared (not copied) across forks.
+  /// A snapshot is always forked clean (prewarmed, dirty flag false), so
+  /// concurrent readers never write these mutable members.
+  mutable std::shared_ptr<const OidSet> active_domain_;
   mutable bool active_domain_dirty_ = true;
 };
 

@@ -137,12 +137,12 @@ TEST(WorkloadTest, DeterministicAcrossRuns) {
   ASSERT_TRUE(workload::BuildFig1Schema(&db2).ok());
   ASSERT_TRUE(workload::GenerateFig1Data(&db1, params).ok());
   ASSERT_TRUE(workload::GenerateFig1Data(&db2, params).ok());
-  ASSERT_EQ(db1.objects().size(), db2.objects().size());
-  for (const auto& [oid, object] : db1.objects()) {
+  ASSERT_EQ(db1.object_count(), db2.object_count());
+  db1.ForEachObject([&](const Oid& oid, const Object& object) {
     const Object* other = db2.GetObject(oid);
     ASSERT_NE(other, nullptr) << oid.ToString();
     EXPECT_EQ(object.ToString(), other->ToString());
-  }
+  });
 }
 
 TEST(WorkloadTest, ScaledParams) {

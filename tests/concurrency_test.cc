@@ -1,7 +1,7 @@
-// The concurrent-server execution core, minus the sockets: statement
-// latch semantics (parallel readers, serialized writers, writer
-// preference, deadline/cancel-aware waits), conservative latch-mode
-// classification, group-commit batching and its sticky-failure model,
+// The concurrent-server execution core, minus the sockets: writer
+// latch semantics (serialized writers, deadline/cancel-aware waits),
+// conservative three-way statement classification (ClassifyMode),
+// group-commit batching and its sticky-failure model,
 // the multi-threaded serializability stress test (final state must be
 // byte-identical to a serial replay of the durable statement history),
 // and crash-during-group-commit recovery. Run under TSan by ci.sh.
@@ -176,36 +176,45 @@ TEST(StatementLatchTest, CancelTripsWhileWaiting) {
 
 // ------------------------------------------------------- classification
 
-TEST_F(ConcurrencyTest, NeedsExclusiveIsConservative) {
+TEST_F(ConcurrencyTest, ClassifyModeIsConservative) {
   auto dd = MustOpen(dir_);
   ASSERT_NE(dd, nullptr);
   MustExecute(dd.get(), Prelude());
   const Database& db = dd->db();
   const ViewManager& views = dd->session().views();
-  auto needs = [&](const std::string& text) {
-    return NeedsExclusive(text, storage::ClassifyStatement(text, db), db,
-                          views);
+  auto mode = [&](const std::string& text) {
+    return ClassifyMode(text, storage::ClassifyStatement(text, db), db,
+                        views);
   };
 
-  // Reads stay shared.
-  EXPECT_FALSE(needs("SELECT X FROM Person X"));
-  EXPECT_FALSE(needs("SELECT S FROM Person X WHERE X.Salary[S]"));
-  EXPECT_FALSE(needs("EXPLAIN SELECT X FROM Person X"));
-  EXPECT_FALSE(needs("SYSTEM METRICS"));
+  // Reads run latch-free on the shared snapshot.
+  EXPECT_EQ(mode("SELECT X FROM Person X"), StatementMode::kSharedRead);
+  EXPECT_EQ(mode("SELECT S FROM Person X WHERE X.Salary[S]"),
+            StatementMode::kSharedRead);
+  EXPECT_EQ(mode("EXPLAIN SELECT X FROM Person X"),
+            StatementMode::kSharedRead);
+  EXPECT_EQ(mode("SYSTEM METRICS"), StatementMode::kSharedRead);
 
-  // Mutation kinds are exclusive.
-  EXPECT_TRUE(needs("UPDATE CLASS Person SET mary.Salary = 200"));
-  EXPECT_TRUE(needs("ALTER CLASS Person ADD SIGNATURE Age => Numeral"));
-  // EXPLAIN ANALYZE executes for real before rolling back.
-  EXPECT_TRUE(needs("EXPLAIN ANALYZE SELECT X FROM Person X"));
-  // OID FUNCTION queries mint objects.
-  EXPECT_TRUE(needs(
-      "SELECT N = X.Name FROM Person X OID FUNCTION OF X WHERE X.Name[N]"));
-  // Unresolvable statements are exclusive by default.
-  EXPECT_TRUE(needs("THIS IS NOT XSQL"));
+  // Mutation kinds are writes.
+  EXPECT_EQ(mode("UPDATE CLASS Person SET mary.Salary = 200"),
+            StatementMode::kWrite);
+  EXPECT_EQ(mode("ALTER CLASS Person ADD SIGNATURE Age => Numeral"),
+            StatementMode::kWrite);
+  // EXPLAIN ANALYZE executes for real before rolling back: scratch
+  // writes only, so it runs on a private fork rather than the master.
+  EXPECT_EQ(mode("EXPLAIN ANALYZE SELECT X FROM Person X"),
+            StatementMode::kPrivateRead);
+  // OID FUNCTION queries mint durable objects.
+  EXPECT_EQ(mode("SELECT N = X.Name FROM Person X OID FUNCTION OF X "
+                 "WHERE X.Name[N]"),
+            StatementMode::kWrite);
+  // Unresolvable statements are writes by default.
+  EXPECT_EQ(mode("THIS IS NOT XSQL"), StatementMode::kWrite);
 
-  // A view mention flips a plain read to exclusive: evaluating the view
-  // materializes lazily into the shared database.
+  // CREATE VIEW materializes eagerly, so a read touching the freshly
+  // materialized view is a pure read and stays on the shared snapshot
+  // path. (Regression: this used to classify exclusive
+  // unconditionally.)
   MustExecute(dd.get(),
               {"ALTER CLASS Class ADD SIGNATURE Motto => String",
                "UPDATE CLASS Class SET Person.Motto = 'people first'",
@@ -213,15 +222,25 @@ TEST_F(ConcurrencyTest, NeedsExclusiveIsConservative) {
                "SIGNATURE M => String "
                "SELECT M = X.Motto FROM Class X OID FUNCTION OF X "
                "WHERE X.Motto[M]"});
-  EXPECT_TRUE(needs("SELECT T FROM Class X WHERE Mottos(X).M[T]"));
-  EXPECT_FALSE(needs("SELECT X FROM Person X"));  // unaffected
+  EXPECT_EQ(mode("SELECT T FROM Class X WHERE Mottos(X).M[T]"),
+            StatementMode::kSharedRead);
+  EXPECT_EQ(mode("SELECT X FROM Person X"),
+            StatementMode::kSharedRead);  // unaffected
 
-  // So does mentioning a query-defined method: invoking it can mint
-  // result objects through its OID clause.
+  // A later mutation invalidates the materialization: reads mentioning
+  // the view re-materialize — into a private fork, never the shared
+  // snapshot.
+  MustExecute(dd.get(), {"UPDATE CLASS Person SET mary.Salary = 150"});
+  EXPECT_EQ(mode("SELECT T FROM Class X WHERE Mottos(X).M[T]"),
+            StatementMode::kPrivateRead);
+
+  // Mentioning a query-defined method is private too: invoking it can
+  // mint result objects through its OID clause.
   MustExecute(dd.get(),
               {"ALTER CLASS Class ADD SIGNATURE Shout => String "
                "SELECT (Shout) = N FROM Class X OID X WHERE X.Motto[N]"});
-  EXPECT_TRUE(needs("SELECT S FROM Class X WHERE X.Shout[S]"));
+  EXPECT_EQ(mode("SELECT S FROM Class X WHERE X.Shout[S]"),
+            StatementMode::kPrivateRead);
 }
 
 // ------------------------------------------------------- group commit

@@ -245,21 +245,20 @@ TEST_F(GuardrailTest, TrippedBudgetLeavesNoPartialMutation) {
   ExecLimits limits;
   limits.max_steps = 5;
   auto session = MakeSession(limits);
-  // A view materialization that exhausts the step budget mid-way must
-  // roll its created objects back (statement atomicity).
-  ASSERT_TRUE(session
-                  ->Execute("CREATE VIEW CoNames AS SUBCLASS OF Object "
-                            "SIGNATURE TheName => String "
-                            "SELECT TheName = X.Name FROM Company X "
-                            "OID FUNCTION OF X")
-                  .ok());
-  size_t objects_before = db_.objects().size();
-  // The id-term CoNames(X) forces implicit materialization mid-query.
-  auto rel = session->Query(
-      "SELECT X FROM Company X WHERE CoNames(X).TheName");
-  ASSERT_FALSE(rel.ok());
-  EXPECT_EQ(rel.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_EQ(db_.objects().size(), objects_before);
+  size_t objects_before = db_.object_count();
+  // CREATE VIEW materializes eagerly; exhausting the step budget
+  // mid-materialization must fail the whole statement and roll every
+  // created object back (statement atomicity) — including the view's
+  // catalog entry, so the name resolves as undefined afterwards.
+  auto created = session->Execute(
+      "CREATE VIEW CoNames AS SUBCLASS OF Object "
+      "SIGNATURE TheName => String "
+      "SELECT TheName = X.Name FROM Company X "
+      "OID FUNCTION OF X");
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(db_.object_count(), objects_before);
+  EXPECT_FALSE(session->views().IsView("CoNames"));
 }
 
 }  // namespace

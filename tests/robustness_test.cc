@@ -268,7 +268,7 @@ TEST_P(GeneratorIntegrityTest, ValuesMatchDeclaredTypes) {
   auto stats = workload::GenerateFig1Data(&db, params);
   ASSERT_TRUE(stats.ok());
   size_t checked = 0;
-  for (const auto& [oid, object] : db.objects()) {
+  db.ForEachObject([&](const Oid& oid, const Object& object) {
     for (const auto& [attr, value] : object.attrs()) {
       // Find a declared signature for this attribute on a class of oid.
       for (const auto& [cls, sig] : db.signatures().AllFor(attr)) {
@@ -282,7 +282,7 @@ TEST_P(GeneratorIntegrityTest, ValuesMatchDeclaredTypes) {
         }
       }
     }
-  }
+  });
   EXPECT_GT(checked, 100u);  // the sweep actually checked something
 }
 

@@ -107,12 +107,12 @@ TEST_F(SnapshotTest, FullRoundTrip) {
     }
   }
   // Same objects, attribute for attribute.
-  ASSERT_EQ(restored.objects().size(), db_.objects().size());
-  for (const auto& [oid, object] : db_.objects()) {
+  ASSERT_EQ(restored.object_count(), db_.object_count());
+  db_.ForEachObject([&](const Oid& oid, const Object& object) {
     const Object* other = restored.GetObject(oid);
     ASSERT_NE(other, nullptr) << oid.ToString();
     EXPECT_EQ(other->ToString(), object.ToString());
-  }
+  });
   // Same extents (instance-of restored).
   EXPECT_EQ(restored.Extent(A("Employee")), db_.Extent(A("Employee")));
   EXPECT_EQ(restored.Extent(A("Automobile")), db_.Extent(A("Automobile")));
@@ -195,7 +195,7 @@ TEST_F(SnapshotTest, FileRoundTrip) {
   ASSERT_TRUE(storage::SaveSnapshotToFile(db_, path).ok());
   Database restored;
   ASSERT_TRUE(storage::LoadSnapshotFromFile(path, &restored).ok());
-  EXPECT_EQ(restored.objects().size(), db_.objects().size());
+  EXPECT_EQ(restored.object_count(), db_.object_count());
   std::remove(path.c_str());
   EXPECT_FALSE(
       storage::LoadSnapshotFromFile("/no/such/file", &restored).ok());
